@@ -1,0 +1,161 @@
+// Benchmarks regenerating every experiment table/figure (BenchmarkE1–E10,
+// one per table or figure in EXPERIMENTS.md) plus micro-benchmarks of the
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches run the Quick configuration so a full -bench=.
+// pass stays in CI time; cmd/sectorbench runs the full-size versions.
+package sectorpack_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sectorpack"
+	"sectorpack/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Figures) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkE1GreedyVsExact(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2ProfitVsBound(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3RuntimeScaling(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4WidthSweep(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkE5TightnessSweep(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6AntennaClasses(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7DisjointDPExactness(b *testing.B) { benchExperiment(b, "E7") }
+func BenchmarkE8UnitFlowExactness(b *testing.B)   { benchExperiment(b, "E8") }
+func BenchmarkE9CoverageVsAntennas(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10AdversarialFPTAS(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11CandidateAblation(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12OrderAblation(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13CoveringCompanion(b *testing.B)  { benchExperiment(b, "E13") }
+func BenchmarkE14HeuristicShootout(b *testing.B)  { benchExperiment(b, "E14") }
+func BenchmarkE15OnlineArrivals(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16BoundTightness(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkE17IntegralityGap(b *testing.B)     { benchExperiment(b, "E17") }
+func BenchmarkE18PriceOfFairness(b *testing.B)    { benchExperiment(b, "E18") }
+
+// --- solver micro-benchmarks over the public API ---
+
+func benchSolver(b *testing.B, name string, n, m int) {
+	b.Helper()
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 42, N: n, M: m,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := sectorpack.Solve(name, in, sectorpack.Options{Seed: 1, SkipBound: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Profit <= 0 {
+			b.Fatal("degenerate solve")
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) { benchSolver(b, "greedy", n, 3) })
+	}
+}
+
+func BenchmarkLocalSearch(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) { benchSolver(b, "localsearch", n, 3) })
+	}
+}
+
+func BenchmarkLPRound(b *testing.B) {
+	for _, n := range []int{30, 90} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) { benchSolver(b, "lpround", n, 3) })
+	}
+}
+
+func BenchmarkUnitFlow(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			in := sectorpack.MustGenerate(sectorpack.GenConfig{
+				Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+				Seed: 42, N: n, M: 3, UnitDemand: true,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sectorpack.SolveUnitFlow(in, sectorpack.Options{SkipBound: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDisjointDP(b *testing.B) {
+	for _, n := range []int{10, 20} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			in := sectorpack.MustGenerate(sectorpack.GenConfig{
+				Family: sectorpack.Uniform, Variant: sectorpack.DisjointAngles,
+				Seed: 42, N: n, M: 3, Rho: 1.2,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sectorpack.SolveDisjointDP(in, sectorpack.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExactSmall(b *testing.B) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 42, N: 10, M: 2,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sectorpack.SolveExact(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpperBound(b *testing.B) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 42, N: 300, M: 4,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sectorpack.UpperBound(in) <= 0 {
+			b.Fatal("degenerate bound")
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for _, fam := range []sectorpack.Family{sectorpack.Uniform, sectorpack.Hotspot, sectorpack.Zipf} {
+		b.Run(string(fam), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sectorpack.Generate(sectorpack.GenConfig{
+					Family: fam, Variant: sectorpack.Sectors, Seed: int64(i), N: 500, M: 4,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command sectorbench runs the reproduction experiments (E1–E10) and the
+// extension/ablation experiments (E11+) and prints their tables and
+// figures.
+//
+// Usage:
+//
+//	sectorbench               # run everything at full size
+//	sectorbench -exp E1,E7    # a subset
+//	sectorbench -quick        # reduced sizes (the test configuration)
+//	sectorbench -list         # list experiments and the claims they test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sectorpack/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sectorbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sectorbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	expFlag := fs.String("exp", "", "comma-separated experiment ids (default all)")
+	quick := fs.Bool("quick", false, "reduced sizes and trial counts")
+	seed := fs.Int64("seed", 1, "base seed")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+	ids := experiments.IDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := experiments.Run(id, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprint(out, rep.Render())
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			for k, tb := range rep.Tables {
+				name := fmt.Sprintf("%s_table%d.csv", id, k+1)
+				if err := os.WriteFile(filepath.Join(*csvDir, name), []byte(tb.CSV()), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, id := range []string{"E1", "E10"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+	if !strings.Contains(out.String(), "claim:") {
+		t.Error("list should show claims")
+	}
+}
+
+func TestRunSubsetQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "E1, E7"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Table E1") || !strings.Contains(out.String(), "Table E7") {
+		t.Errorf("missing tables:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "completed in") {
+		t.Error("missing timing lines")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E99"}, &out); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag must error")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "E1", "-csv", dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "E1_table1.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(string(data), "family,n,m") {
+		t.Errorf("csv header missing:\n%s", data)
+	}
+}

@@ -1,0 +1,68 @@
+// Command sectorcover solves the covering companion problem: given an
+// instance file (only its customers are used) and an antenna type, find
+// the minimum number of antennas that serves every customer.
+//
+// Usage:
+//
+//	sectorcover -in instance.json -rho 1.2 -range 7 -capacity 20 [-exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sectorpack/internal/cover"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sectorcover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sectorcover", flag.ContinueOnError)
+	fs.SetOutput(out)
+	inPath := fs.String("in", "", "instance JSON file (customers only; required)")
+	rho := fs.Float64("rho", 1.0, "antenna width in radians")
+	rng := fs.Float64("range", 0, "antenna radial reach (0 = unbounded)")
+	capacity := fs.Int64("capacity", 1<<40, "per-antenna capacity")
+	exact := fs.Bool("exact", false, "also compute the exact minimum (small instances)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	in, err := model.LoadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	typ := cover.AntennaType{Rho: *rho, Range: *rng, Capacity: *capacity}
+	g, err := cover.Greedy(in.Customers, typ)
+	if err != nil {
+		return err
+	}
+	if err := cover.Check(in.Customers, typ, g); err != nil {
+		return fmt.Errorf("internal error: greedy cover invalid: %w", err)
+	}
+	fmt.Fprintf(out, "greedy cover: %d antennas for %d customers\n", g.K(), in.N())
+	for p, pl := range g.Placements {
+		fmt.Fprintf(out, "  antenna %2d at α=%7.2f° serving %d customers\n",
+			p, geom.Degrees(pl.Alpha), len(pl.Customers))
+	}
+	if *exact {
+		e, err := cover.Exact(in.Customers, typ, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exact minimum: %d antennas (greedy overshoot %d)\n", e.K(), g.K()-e.K())
+	}
+	return nil
+}

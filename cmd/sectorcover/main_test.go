@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	in := gen.MustGenerate(gen.Config{
+		Family: gen.Uniform, Variant: model.Sectors, Seed: 3, N: 8, M: 1, Range: 6,
+	})
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := model.SaveFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCoverCLI(t *testing.T) {
+	path := writeInstance(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-rho", "1.5", "-range", "10", "-exact"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "greedy cover:") || !strings.Contains(s, "exact minimum:") {
+		t.Errorf("output incomplete:\n%s", s)
+	}
+	if !strings.Contains(s, "overshoot") {
+		t.Errorf("missing overshoot line:\n%s", s)
+	}
+}
+
+func TestCoverCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -in must error")
+	}
+	if err := run([]string{"-in", "/missing.json"}, &out); err == nil {
+		t.Error("missing file must error")
+	}
+	path := writeInstance(t)
+	// range too small: some customer unreachable
+	if err := run([]string{"-in", path, "-rho", "1", "-range", "0.001"}, &out); err == nil {
+		t.Error("unreachable customers must error")
+	}
+}

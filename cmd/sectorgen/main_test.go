@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/model"
+)
+
+func TestGenerateToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-family", "uniform", "-n", "10", "-m", "2"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	in, err := model.ReadJSON(&stdout)
+	if err != nil {
+		t.Fatalf("output is not a valid instance: %v", err)
+	}
+	if in.N() != 10 || in.M() != 2 {
+		t.Fatalf("shape %dx%d", in.N(), in.M())
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-family", "zipf", "-variant", "angles", "-n", "15", "-m", "3", "-unit", "-out", path}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "wrote") {
+		t.Error("expected confirmation on stderr")
+	}
+	in, err := model.LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !in.UnitDemand() {
+		t.Error("-unit must force unit demands")
+	}
+	if in.Variant != model.Angles {
+		t.Errorf("variant = %v", in.Variant)
+	}
+}
+
+func TestGenerateVariants(t *testing.T) {
+	for _, v := range []string{"sectors", "angles", "disjoint"} {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-variant", v, "-n", "5", "-m", "2"}, &stdout, &stderr); err != nil {
+			t.Errorf("variant %s: %v", v, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-variant", "bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown variant must error")
+	}
+	if err := run([]string{"-family", "bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown family must error")
+	}
+	if err := run([]string{"-nope"}, &stdout, &stderr); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

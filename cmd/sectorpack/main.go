@@ -1,0 +1,92 @@
+// Command sectorpack solves a sector-packing instance file with a chosen
+// algorithm and prints the solution.
+//
+// Usage:
+//
+//	sectorpack -in instance.json [-solver greedy] [-seed 1] [-eps 0.05] [-v] [-viz]
+//
+// The instance format is the JSON envelope written by cmd/sectorgen (or
+// model.WriteJSON). Solvers: anneal, disjoint-dp, exact, greedy,
+// localsearch, lpround, unitflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+	"sectorpack/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sectorpack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sectorpack", flag.ContinueOnError)
+	fs.SetOutput(out)
+	inPath := fs.String("in", "", "instance JSON file (required)")
+	solverName := fs.String("solver", "greedy", "solver: "+strings.Join(core.Names(), ", "))
+	seed := fs.Int64("seed", 1, "seed for randomized components")
+	eps := fs.Float64("eps", 0, "force the FPTAS inner knapsack with this epsilon (0 = auto exact/approx)")
+	verbose := fs.Bool("v", false, "print the per-antenna breakdown")
+	vizFlag := fs.Bool("viz", false, "draw an ASCII polar plot of the solution")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	in, err := model.LoadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	solver, err := core.Get(*solverName)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{Seed: *seed}
+	if *eps > 0 {
+		opt.Knapsack = knapsack.Options{ForceApprox: true, Eps: *eps}
+	}
+	sol, err := solver(in, opt)
+	if err != nil {
+		return err
+	}
+	if err := sol.Assignment.Check(in); err != nil {
+		return fmt.Errorf("internal error: solver returned infeasible assignment: %w", err)
+	}
+	fmt.Fprintf(out, "instance   %s (%s, n=%d, m=%d, tightness=%.2f)\n",
+		in.Name, in.Variant, in.N(), in.M(), in.Tightness())
+	fmt.Fprintf(out, "solution   %s\n", sol)
+	fmt.Fprintf(out, "served     %d/%d customers, demand %d/%d\n",
+		sol.Assignment.ServedCount(), in.N(), sol.Assignment.ServedDemand(in), in.TotalDemand())
+	if *verbose {
+		load := sol.Assignment.Load(in)
+		for j, a := range in.Antennas {
+			served := 0
+			for _, owner := range sol.Assignment.Owner {
+				if owner == j {
+					served++
+				}
+			}
+			fmt.Fprintf(out, "antenna %2d  α=%7.2f° ρ=%6.2f° load %d/%d (%d customers)\n",
+				j, geom.Degrees(sol.Assignment.Orientation[j]), geom.Degrees(a.Rho),
+				load[j], a.Capacity, served)
+		}
+	}
+	if *vizFlag {
+		fmt.Fprint(out, viz.Render(in, sol.Assignment, viz.Options{Rays: true}))
+	}
+	return nil
+}

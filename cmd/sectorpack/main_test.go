@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+func writeTestInstance(t *testing.T) string {
+	t.Helper()
+	in := gen.MustGenerate(gen.Config{
+		Family: gen.Hotspot, Variant: model.Sectors, Seed: 7, N: 25, M: 2,
+	})
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := model.SaveFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSolvesInstance(t *testing.T) {
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-solver", "localsearch", "-v"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"instance", "localsearch", "served", "antenna  0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunViz(t *testing.T) {
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-viz"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "B") || !strings.Contains(out.String(), "[0]") {
+		t.Errorf("viz output missing plot or legend:\n%s", out.String())
+	}
+}
+
+func TestRunEpsForcesFPTAS(t *testing.T) {
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-eps", "0.2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "greedy") {
+		t.Errorf("output missing solver name:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -in must error")
+	}
+	if err := run([]string{"-in", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing file must error")
+	}
+	path := writeTestInstance(t)
+	if err := run([]string{"-in", path, "-solver", "bogus"}, &out); err == nil {
+		t.Error("unknown solver must error")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("unknown flag must error")
+	}
+}

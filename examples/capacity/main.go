@@ -1,0 +1,72 @@
+// Capacity planning sweep: how many antennas does a hotspot district need?
+// The example sweeps the antenna count, solving each configuration in
+// parallel, and prints the coverage curve a planner would use to pick the
+// knee. Run with:
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"sectorpack"
+)
+
+func main() {
+	const n = 150
+	ms := []int{1, 2, 3, 4, 5, 6, 8}
+
+	type point struct {
+		m      int
+		served float64
+	}
+	var (
+		mu     sync.Mutex
+		points []point
+		wg     sync.WaitGroup
+	)
+	for _, m := range ms {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := sectorpack.MustGenerate(sectorpack.GenConfig{
+				Family:  sectorpack.Hotspot,
+				Variant: sectorpack.Sectors,
+				Seed:    5,
+				N:       n,
+				M:       m,
+			})
+			sol, err := sectorpack.SolveLocalSearch(in, sectorpack.Options{Seed: 5})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			points = append(points, point{m: m, served: float64(sol.Profit) / float64(in.TotalProfit())})
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(points, func(a, b int) bool { return points[a].m < points[b].m })
+
+	fmt.Printf("coverage curve for a %d-customer hotspot district:\n\n", n)
+	fmt.Println("  antennas  coverage  marginal gain")
+	prev := 0.0
+	knee := 0
+	for _, p := range points {
+		gain := p.served - prev
+		marker := ""
+		if knee == 0 && prev > 0 && gain < 0.05 {
+			knee = p.m
+			marker = "   <- diminishing returns"
+		}
+		fmt.Printf("  %8d  %7.1f%%  %+12.1f%%%s\n", p.m, 100*p.served, 100*gain, marker)
+		prev = p.served
+	}
+	if knee > 0 {
+		fmt.Printf("\nplanner's pick: %d antennas (first configuration with <5%% marginal gain)\n", knee-1)
+	}
+}

@@ -1,0 +1,66 @@
+// Event-hotspot coverage with interference-free sectors: a stadium crowd
+// concentrates demand in a few angular clusters, and regulations require
+// the chosen sectors to be disjoint (no overlapping beams). The example
+// contrasts the exact disjoint DP with the greedy heuristic under the
+// disjointness constraint. Run with:
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sectorpack"
+)
+
+func main() {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family:   sectorpack.Hotspot,
+		Variant:  sectorpack.DisjointAngles,
+		Seed:     99,
+		N:        18,
+		M:        3,
+		Rho:      0.9,
+		Hotspots: 2,
+	})
+	in.Name = "stadium-event"
+
+	fmt.Printf("event: %d customers in 2 hotspots, 3 disjoint beams of width ~0.9 rad\n\n", in.N())
+
+	dp, err := sectorpack.SolveDisjointDP(in, sectorpack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sol := range []sectorpack.Solution{dp, greedy} {
+		if err := sol.Assignment.Check(in); err != nil {
+			log.Fatalf("%s produced an infeasible plan: %v", sol.Algorithm, err)
+		}
+		fmt.Printf("%-12s served demand %3d/%3d across beams at:",
+			sol.Algorithm, sol.Profit, in.TotalDemand())
+		for j := range in.Antennas {
+			serves := false
+			for _, owner := range sol.Assignment.Owner {
+				if owner == j {
+					serves = true
+					break
+				}
+			}
+			if serves {
+				fmt.Printf(" %.2f", sol.Assignment.Orientation[j])
+			}
+		}
+		fmt.Println(" rad")
+	}
+	if greedy.Profit < dp.Profit {
+		fmt.Printf("\nthe exact DP beats greedy by %d demand units here — disjointness "+
+			"is where greedy pays for its myopia\n", dp.Profit-greedy.Profit)
+	} else {
+		fmt.Println("\ngreedy matched the exact DP on this instance")
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a tiny instance by hand, solve it with two algorithms,
+// and inspect the assignment. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sectorpack"
+)
+
+func main() {
+	// Eight customers around a base station; a crowd sits near θ ≈ 0.
+	in := &sectorpack.Instance{
+		Name:    "quickstart",
+		Variant: sectorpack.Sectors,
+		Customers: []sectorpack.Customer{
+			{Theta: 0.10, R: 2.0, Demand: 4},
+			{Theta: 0.35, R: 3.5, Demand: 6},
+			{Theta: 0.60, R: 1.0, Demand: 3},
+			{Theta: 1.20, R: 5.0, Demand: 5},
+			{Theta: 2.50, R: 2.5, Demand: 7},
+			{Theta: 3.90, R: 4.0, Demand: 2},
+			{Theta: 5.10, R: 1.5, Demand: 4},
+			{Theta: 5.90, R: 6.5, Demand: 3},
+		},
+		// Two antennas: a wide short-range panel and a narrow long-range one.
+		Antennas: []sectorpack.Antenna{
+			{Rho: math.Pi / 2, Range: 4.0, Capacity: 12},
+			{Rho: math.Pi / 4, Range: 7.0, Capacity: 8},
+		},
+	}
+	in.Normalize()
+	if err := in.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	greedy, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := sectorpack.SolveExact(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("total demand %d against capacity %d (tightness %.2f)\n\n",
+		in.TotalDemand(), in.TotalCapacity(), in.Tightness())
+	for _, sol := range []sectorpack.Solution{greedy, exact} {
+		fmt.Printf("%-8s profit %2d  served %d/%d customers\n",
+			sol.Algorithm, sol.Profit, sol.Assignment.ServedCount(), in.N())
+		for j := range in.Antennas {
+			fmt.Printf("  antenna %d at α=%.2f rad serves:", j, sol.Assignment.Orientation[j])
+			for i, owner := range sol.Assignment.Owner {
+				if owner == j {
+					fmt.Printf(" c%d", i)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Printf("greedy achieved %.1f%% of the optimum\n",
+		100*float64(greedy.Profit)/float64(exact.Profit))
+}

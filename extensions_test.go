@@ -1,0 +1,175 @@
+package sectorpack_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sectorpack"
+)
+
+func TestCoverFacade(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 8, N: 10, M: 1, Range: 9,
+	})
+	typ := sectorpack.CoverAntennaType{Rho: 1.5, Range: 12, Capacity: 1 << 40}
+	res, err := sectorpack.CoverGreedy(in.Customers, typ)
+	if err != nil {
+		t.Fatalf("CoverGreedy: %v", err)
+	}
+	if err := sectorpack.CoverCheck(in.Customers, typ, res); err != nil {
+		t.Fatalf("CoverCheck: %v", err)
+	}
+	ex, err := sectorpack.CoverExact(in.Customers, typ, 0)
+	if err != nil {
+		t.Fatalf("CoverExact: %v", err)
+	}
+	if ex.K() > res.K() {
+		t.Fatalf("exact %d > greedy %d", ex.K(), res.K())
+	}
+}
+
+func TestOnlineFacade(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Hotspot, Variant: sectorpack.Sectors,
+		Seed: 9, N: 40, M: 3,
+	})
+	orient, err := sectorpack.OrientFromSample(in, 0.4, 2)
+	if err != nil {
+		t.Fatalf("OrientFromSample: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	as, err := sectorpack.OnlineRun(in, orient, rng.Perm(in.N()), sectorpack.OnlineBestFit{})
+	if err != nil {
+		t.Fatalf("OnlineRun: %v", err)
+	}
+	if err := as.Check(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	uni := sectorpack.OrientUniform(in)
+	if len(uni) != in.M() {
+		t.Fatalf("OrientUniform length %d", len(uni))
+	}
+}
+
+func TestRenderASCIIFacade(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 10, N: 15, M: 2,
+	})
+	sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sectorpack.RenderASCII(in, sol.Assignment, sectorpack.VizOptions{Rays: true})
+	if !strings.Contains(out, "B") {
+		t.Error("render missing base station")
+	}
+}
+
+func TestReduceFacade(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 11, N: 30, M: 2, Range: 5,
+	})
+	r, err := sectorpack.Reduce(in)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	sol, err := sectorpack.SolveGreedy(r.Reduced, sectorpack.Options{SkipBound: true})
+	if err != nil {
+		t.Fatalf("greedy on reduced: %v", err)
+	}
+	lifted := r.Lift(sol.Assignment)
+	if err := lifted.Check(in); err != nil {
+		t.Fatalf("lifted infeasible: %v", err)
+	}
+}
+
+func TestSolveExactParallelFacade(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 12, N: 8, M: 2,
+	})
+	seq, err := sectorpack.SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sectorpack.SolveExactParallel(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Profit != par.Profit {
+		t.Fatalf("parallel exact %d != sequential %d", par.Profit, seq.Profit)
+	}
+}
+
+// TestFacadeWrappersSmoke exercises every remaining façade entry point on
+// one small instance so the public API surface stays wired.
+func TestFacadeWrappersSmoke(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 13, N: 10, M: 2,
+	})
+	for name, f := range map[string]func(*sectorpack.Instance, sectorpack.Options) (sectorpack.Solution, error){
+		"lpround":  sectorpack.SolveLPRound,
+		"unitflow": nil, // needs unit demands; handled below
+		"auto":     sectorpack.SolveAuto,
+	} {
+		if f == nil {
+			continue
+		}
+		sol, err := f(in, sectorpack.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sol.Assignment.Check(in); err != nil {
+			t.Fatalf("%s infeasible: %v", name, err)
+		}
+	}
+	unit := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 13, N: 10, M: 2, UnitDemand: true,
+	})
+	if _, err := sectorpack.SolveUnitFlow(unit, sectorpack.Options{}); err != nil {
+		t.Fatalf("unitflow: %v", err)
+	}
+	dis := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.DisjointAngles,
+		Seed: 13, N: 8, M: 2, Rho: 1.0,
+	})
+	if _, err := sectorpack.SolveDisjointDP(dis, sectorpack.Options{}); err != nil {
+		t.Fatalf("disjoint-dp: %v", err)
+	}
+	if _, err := sectorpack.ConfigLPBound(in); err != nil {
+		t.Fatalf("ConfigLPBound: %v", err)
+	}
+	split, err := sectorpack.SolveSplittable(in, sectorpack.Options{})
+	if err != nil {
+		t.Fatalf("splittable: %v", err)
+	}
+	if err := split.Check(in); err != nil {
+		t.Fatalf("splittable infeasible: %v", err)
+	}
+	small := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 14, N: 6, M: 1,
+	})
+	if _, err := sectorpack.SolveSplittableExact(small); err != nil {
+		t.Fatalf("splittable exact: %v", err)
+	}
+	if _, err := sectorpack.SolveFair(in, nil, sectorpack.Options{}); err != nil {
+		t.Fatalf("fair: %v", err)
+	}
+	multi := &sectorpack.MultiInstance{
+		Customers: []sectorpack.MultiCustomer{{Pos: sectorpack.XY{X: 2}, Demand: 1}},
+		Stations: []sectorpack.MultiStation{{Antennas: []sectorpack.Antenna{
+			{Rho: 1, Range: 5, Capacity: 4},
+		}}},
+	}
+	multi.Normalize()
+	if _, _, err := sectorpack.SolveMultiGreedy(multi, sectorpack.Options{}); err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+}

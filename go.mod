@@ -1,0 +1,3 @@
+module sectorpack
+
+go 1.22

@@ -1,0 +1,124 @@
+package angular
+
+import (
+	"runtime"
+	"sync"
+
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// Window is the outcome of a best-single-window search: an orientation, the
+// customers to serve there, and the resulting profit.
+type Window struct {
+	Alpha     float64
+	Customers []int // customer indices to serve
+	Profit    int64
+	Exact     bool // whether the inner knapsack was solved exactly at every candidate
+}
+
+// BestWindow finds the most profitable placement of a single antenna: the
+// rotating sweep enumerates every candidate window (orientation plus
+// covered set), a knapsack selects within each, and the best candidate
+// wins. Candidates are evaluated in parallel across GOMAXPROCS workers
+// when there are enough of them to pay for the fan-out.
+//
+// With an exact inner solver the result is the true single-antenna optimum
+// (by the candidate-orientation lemma); with the FPTAS it is a (1−ε)
+// approximation of it.
+func BestWindow(in *model.Instance, antenna int, active []bool, opt knapsack.Options) (Window, error) {
+	alphas, members := NewSweep(in, antenna).windowSets(active)
+	if len(alphas) == 0 {
+		return Window{Exact: true}, nil
+	}
+	capacity := in.Antennas[antenna].Capacity
+
+	type outcome struct {
+		win Window
+		err error
+	}
+	eval := func(k int) outcome {
+		ids := members[k]
+		if len(ids) == 0 {
+			return outcome{win: Window{Alpha: alphas[k], Exact: true}}
+		}
+		items := make([]knapsack.Item, len(ids))
+		for t, i := range ids {
+			items[t] = knapsack.Item{Weight: in.Customers[i].Demand, Profit: in.Customers[i].Profit}
+		}
+		res, exact, err := knapsack.Solve(items, capacity, opt)
+		if err != nil {
+			return outcome{err: err}
+		}
+		w := Window{Alpha: alphas[k], Profit: res.Profit, Exact: exact}
+		for t, take := range res.Take {
+			if take {
+				w.Customers = append(w.Customers, ids[t])
+			}
+		}
+		return outcome{win: w}
+	}
+
+	const parallelThreshold = 16
+	workers := runtime.GOMAXPROCS(0)
+	if len(alphas) < parallelThreshold || workers <= 1 {
+		best := Window{Profit: -1, Exact: true}
+		for k := range alphas {
+			o := eval(k)
+			if o.err != nil {
+				return Window{}, o.err
+			}
+			best = better(best, o.win)
+		}
+		return clampEmpty(best), nil
+	}
+
+	results := make([]outcome, len(alphas))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				results[k] = eval(k)
+			}
+		}()
+	}
+	for k := range alphas {
+		next <- k
+	}
+	close(next)
+	wg.Wait()
+
+	best := Window{Profit: -1, Exact: true}
+	for _, o := range results {
+		if o.err != nil {
+			return Window{}, o.err
+		}
+		best = better(best, o.win)
+	}
+	return clampEmpty(best), nil
+}
+
+// better merges two windows: higher profit wins; exactness survives only if
+// both the winner and every considered candidate were exact, which callers
+// get by folding with this function (Exact of the fold = AND of all).
+func better(acc, cand Window) Window {
+	exact := acc.Exact && cand.Exact
+	if cand.Profit > acc.Profit {
+		cand.Exact = exact
+		return cand
+	}
+	acc.Exact = exact
+	return acc
+}
+
+// clampEmpty normalizes the "nothing profitable" case to a zero window.
+func clampEmpty(w Window) Window {
+	if w.Profit < 0 {
+		w.Profit = 0
+		w.Customers = nil
+	}
+	return w
+}

@@ -1,0 +1,78 @@
+// Package angular implements the angular-combinatorics core of sector
+// packing: candidate-orientation enumeration, best-single-window search,
+// and an exact dynamic program for the disjoint-sectors variant.
+//
+// Everything rests on the candidate-orientation lemma: rotating a sector
+// clockwise (increasing its start angle α) never loses a covered customer
+// until α passes some covered customer's angle, so there is always an
+// optimal solution in which every sector's start angle coincides with a
+// customer angle — except in the disjoint variant, where a sector may
+// instead be packed flush against its predecessor, forming "chains"
+// anchored at a customer angle (see SolveDisjoint).
+package angular
+
+import (
+	"sort"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// Candidates returns the candidate start angles for the given antenna:
+// the angles of all customers radially within reach, deduplicated and
+// sorted ascending. By the candidate-orientation lemma these suffice for
+// optimality in the Sectors and Angles variants.
+func Candidates(in *model.Instance, antenna int) []float64 {
+	a := in.Antennas[antenna]
+	out := make([]float64, 0, in.N())
+	for _, c := range in.Customers {
+		if a.InRange(c) {
+			out = append(out, c.Theta)
+		}
+	}
+	sort.Float64s(out)
+	return dedupAngles(out)
+}
+
+// dedupAngles removes duplicates (within geom.Eps) from a sorted slice.
+func dedupAngles(sorted []float64) []float64 {
+	if len(sorted) == 0 {
+		return sorted
+	}
+	out := sorted[:1]
+	for _, a := range sorted[1:] {
+		if a-out[len(out)-1] > geom.Eps {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Covered returns the indices of customers covered by the antenna when
+// oriented at alpha, skipping customers for which active[i] is false
+// (active == nil means all customers are active).
+func Covered(in *model.Instance, antenna int, alpha float64, active []bool) []int {
+	a := in.Antennas[antenna]
+	var out []int
+	for i, c := range in.Customers {
+		if active != nil && !active[i] {
+			continue
+		}
+		if a.Covers(alpha, c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WindowItems converts the covered customers of an oriented antenna into
+// knapsack items, returning the items and the parallel customer indices.
+func WindowItems(in *model.Instance, antenna int, alpha float64, active []bool) ([]knapsack.Item, []int) {
+	ids := Covered(in, antenna, alpha, active)
+	items := make([]knapsack.Item, len(ids))
+	for k, i := range ids {
+		items[k] = knapsack.Item{Weight: in.Customers[i].Demand, Profit: in.Customers[i].Profit}
+	}
+	return items, ids
+}

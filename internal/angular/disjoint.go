@@ -1,0 +1,374 @@
+package angular
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// MaxDisjointAntennas bounds the antenna count SolveDisjoint accepts: the
+// dynamic program is exponential in m (it tracks the set of antennas
+// already placed).
+const MaxDisjointAntennas = 6
+
+// startAnchored marks a chain whose head window begins at the anchor
+// customer's angle; mode values >= 0 name the head antenna of an
+// end-anchored chain (whose head window *ends* at the anchor customer).
+const startAnchored = -1
+
+// boundaryNudge shifts end-anchored chain starts forward by a hair so the
+// anchor customer falls strictly inside the head's half-open window and
+// strictly outside the flush follower's: 2·Eps clears the membership
+// tolerance band on both sides.
+const boundaryNudge = 2 * geom.Eps
+
+// SolveDisjoint solves the DisjointAngles variant exactly (for instances in
+// general position, see below) by a dynamic program over "chains".
+//
+// Structure theorem [reconstruction]: shift every sector of an optimal
+// disjoint solution counterclockwise (decreasing its start angle α) until
+// blocked. A sector stops either because decreasing α further would lose a
+// covered customer — then its END sits at that customer's angle
+// ("end-anchored", α = θ_x − ρ) — or because it hits the end of the
+// preceding sector ("flush"). Sectors therefore form chains: maximal flush
+// runs whose head is end-anchored at a customer angle. (The mirrored
+// clockwise argument yields start-anchored chain tails; the DP enumerates
+// end-anchored heads plus, for robustness, plain start-anchored heads.)
+//
+// The DP cuts the circle at every candidate chain start; in the cut's
+// linear domain it scans the sorted chain-start events — (customer angle,
+// start-anchored) and (customer angle − antenna width, end-anchored) pairs
+// — deciding at each event whether a chain begins there and with which
+// ordered antenna set it extends; each placed sector's content is an exact
+// knapsack over the customers in its half-open angular window. Scanning by
+// chain START (not anchor) keeps the invariant that every placed window
+// lies at or after the previous chain's frontier, so windows never overlap
+// and no customer is double-counted.
+//
+// General position: a customer lying exactly at a chain junction (an
+// anchor angle plus/minus a sum of antenna widths) is credited to exactly
+// one adjacent sector, which can in principle lose optimality in contrived
+// ties; random instances never trigger this. Zero-width antennas are
+// rejected.
+//
+// Complexity: O(n²·m²·3^m·K) where K is the per-window knapsack cost.
+func SolveDisjoint(in *model.Instance, opt knapsack.Options) (model.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return model.Solution{}, fmt.Errorf("angular: SolveDisjoint: %w", err)
+	}
+	if in.Variant != model.DisjointAngles {
+		return model.Solution{}, fmt.Errorf("angular: SolveDisjoint requires variant %v, got %v", model.DisjointAngles, in.Variant)
+	}
+	m := in.M()
+	if m > MaxDisjointAntennas {
+		return model.Solution{}, fmt.Errorf("angular: SolveDisjoint limited to %d antennas, got %d", MaxDisjointAntennas, m)
+	}
+	for j, a := range in.Antennas {
+		if a.Rho <= geom.Eps {
+			return model.Solution{}, fmt.Errorf("angular: SolveDisjoint rejects zero-width antenna %d", j)
+		}
+	}
+	n := in.N()
+	sol := model.Solution{Algorithm: "disjoint-dp", Assignment: model.NewAssignment(n, m)}
+	if n == 0 || m == 0 {
+		return sol, nil
+	}
+
+	// Cut candidates are all possible chain starts.
+	cutSet := make([]float64, 0, n*(m+1))
+	for _, c := range in.Customers {
+		cutSet = append(cutSet, c.Theta)
+		for _, a := range in.Antennas {
+			cutSet = append(cutSet, geom.NormAngle(c.Theta-a.Rho+boundaryNudge))
+		}
+	}
+	sort.Float64s(cutSet)
+	cuts := dedupAngles(cutSet)
+
+	best := int64(-1)
+	var bestAssign *model.Assignment
+	for _, cut := range cuts {
+		p, as := solveCut(in, cut, opt)
+		if p > best {
+			best = p
+			bestAssign = as
+		}
+	}
+	if bestAssign != nil {
+		sol.Assignment = bestAssign
+		sol.Profit = best
+	}
+	return sol, nil
+}
+
+// event is a candidate chain start in cut coordinates.
+type event struct {
+	start float64
+	mode  int // startAnchored or the end-anchored head antenna
+}
+
+// cutDP holds the per-cut state of the chain dynamic program.
+type cutDP struct {
+	in  *model.Instance
+	opt knapsack.Options
+	cut float64
+
+	d      []float64 // d[i] = clockwise distance from the cut to customer i
+	events []event   // chain-start candidates sorted by start
+	m      int
+
+	// g memo over (eventIdx, used).
+	gVal  []int64
+	gSeen []bool
+
+	// window value cache: key = (eventIdx, chainMask, antenna).
+	winCache map[winKey]winVal
+}
+
+type winKey struct {
+	event int
+	chain int
+	ant   int
+}
+
+type winVal struct {
+	profit int64
+	take   []int // customer indices served
+}
+
+// solveCut runs the chain DP for one cut and reconstructs the assignment.
+func solveCut(in *model.Instance, cut float64, opt knapsack.Options) (int64, *model.Assignment) {
+	n, m := in.N(), in.M()
+	dp := &cutDP{in: in, opt: opt, cut: cut, m: m, winCache: make(map[winKey]winVal)}
+	dp.d = make([]float64, n)
+	for i, c := range in.Customers {
+		dp.d[i] = geom.AngleDist(cut, c.Theta)
+	}
+	for i := range in.Customers {
+		dp.events = append(dp.events, event{start: dp.d[i], mode: startAnchored})
+		for h := 0; h < m; h++ {
+			cs := dp.d[i] - in.Antennas[h].Rho + boundaryNudge
+			if cs >= -geom.Eps {
+				if cs < 0 {
+					cs = 0
+				}
+				dp.events = append(dp.events, event{start: cs, mode: h})
+			}
+		}
+	}
+	sort.Slice(dp.events, func(a, b int) bool {
+		if dp.events[a].start != dp.events[b].start {
+			return dp.events[a].start < dp.events[b].start
+		}
+		return dp.events[a].mode < dp.events[b].mode
+	})
+	dp.events = dedupEvents(dp.events)
+
+	nState := (len(dp.events) + 1) * (1 << m)
+	dp.gVal = make([]int64, nState)
+	dp.gSeen = make([]bool, nState)
+
+	total := dp.g(0, 0)
+
+	as := model.NewAssignment(n, m)
+	dp.reconstruct(0, 0, as)
+	return total, as
+}
+
+// dedupEvents removes (start, mode) duplicates within Eps of each other.
+func dedupEvents(evs []event) []event {
+	if len(evs) == 0 {
+		return evs
+	}
+	out := evs[:1]
+	for _, e := range evs[1:] {
+		last := out[len(out)-1]
+		if e.mode == last.mode && e.start-last.start <= geom.Eps {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// g is the event-scan value function: best profit obtainable from events
+// eIdx onward with the antenna set `used` already consumed, given that the
+// previous frontier lies at or before events[eIdx].start.
+func (dp *cutDP) g(eIdx, used int) int64 {
+	if eIdx >= len(dp.events) {
+		return 0
+	}
+	key := eIdx*(1<<dp.m) + used
+	if dp.gSeen[key] {
+		return dp.gVal[key]
+	}
+	// Option 1: no chain starts at this event.
+	best := dp.g(eIdx+1, used)
+	// Option 2: start a chain here (the event's mode constrains the head).
+	ev := dp.events[eIdx]
+	if ev.mode == startAnchored || used&(1<<ev.mode) == 0 {
+		if v := dp.chain(eIdx, 0, used); v > best {
+			best = v
+		}
+	}
+	dp.gSeen[key] = true
+	dp.gVal[key] = best
+	return best
+}
+
+// chain explores extensions of the chain rooted at events[eIdx] with
+// chainMask already placed (frontier = event start + width sum); used is
+// the global consumed set. It returns the best profit from the frontier
+// onward, including the option of ending the chain.
+func (dp *cutDP) chain(eIdx, chainMask, used int) int64 {
+	ev := dp.events[eIdx]
+	frontier := ev.start + dp.width(chainMask)
+	// Ending the chain resumes the event scan at the first event at or
+	// after the frontier. An empty chain may not "end" — that would
+	// re-enter g at the same event (g's skip option covers it); it must
+	// place at least one antenna to count as a chain.
+	best := int64(math.MinInt64 / 4)
+	if chainMask != 0 {
+		best = dp.g(dp.nextEvent(frontier), used)
+	}
+	for j := 0; j < dp.m; j++ {
+		if used&(1<<j) != 0 {
+			continue
+		}
+		// An end-anchored chain's first window must belong to the head
+		// antenna — the anchor sits at ITS end.
+		if chainMask == 0 && ev.mode != startAnchored && j != ev.mode {
+			continue
+		}
+		end := frontier + dp.in.Antennas[j].Rho
+		if end > geom.TwoPi+geom.Eps {
+			continue // would wrap past the cut
+		}
+		wv := dp.window(eIdx, chainMask, j)
+		if v := wv.profit + dp.chain(eIdx, chainMask|1<<j, used|1<<j); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// width sums the angular widths of the antennas in mask.
+func (dp *cutDP) width(mask int) float64 {
+	var w float64
+	for j := 0; j < dp.m; j++ {
+		if mask&(1<<j) != 0 {
+			w += dp.in.Antennas[j].Rho
+		}
+	}
+	return w
+}
+
+// nextEvent returns the first event index with start >= x - Eps.
+func (dp *cutDP) nextEvent(x float64) int {
+	return sort.Search(len(dp.events), func(k int) bool {
+		return dp.events[k].start >= x-geom.Eps
+	})
+}
+
+// window computes (with caching) the exact knapsack over the customers in
+// the half-open window [start, start+ρ_j) where start = event start +
+// width of the chain so far. The half-open end credits junction customers
+// to the later flush sector, keeping windows within a chain disjoint; the
+// boundaryNudge on end-anchored events places the anchor customer strictly
+// inside its head window.
+func (dp *cutDP) window(eIdx, chainMask, j int) winVal {
+	key := winKey{event: eIdx, chain: chainMask, ant: j}
+	if v, ok := dp.winCache[key]; ok {
+		return v
+	}
+	start := dp.events[eIdx].start + dp.width(chainMask)
+	end := start + dp.in.Antennas[j].Rho
+	var items []knapsack.Item
+	var ids []int
+	ant := dp.in.Antennas[j]
+	for i := range dp.in.Customers {
+		if !ant.InRange(dp.in.Customers[i]) {
+			continue // annulus-sector exclusion (MinRange)
+		}
+		di := dp.d[i]
+		if di >= start-geom.Eps && di < end-geom.Eps {
+			items = append(items, knapsack.Item{
+				Weight: dp.in.Customers[i].Demand,
+				Profit: dp.in.Customers[i].Profit,
+			})
+			ids = append(ids, i)
+		}
+	}
+	v := winVal{}
+	if len(items) > 0 {
+		res, _, err := knapsack.Solve(items, dp.in.Antennas[j].Capacity, dp.opt)
+		if err == nil {
+			v.profit = res.Profit
+			for k, take := range res.Take {
+				if take {
+					v.take = append(v.take, ids[k])
+				}
+			}
+		}
+	}
+	dp.winCache[key] = v
+	return v
+}
+
+// reconstruct replays the argmax decisions of g/chain into the assignment.
+func (dp *cutDP) reconstruct(eIdx, used int, as *model.Assignment) {
+	for eIdx < len(dp.events) {
+		target := dp.g(eIdx, used)
+		if dp.g(eIdx+1, used) == target {
+			eIdx++
+			continue
+		}
+		ev := dp.events[eIdx]
+		// Replay the chain rooted at this event.
+		chainMask := 0
+		for {
+			frontier := ev.start + dp.width(chainMask)
+			target = dp.chain(eIdx, chainMask, used)
+			if chainMask != 0 && dp.g(dp.nextEvent(frontier), used) == target {
+				// Chain ends; resume the scan.
+				eIdx = dp.nextEvent(frontier)
+				break
+			}
+			placed := false
+			for j := 0; j < dp.m; j++ {
+				if used&(1<<j) != 0 {
+					continue
+				}
+				if chainMask == 0 && ev.mode != startAnchored && j != ev.mode {
+					continue
+				}
+				end := frontier + dp.in.Antennas[j].Rho
+				if end > geom.TwoPi+geom.Eps {
+					continue
+				}
+				wv := dp.window(eIdx, chainMask, j)
+				if wv.profit+dp.chain(eIdx, chainMask|1<<j, used|1<<j) == target {
+					as.Orientation[j] = geom.NormAngle(dp.cut + frontier)
+					for _, i := range wv.take {
+						as.Owner[i] = j
+					}
+					chainMask |= 1 << j
+					used |= 1 << j
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				// Numerical tie fell through; end the chain defensively.
+				eIdx = dp.nextEvent(frontier)
+				break
+			}
+		}
+	}
+	// Idle antennas keep orientation 0 and serve nobody; the feasibility
+	// checker exempts them from disjointness.
+}

@@ -1,0 +1,107 @@
+package angular
+
+import (
+	"sort"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+// Sweep enumerates all candidate windows of one antenna with a rotating
+// two-pointer over the customers sorted by angle: across the whole
+// enumeration each customer enters and leaves the window once, so building
+// every window's member list costs O(total member count) instead of the
+// naive O(n) scan per candidate.
+//
+// General position caveat: a customer strictly less than geom.Eps *behind*
+// a window's start angle (and not exactly at it) is treated as outside,
+// whereas the tolerant geometric test would include it; such
+// configurations only arise from sub-Eps angular gaps, which the
+// generators never produce and real inputs cannot meaningfully encode.
+type Sweep struct {
+	thetas []float64 // sorted angles of in-range customers
+	ids    []int     // customer index per sorted position
+	rho    float64
+}
+
+// NewSweep prepares the sweep for one antenna: customers outside the
+// antenna's radial range are dropped here once, rather than per window.
+func NewSweep(in *model.Instance, antenna int) *Sweep {
+	a := in.Antennas[antenna]
+	s := &Sweep{rho: a.Rho}
+	for i, c := range in.Customers {
+		if a.InRange(c) {
+			s.ids = append(s.ids, i)
+			s.thetas = append(s.thetas, c.Theta)
+		}
+	}
+	sort.Sort(byTheta{s})
+	return s
+}
+
+// byTheta sorts ids and thetas together.
+type byTheta struct{ s *Sweep }
+
+func (b byTheta) Len() int           { return len(b.s.ids) }
+func (b byTheta) Less(i, j int) bool { return b.s.thetas[i] < b.s.thetas[j] }
+func (b byTheta) Swap(i, j int) {
+	b.s.thetas[i], b.s.thetas[j] = b.s.thetas[j], b.s.thetas[i]
+	b.s.ids[i], b.s.ids[j] = b.s.ids[j], b.s.ids[i]
+}
+
+// Len returns the number of in-range customers.
+func (s *Sweep) Len() int { return len(s.ids) }
+
+// ForEach calls fn for every distinct candidate window (start angle =
+// some customer angle, deduplicated within geom.Eps) with the customer
+// indices inside [alpha, alpha+rho]. The ids slice is reused between
+// calls — callers must copy if they retain it. Returning false stops the
+// enumeration early.
+func (s *Sweep) ForEach(fn func(alpha float64, ids []int) bool) {
+	n := len(s.ids)
+	if n == 0 {
+		return
+	}
+	buf := make([]int, 0, n)
+	e := 0 // exclusive end pointer in doubled-index space
+	for start := 0; start < n; start++ {
+		if start > 0 && s.thetas[start]-s.thetas[start-1] <= geom.Eps {
+			continue // duplicate candidate angle
+		}
+		if e < start+1 {
+			e = start + 1 // the window always contains its own start
+		}
+		for e < start+n {
+			theta := s.thetas[e%n]
+			if geom.AngleDist(s.thetas[start], theta) <= s.rho+geom.Eps {
+				e++
+			} else {
+				break
+			}
+		}
+		buf = buf[:0]
+		for k := start; k < e; k++ {
+			buf = append(buf, s.ids[k%n])
+		}
+		if !fn(s.thetas[start], buf) {
+			return
+		}
+	}
+}
+
+// windowSets returns every candidate window as (alpha, member ids) pairs
+// with the active mask applied; used by BestWindow.
+func (s *Sweep) windowSets(active []bool) (alphas []float64, members [][]int) {
+	s.ForEach(func(alpha float64, ids []int) bool {
+		kept := make([]int, 0, len(ids))
+		for _, i := range ids {
+			if active == nil || active[i] {
+				kept = append(kept, i)
+			}
+		}
+		alphas = append(alphas, alpha)
+		members = append(members, kept)
+		return true
+	})
+	return alphas, members
+}

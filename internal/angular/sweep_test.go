@@ -1,0 +1,111 @@
+package angular
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sectorpack/internal/model"
+)
+
+// TestSweepMatchesCoveredScan cross-checks the rotating sweep against the
+// naive per-candidate scan on random general-position instances.
+func TestSweepMatchesCoveredScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		in := randInstance(rng, 1+rng.Intn(30), 1, model.Sectors)
+		sw := NewSweep(in, 0)
+		seen := 0
+		sw.ForEach(func(alpha float64, ids []int) bool {
+			seen++
+			want := Covered(in, 0, alpha, nil)
+			got := append([]int(nil), ids...)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("window at %v: sweep %v vs scan %v", alpha, got, want)
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("window at %v: sweep %v vs scan %v", alpha, got, want)
+				}
+			}
+			return true
+		})
+		wantCands := len(Candidates(in, 0))
+		if seen != wantCands {
+			t.Fatalf("sweep enumerated %d windows, candidates say %d", seen, wantCands)
+		}
+	}
+}
+
+func TestSweepFullCircleWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	in := randInstance(rng, 12, 1, model.Angles)
+	in.Antennas[0].Rho = 6.28318 // ~2π: every window covers everyone
+	sw := NewSweep(in, 0)
+	sw.ForEach(func(alpha float64, ids []int) bool {
+		if len(ids) != in.N() {
+			t.Fatalf("full-circle window covers %d/%d", len(ids), in.N())
+		}
+		return true
+	})
+}
+
+func TestSweepRangeFilter(t *testing.T) {
+	in := instWith(
+		[]model.Customer{
+			{Theta: 0.1, R: 1, Demand: 1},
+			{Theta: 0.2, R: 100, Demand: 1}, // out of range
+		},
+		[]model.Antenna{{Rho: 1, Range: 5, Capacity: 5}},
+		model.Sectors,
+	)
+	sw := NewSweep(in, 0)
+	if sw.Len() != 1 {
+		t.Fatalf("sweep kept %d customers, want 1", sw.Len())
+	}
+}
+
+func TestSweepEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	in := randInstance(rng, 10, 1, model.Sectors)
+	calls := 0
+	NewSweep(in, 0).ForEach(func(float64, []int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	in := instWith(nil, []model.Antenna{{Rho: 1, Range: 5, Capacity: 5}}, model.Sectors)
+	NewSweep(in, 0).ForEach(func(float64, []int) bool {
+		t.Fatal("no windows expected")
+		return true
+	})
+}
+
+func TestSweepActiveMaskInWindowSets(t *testing.T) {
+	in := instWith(
+		[]model.Customer{
+			{Theta: 0.1, R: 1, Demand: 1},
+			{Theta: 0.2, R: 1, Demand: 1},
+		},
+		[]model.Antenna{{Rho: 1, Range: 5, Capacity: 5}},
+		model.Sectors,
+	)
+	alphas, members := NewSweep(in, 0).windowSets([]bool{true, false})
+	if len(alphas) != 2 {
+		t.Fatalf("windows = %d, want 2", len(alphas))
+	}
+	for k, ids := range members {
+		for _, i := range ids {
+			if i == 1 {
+				t.Fatalf("window %d contains masked customer", k)
+			}
+		}
+	}
+}

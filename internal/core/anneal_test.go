@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/exact"
+	"sectorpack/internal/model"
+)
+
+func TestAnnealFeasibleAndDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	variants := []model.Variant{model.Sectors, model.Angles, model.DisjointAngles}
+	for trial := 0; trial < 12; trial++ {
+		in := randInstance(rng, 10+rng.Intn(20), 1+rng.Intn(3), variants[trial%3])
+		g, err := SolveGreedy(in, Options{Seed: 1, SkipBound: true})
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		a, err := SolveAnneal(in, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("anneal: %v", err)
+		}
+		checkSolution(t, in, a)
+		if a.Profit < g.Profit {
+			t.Fatalf("anneal %d < greedy %d (best-so-far must dominate)", a.Profit, g.Profit)
+		}
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	in := randInstance(rng, 18, 2, model.Sectors)
+	a, err := SolveAnneal(in, Options{Seed: 9})
+	if err != nil {
+		t.Fatalf("anneal: %v", err)
+	}
+	b, err := SolveAnneal(in, Options{Seed: 9})
+	if err != nil {
+		t.Fatalf("anneal: %v", err)
+	}
+	if a.Profit != b.Profit {
+		t.Fatalf("anneal not deterministic: %d vs %d", a.Profit, b.Profit)
+	}
+}
+
+func TestAnnealNeverExceedsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 8; trial++ {
+		in := randInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
+		a, err := SolveAnneal(in, Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("anneal: %v", err)
+		}
+		checkSolution(t, in, a)
+		opt, err := exact.Solve(in, exact.Limits{})
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		if a.Profit > opt.Profit {
+			t.Fatalf("anneal %d exceeds exact optimum %d — feasibility bug", a.Profit, opt.Profit)
+		}
+	}
+}
+
+func TestAnnealEmptyInstance(t *testing.T) {
+	in := (&model.Instance{Variant: model.Angles}).Normalize()
+	sol, err := SolveAnneal(in, Options{})
+	if err != nil || sol.Profit != 0 {
+		t.Fatalf("empty: %d, %v", sol.Profit, err)
+	}
+}
+
+func TestAnnealRegistered(t *testing.T) {
+	if _, err := Get("anneal"); err != nil {
+		t.Fatalf("anneal not registered: %v", err)
+	}
+}

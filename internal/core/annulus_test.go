@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/angular"
+	"sectorpack/internal/exact"
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// annulusInstance places half the customers inside the dead zone.
+func annulusInstance() *model.Instance {
+	in := &model.Instance{
+		Variant: model.Sectors,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 0.5, Demand: 5}, // dead zone
+			{Theta: 0.2, R: 3.0, Demand: 4},
+			{Theta: 0.3, R: 0.8, Demand: 6}, // dead zone
+			{Theta: 0.4, R: 4.0, Demand: 3},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Range: 6, MinRange: 1, Capacity: 20}},
+	}
+	return in.Normalize()
+}
+
+func TestAnnulusExcludesDeadZone(t *testing.T) {
+	in := annulusInstance()
+	for _, name := range []string{"greedy", "localsearch", "lpround", "anneal", "exact"} {
+		solver, _ := Get(name)
+		sol, err := solver(in, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkSolution(t, in, sol)
+		if sol.Profit != 7 {
+			t.Errorf("%s: profit %d, want 7 (dead-zone customers unservable)", name, sol.Profit)
+		}
+		for _, i := range []int{0, 2} {
+			if sol.Assignment.Owner[i] != model.Unassigned {
+				t.Errorf("%s: dead-zone customer %d was served", name, i)
+			}
+		}
+	}
+}
+
+func TestAnnulusGreedyMatchesExactRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(rng, 3+rng.Intn(7), 1+rng.Intn(2), model.Sectors)
+		for j := range in.Antennas {
+			in.Antennas[j].MinRange = 1 + rng.Float64()*2
+		}
+		g, err := SolveGreedy(in, Options{SkipBound: true})
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		checkSolution(t, in, g)
+		ex, err := exact.Solve(in, exact.Limits{})
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		if 2*g.Profit < ex.Profit {
+			t.Fatalf("greedy %d < OPT/2 (%d) under annulus constraint", g.Profit, ex.Profit)
+		}
+	}
+}
+
+func TestAnnulusDisjointDP(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.DisjointAngles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 0.5, Demand: 9}, // dead zone: must stay unserved
+			{Theta: 0.2, R: 3.0, Demand: 4},
+			{Theta: 2.5, R: 5.0, Demand: 3},
+		},
+		Antennas: []model.Antenna{
+			{Rho: 1, Capacity: 10, MinRange: 1},
+			{Rho: 1, Capacity: 10, MinRange: 1},
+		},
+	}
+	in.Normalize()
+	sol, err := angular.SolveDisjoint(in, knapsack.Options{})
+	if err != nil {
+		t.Fatalf("SolveDisjoint: %v", err)
+	}
+	if err := sol.Assignment.Check(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if sol.Profit != 7 {
+		t.Fatalf("profit = %d, want 7", sol.Profit)
+	}
+}
+
+func TestAnnulusValidation(t *testing.T) {
+	in := annulusInstance()
+	in.Antennas[0].MinRange = 7 // exceeds range 6
+	if err := in.Validate(); err == nil {
+		t.Error("min range above range must be rejected")
+	}
+	in.Antennas[0].MinRange = -1
+	if err := in.Validate(); err == nil {
+		t.Error("negative min range must be rejected")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sectorpack/internal/angular"
+	"sectorpack/internal/exact"
+	"sectorpack/internal/mkp"
+	"sectorpack/internal/model"
+)
+
+// autoExactLimit is the instance size (customers) up to which SolveAuto
+// prefers provably exact methods.
+const autoExactLimit = 12
+
+// SolveAuto picks the strongest affordable solver for the instance:
+//
+//   - tiny instances (n ≤ 12, small orientation space): exhaustive exact;
+//   - DisjointAngles with few antennas: the exact chain DP;
+//   - unit demands (Sectors/Angles): the flow solver (exact for m = 1);
+//   - everything else: localsearch (greedy + polish).
+//
+// The chosen strategy is reported in Solution.Algorithm (prefixed with
+// "auto/"), so callers can see what ran.
+func SolveAuto(in *model.Instance, opt Options) (model.Solution, error) {
+	if err := validateForSolve(in); err != nil {
+		return model.Solution{}, err
+	}
+	sol, err := dispatchAuto(in, opt)
+	if err != nil {
+		return model.Solution{}, err
+	}
+	sol.Algorithm = "auto/" + sol.Algorithm
+	return sol, nil
+}
+
+func dispatchAuto(in *model.Instance, opt Options) (model.Solution, error) {
+	n, m := in.N(), in.M()
+	if in.Variant == model.DisjointAngles {
+		if m <= angular.MaxDisjointAntennas && n <= 40 && noZeroWidth(in) {
+			return angular.SolveDisjoint(in, opt.Knapsack)
+		}
+		return SolveLocalSearch(in, opt)
+	}
+	if n <= autoExactLimit && n <= mkp.MaxExactItems && m <= 2 {
+		return exact.SolveParallel(in, exact.Limits{}, 0)
+	}
+	if in.UnitDemand() && n > 0 {
+		return SolveUnitFlow(in, opt)
+	}
+	return SolveLocalSearch(in, opt)
+}
+
+func noZeroWidth(in *model.Instance) bool {
+	for _, a := range in.Antennas {
+		if a.Rho <= 1e-9 {
+			return false
+		}
+	}
+	return true
+}

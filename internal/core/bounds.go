@@ -1,0 +1,38 @@
+package core
+
+import (
+	"sectorpack/internal/angular"
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// UpperBound returns a certified upper bound on the optimal profit: the
+// minimum of the total profit and the sum over antennas of the best
+// fractional-knapsack (Dantzig) value over all candidate orientations.
+//
+// Validity: an optimal solution serves disjoint customer sets S_j, and each
+// S_j is contained in some candidate window of antenna j with total demand
+// at most C_j, so profit(S_j) is at most the Dantzig bound of that window;
+// summing over j gives the bound. Disjointness constraints only shrink the
+// optimum, so the bound also holds for DisjointAngles.
+func UpperBound(in *model.Instance) float64 {
+	total := float64(in.TotalProfit())
+	var sum float64
+	for j := range in.Antennas {
+		best := 0.0
+		for _, alpha := range angular.Candidates(in, j) {
+			items, _ := angular.WindowItems(in, j, alpha, nil)
+			if len(items) == 0 {
+				continue
+			}
+			if b := knapsack.FractionalBound(items, in.Antennas[j].Capacity); b > best {
+				best = b
+			}
+		}
+		sum += best
+	}
+	if sum < total {
+		return sum
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sectorpack/internal/angular"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// SolveGreedy is the successive best-window heuristic: antennas are
+// processed in decreasing capacity order; each picks the orientation and
+// customer subset maximizing its own profit over the still-unserved
+// customers (candidate-orientation enumeration with a knapsack per
+// candidate), and the served customers are removed.
+//
+// Guarantee sketch [reconstruction]: with an exact inner knapsack this is
+// the successive-knapsack heuristic — each step captures at least a 1/m
+// fraction of what the optimum still could, giving 1−(1−1/m)^m ≥ 1−1/e for
+// identical antennas; with the FPTAS inner solver the factor picks up the
+// usual (1−ε). Under DisjointAngles the candidate set per step is filtered
+// to orientations whose sector keeps clear of previously placed serving
+// sectors (and the ends of placed sectors join the candidate set, so the
+// greedy can pack flush chains too).
+func SolveGreedy(in *model.Instance, opt Options) (model.Solution, error) {
+	return SolveGreedyOrdered(in, opt, nil)
+}
+
+// SolveGreedyOrdered is SolveGreedy with an explicit antenna processing
+// order (indices into the antenna slice); nil means the default
+// capacity-descending order. Exposed for the order-ablation experiment.
+func SolveGreedyOrdered(in *model.Instance, opt Options, order []int) (model.Solution, error) {
+	if err := validateForSolve(in); err != nil {
+		return model.Solution{}, err
+	}
+	n, m := in.N(), in.M()
+	as := model.NewAssignment(n, m)
+	sol := model.Solution{Algorithm: "greedy", Assignment: as}
+
+	if order == nil {
+		order = make([]int, m)
+		for j := range order {
+			order[j] = j
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return in.Antennas[order[a]].Capacity > in.Antennas[order[b]].Capacity
+		})
+	} else if len(order) != m {
+		return model.Solution{}, fmt.Errorf("core: order has %d entries for %d antennas", len(order), m)
+	}
+
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	var placed []geom.Interval // serving sectors placed so far (DisjointAngles)
+
+	for _, j := range order {
+		win, err := bestWindowConstrained(in, j, active, placed, opt.Knapsack)
+		if err != nil {
+			return model.Solution{}, err
+		}
+		if len(win.Customers) == 0 {
+			continue
+		}
+		as.Orientation[j] = win.Alpha
+		for _, i := range win.Customers {
+			as.Owner[i] = j
+			active[i] = false
+		}
+		sol.Profit += win.Profit
+		if in.Variant == model.DisjointAngles {
+			placed = append(placed, geom.NewInterval(win.Alpha, in.Antennas[j].Rho))
+		}
+	}
+	if !opt.SkipBound {
+		sol.UpperBound = UpperBound(in)
+	}
+	return sol, nil
+}
+
+// bestWindowConstrained is angular.BestWindow extended with the
+// DisjointAngles placement constraint: the window's sector interior must
+// not intersect any already placed serving sector. The candidate set is
+// augmented with the ends of placed sectors so flush packing is reachable.
+func bestWindowConstrained(in *model.Instance, antenna int, active []bool, placed []geom.Interval, kopt knapsack.Options) (angular.Window, error) {
+	if placed == nil {
+		return angular.BestWindow(in, antenna, active, kopt)
+	}
+	rho := in.Antennas[antenna].Rho
+	cands := angular.Candidates(in, antenna)
+	for _, iv := range placed {
+		cands = append(cands, iv.End())
+	}
+	best := angular.Window{Profit: -1, Exact: true}
+	for _, alpha := range cands {
+		sector := geom.NewInterval(alpha, rho)
+		ok := true
+		for _, iv := range placed {
+			if sector.InteriorsOverlap(iv) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		items, ids := angular.WindowItems(in, antenna, alpha, active)
+		if len(items) == 0 {
+			continue
+		}
+		res, exact, err := knapsack.Solve(items, in.Antennas[antenna].Capacity, kopt)
+		if err != nil {
+			return angular.Window{}, err
+		}
+		if res.Profit > best.Profit {
+			w := angular.Window{Alpha: alpha, Profit: res.Profit, Exact: best.Exact && exact}
+			for k, take := range res.Take {
+				if take {
+					w.Customers = append(w.Customers, ids[k])
+				}
+			}
+			best = w
+		} else {
+			best.Exact = best.Exact && exact
+		}
+	}
+	if best.Profit < 0 {
+		best.Profit = 0
+		best.Customers = nil
+	}
+	return best, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/mkp"
+	"sectorpack/internal/model"
+)
+
+// SolveLPRound fixes orientations with a greedy pass, then re-optimizes the
+// customer-to-antenna assignment globally: it solves the fractional
+// assignment LP at those orientations, rounds randomly (best of
+// Options.RoundTrials), and repairs with local search. It strictly
+// dominates plain greedy at the same orientations whenever rounding finds
+// a better global assignment; the returned UpperBound is the instance-wide
+// bound from UpperBound (the per-orientation LP value is NOT a bound on the
+// true optimum, which may orient differently).
+func SolveLPRound(in *model.Instance, opt Options) (model.Solution, error) {
+	greedy, err := SolveGreedy(in, opt)
+	if err != nil {
+		return model.Solution{}, err
+	}
+	n, m := in.N(), in.M()
+	sol := model.Solution{
+		Algorithm:  "lpround",
+		Assignment: greedy.Assignment.Clone(),
+		Profit:     greedy.Profit,
+		UpperBound: greedy.UpperBound,
+	}
+	if n == 0 || m == 0 {
+		return sol, nil
+	}
+	// Build the restricted MKP at the greedy orientations.
+	p := &mkp.Problem{
+		Items:      make([]knapsack.Item, n),
+		Capacities: make([]int64, m),
+		Eligible:   make([][]bool, n),
+	}
+	for i, c := range in.Customers {
+		p.Items[i] = knapsack.Item{Weight: c.Demand, Profit: c.Profit}
+		p.Eligible[i] = make([]bool, m)
+	}
+	for j, a := range in.Antennas {
+		p.Capacities[j] = a.Capacity
+		for i, c := range in.Customers {
+			covers := a.Covers(sol.Assignment.Orientation[j], c)
+			if in.Variant == model.DisjointAngles {
+				// Only antennas the greedy actually uses hold a cleared
+				// sector; letting an idle antenna pick up customers could
+				// violate disjointness.
+				covers = covers && usedBy(greedy.Assignment, j)
+			}
+			p.Eligible[i][j] = covers
+		}
+	}
+	_, x, err := mkp.LPRelax(p)
+	if err != nil {
+		return model.Solution{}, err
+	}
+	rounded, err := mkp.RoundLP(p, x, opt.rng(), opt.roundTrials())
+	if err != nil {
+		return model.Solution{}, err
+	}
+	if rounded.Profit > sol.Profit {
+		for i, b := range rounded.Bin {
+			if b == mkp.Unassigned {
+				sol.Assignment.Owner[i] = model.Unassigned
+			} else {
+				sol.Assignment.Owner[i] = b
+			}
+		}
+		sol.Profit = rounded.Profit
+	}
+	return sol, nil
+}
+
+// usedBy reports whether antenna j serves at least one customer.
+func usedBy(as *model.Assignment, j int) bool {
+	for _, owner := range as.Owner {
+		if owner == j {
+			return true
+		}
+	}
+	return false
+}

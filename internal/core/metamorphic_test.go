@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+// rotate returns a copy of the instance with every customer angle shifted
+// by delta. The problem is rotation-invariant, so every solver's PROFIT
+// must be unchanged (orientations shift along; candidate enumeration is
+// rotation-covariant).
+func rotate(in *model.Instance, delta float64) *model.Instance {
+	out := in.Clone()
+	for i := range out.Customers {
+		out.Customers[i].Theta = geom.NormAngle(out.Customers[i].Theta + delta)
+	}
+	return out
+}
+
+// reflect returns the instance mirrored through the x-axis (θ → −θ).
+// Reflection maps sectors to sectors (with swapped boundary roles), so
+// exact optima are invariant; greedy-family solvers are too, because every
+// candidate family used is closed under the induced transformation's
+// optimal-solution image — which the test verifies empirically.
+func reflect(in *model.Instance) *model.Instance {
+	out := in.Clone()
+	for i := range out.Customers {
+		out.Customers[i].Theta = geom.NormAngle(-out.Customers[i].Theta)
+	}
+	return out
+}
+
+func TestRotationInvarianceAllSolvers(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	solvers := []string{"greedy", "localsearch", "lpround", "anneal"}
+	for trial := 0; trial < 8; trial++ {
+		in := randInstance(rng, 10+rng.Intn(15), 1+rng.Intn(3), model.Sectors)
+		delta := rng.Float64() * geom.TwoPi
+		rot := rotate(in, delta)
+		for _, name := range solvers {
+			solver, _ := Get(name)
+			a, err := solver(in, Options{Seed: 3, SkipBound: true})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			b, err := solver(rot, Options{Seed: 3, SkipBound: true})
+			if err != nil {
+				t.Fatalf("%s rotated: %v", name, err)
+			}
+			// Greedy-family solvers are rotation-invariant only modulo
+			// tie-breaking: rotation permutes the candidate evaluation
+			// order, equal-profit windows with different customer sets
+			// may win, and the difference cascades. The principled
+			// metamorphic assertion uses the 1/2 guarantee: both runs
+			// approximate the SAME (rotation-invariant) optimum, so each
+			// is at least half the other.
+			lo, hi := a.Profit, b.Profit
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if 2*lo < hi {
+				t.Fatalf("%s rotation changed profit beyond the guarantee band: %d vs %d (δ=%v)",
+					name, a.Profit, b.Profit, delta)
+			}
+		}
+	}
+}
+
+func TestRotationInvarianceExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	for trial := 0; trial < 6; trial++ {
+		in := randInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
+		delta := rng.Float64() * geom.TwoPi
+		solver, _ := Get("exact")
+		a, err := solver(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := solver(rotate(in, delta), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Profit != b.Profit {
+			t.Fatalf("exact not rotation-invariant: %d vs %d", a.Profit, b.Profit)
+		}
+	}
+}
+
+func TestReflectionInvarianceExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for trial := 0; trial < 6; trial++ {
+		in := randInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
+		solver, _ := Get("exact")
+		a, err := solver(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := solver(reflect(in), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Profit != b.Profit {
+			t.Fatalf("exact not reflection-invariant: %d vs %d", a.Profit, b.Profit)
+		}
+	}
+}
+
+// TestProfitScalingInvariance: multiplying all profits by a constant
+// multiplies every profit-maximizing solver's value by the same constant.
+func TestProfitScalingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(164))
+	for trial := 0; trial < 6; trial++ {
+		in := randInstance(rng, 10+rng.Intn(10), 2, model.Sectors)
+		scaled := in.Clone()
+		for i := range scaled.Customers {
+			scaled.Customers[i].Profit = in.Customers[i].Profit * 3
+		}
+		for _, name := range []string{"greedy", "localsearch"} {
+			solver, _ := Get(name)
+			a, err := solver(in, Options{Seed: 5, SkipBound: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := solver(scaled, Options{Seed: 5, SkipBound: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Profit != 3*a.Profit {
+				t.Fatalf("%s: scaling broke invariance: %d vs 3×%d", name, b.Profit, a.Profit)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sectorpack/internal/angular"
+	"sectorpack/internal/exact"
+	"sectorpack/internal/model"
+)
+
+// Solver is a named solving strategy.
+type Solver func(*model.Instance, Options) (model.Solution, error)
+
+// solvers maps CLI/experiment names to strategies.
+var solvers = map[string]Solver{
+	"greedy":      SolveGreedy,
+	"localsearch": SolveLocalSearch,
+	"lpround":     SolveLPRound,
+	"unitflow":    SolveUnitFlow,
+	"anneal":      SolveAnneal,
+	"baseline":    SolveBaseline,
+	"auto":        SolveAuto,
+	"disjoint-dp": func(in *model.Instance, opt Options) (model.Solution, error) {
+		return angular.SolveDisjoint(in, opt.Knapsack)
+	},
+	"exact": func(in *model.Instance, _ Options) (model.Solution, error) {
+		return exact.Solve(in, exact.Limits{})
+	},
+}
+
+// Get returns the named solver.
+func Get(name string) (Solver, error) {
+	s, ok := solvers[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown solver %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the registered solver names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(solvers))
+	for name := range solvers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/exact"
+	"sectorpack/internal/model"
+)
+
+func TestSplittableFeasibleAndDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 8+rng.Intn(20), 1+rng.Intn(3), model.Sectors)
+		g, err := SolveGreedy(in, Options{SkipBound: true})
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		s, err := SolveSplittable(in, Options{SkipBound: true})
+		if err != nil {
+			t.Fatalf("splittable: %v", err)
+		}
+		if err := s.Check(in); err != nil {
+			t.Fatalf("splittable infeasible: %v", err)
+		}
+		if s.Value < float64(g.Profit)-1e-6 {
+			t.Fatalf("splittable %v < integral greedy %d at the same orientations", s.Value, g.Profit)
+		}
+	}
+}
+
+func TestSplittableExactDominatesIntegralExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(rng, 3+rng.Intn(7), 1+rng.Intn(2), model.Sectors)
+		integral, err := exact.Solve(in, exact.Limits{})
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		split, err := SolveSplittableExact(in)
+		if err != nil {
+			t.Fatalf("splittable exact: %v", err)
+		}
+		if err := split.Check(in); err != nil {
+			t.Fatalf("splittable infeasible: %v", err)
+		}
+		if !split.Exact {
+			t.Fatal("exact flag unset")
+		}
+		if split.Value < float64(integral.Profit)-1e-6 {
+			t.Fatalf("splittable optimum %v below integral optimum %d", split.Value, integral.Profit)
+		}
+		// The splittable optimum never exceeds the total profit.
+		if split.Value > float64(in.TotalProfit())+1e-6 {
+			t.Fatalf("splittable %v exceeds total profit %d", split.Value, in.TotalProfit())
+		}
+	}
+}
+
+func TestSplittableStrictGapExists(t *testing.T) {
+	// One antenna, capacity 3, two customers of demand 2 each: integral
+	// serves one (profit 2), splittable serves 1 + 1/2 (value 3).
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 1, Demand: 2},
+			{Theta: 0.2, R: 1, Demand: 2},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Capacity: 3}},
+	}
+	in.Normalize()
+	integral, err := exact.Solve(in, exact.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SolveSplittableExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integral.Profit != 2 {
+		t.Fatalf("integral = %d, want 2", integral.Profit)
+	}
+	if split.Value < 3-1e-6 {
+		t.Fatalf("splittable = %v, want 3 (fill the residual capacity)", split.Value)
+	}
+}
+
+func TestSplittableRejectsDisjoint(t *testing.T) {
+	in := randInstance(rand.New(rand.NewSource(173)), 5, 2, model.DisjointAngles)
+	if _, err := SolveSplittableExact(in); err == nil {
+		t.Error("DisjointAngles must be rejected")
+	}
+}
+
+func TestSplittableEmpty(t *testing.T) {
+	in := (&model.Instance{Variant: model.Angles}).Normalize()
+	s, err := SolveSplittable(in, Options{})
+	if err != nil || s.Value != 0 {
+		t.Fatalf("empty splittable: %v err=%v", s.Value, err)
+	}
+	se, err := SolveSplittableExact(in)
+	if err != nil || se.Value != 0 {
+		t.Fatalf("empty splittable exact: %v err=%v", se.Value, err)
+	}
+}
+
+func TestSplitSolutionCheckRejections(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 1, Demand: 2},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Capacity: 3}},
+	}
+	in.Normalize()
+	good, err := SolveSplittableExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Check(in); err != nil {
+		t.Fatalf("good solution rejected: %v", err)
+	}
+	bad := good
+	bad.Frac = [][]float64{{1.5}} // over-served customer
+	if err := bad.Check(in); err == nil {
+		t.Error("over-service must be rejected")
+	}
+	bad.Frac = [][]float64{{-0.2}}
+	if err := bad.Check(in); err == nil {
+		t.Error("negative fraction must be rejected")
+	}
+	// wrong value
+	bad = good
+	bad.Value += 5
+	if err := bad.Check(in); err == nil {
+		t.Error("wrong value must be rejected")
+	}
+	// fraction on non-covering antenna
+	bad = good
+	bad.Orientation = []float64{3.0}
+	bad.Frac = [][]float64{{0.5}}
+	bad.Value = 1
+	if err := bad.Check(in); err == nil {
+		t.Error("non-covering fractional service must be rejected")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/exact"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+func randUnitInstance(rng *rand.Rand, n, m int, variant model.Variant) *model.Instance {
+	in := randInstance(rng, n, m, variant)
+	for i := range in.Customers {
+		in.Customers[i].Demand = 2
+		in.Customers[i].Profit = 2
+	}
+	return in
+}
+
+func TestUnitFlowSingleAntennaExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		in := randUnitInstance(rng, 3+rng.Intn(8), 1, model.Sectors)
+		sol, err := SolveUnitFlow(in, Options{})
+		if err != nil {
+			t.Fatalf("unitflow: %v", err)
+		}
+		checkSolution(t, in, sol)
+		opt, err := exact.Solve(in, exact.Limits{})
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		if sol.Profit != opt.Profit {
+			t.Fatalf("unitflow %d != exact %d", sol.Profit, opt.Profit)
+		}
+	}
+}
+
+func TestUnitFlowMultiAntennaDominatesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 15; trial++ {
+		in := randUnitInstance(rng, 10+rng.Intn(15), 2+rng.Intn(2), model.Sectors)
+		g, err := SolveGreedy(in, Options{})
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		uf, err := SolveUnitFlow(in, Options{})
+		if err != nil {
+			t.Fatalf("unitflow: %v", err)
+		}
+		checkSolution(t, in, uf)
+		if uf.Profit < g.Profit {
+			t.Fatalf("unitflow %d < greedy %d", uf.Profit, g.Profit)
+		}
+	}
+}
+
+func TestUnitFlowRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	mixed := randInstance(rng, 6, 1, model.Sectors)
+	mixed.Customers[0].Demand = 99
+	mixed.Normalize()
+	if _, err := SolveUnitFlow(mixed, Options{}); err == nil {
+		t.Error("non-unit demands must be rejected")
+	}
+	dis := randUnitInstance(rng, 6, 2, model.DisjointAngles)
+	if _, err := SolveUnitFlow(dis, Options{}); err == nil {
+		t.Error("DisjointAngles must be rejected")
+	}
+}
+
+func TestUnitFlowCapacityUnits(t *testing.T) {
+	// Capacity 5 with unit demand 2 serves at most 2 customers.
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 1, Demand: 2, Profit: 2},
+			{Theta: 0.2, R: 1, Demand: 2, Profit: 2},
+			{Theta: 0.3, R: 1, Demand: 2, Profit: 2},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Capacity: 5}},
+	}
+	in.Normalize()
+	sol, err := SolveUnitFlow(in, Options{})
+	if err != nil {
+		t.Fatalf("unitflow: %v", err)
+	}
+	if sol.Profit != 4 {
+		t.Fatalf("profit = %d, want 4 (⌊5/2⌋ = 2 customers)", sol.Profit)
+	}
+	_ = geom.TwoPi
+}

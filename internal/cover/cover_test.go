@@ -1,0 +1,196 @@
+package cover
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+func randCustomers(rng *rand.Rand, n int, maxR float64, maxDemand int64) []model.Customer {
+	out := make([]model.Customer, n)
+	for i := range out {
+		out[i] = model.Customer{
+			ID:     i,
+			Theta:  rng.Float64() * geom.TwoPi,
+			R:      rng.Float64() * maxR,
+			Demand: 1 + rng.Int63n(maxDemand),
+		}
+		out[i].Profit = out[i].Demand
+	}
+	return out
+}
+
+func TestGreedyCoversEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 40; trial++ {
+		customers := randCustomers(rng, 1+rng.Intn(25), 8, 5)
+		typ := AntennaType{Rho: 0.5 + rng.Float64(), Range: 9, Capacity: 8 + rng.Int63n(20)}
+		res, err := Greedy(customers, typ)
+		if err != nil {
+			t.Fatalf("Greedy: %v", err)
+		}
+		if err := Check(customers, typ, res); err != nil {
+			t.Fatalf("invalid cover: %v", err)
+		}
+		if res.K() > len(customers) {
+			t.Fatalf("cover uses %d antennas for %d customers", res.K(), len(customers))
+		}
+	}
+}
+
+func TestExactMatchesLowerBoundLogic(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 12; trial++ {
+		customers := randCustomers(rng, 1+rng.Intn(7), 6, 4)
+		typ := AntennaType{Rho: 1.0 + rng.Float64(), Range: 7, Capacity: 6 + rng.Int63n(10)}
+		res, err := Exact(customers, typ, 0)
+		if err != nil {
+			t.Fatalf("Exact: %v", err)
+		}
+		if err := Check(customers, typ, res); err != nil {
+			t.Fatalf("invalid exact cover: %v", err)
+		}
+		// Optimality: greedy can never beat it.
+		g, err := Greedy(customers, typ)
+		if err != nil {
+			t.Fatalf("Greedy: %v", err)
+		}
+		if g.K() < res.K() {
+			t.Fatalf("greedy %d beat exact %d", g.K(), res.K())
+		}
+	}
+}
+
+func TestExactMinimality(t *testing.T) {
+	// Two antipodal clusters, narrow antennas: needs exactly 2.
+	customers := []model.Customer{
+		{ID: 0, Theta: 0.1, R: 1, Demand: 1, Profit: 1},
+		{ID: 1, Theta: 0.2, R: 1, Demand: 1, Profit: 1},
+		{ID: 2, Theta: 3.2, R: 1, Demand: 1, Profit: 1},
+		{ID: 3, Theta: 3.3, R: 1, Demand: 1, Profit: 1},
+	}
+	typ := AntennaType{Rho: 0.5, Range: 2, Capacity: 10}
+	res, err := Exact(customers, typ, 0)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if res.K() != 2 {
+		t.Fatalf("K = %d, want 2", res.K())
+	}
+}
+
+func TestCapacityForcesSplit(t *testing.T) {
+	// All customers in one narrow arc, but capacity 3 with total demand 9:
+	// needs ceil(9/3)=3 antennas despite full angular overlap.
+	customers := []model.Customer{
+		{ID: 0, Theta: 0.1, R: 1, Demand: 3, Profit: 3},
+		{ID: 1, Theta: 0.15, R: 1, Demand: 3, Profit: 3},
+		{ID: 2, Theta: 0.2, R: 1, Demand: 3, Profit: 3},
+	}
+	typ := AntennaType{Rho: 1, Range: 2, Capacity: 3}
+	res, err := Exact(customers, typ, 0)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if res.K() != 3 {
+		t.Fatalf("K = %d, want 3 (capacity bound)", res.K())
+	}
+	g, err := Greedy(customers, typ)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if g.K() != 3 {
+		t.Fatalf("greedy K = %d, want 3", g.K())
+	}
+}
+
+func TestInfeasibleInputs(t *testing.T) {
+	farAway := []model.Customer{{ID: 0, Theta: 1, R: 100, Demand: 1, Profit: 1}}
+	typ := AntennaType{Rho: 1, Range: 5, Capacity: 10}
+	if _, err := Greedy(farAway, typ); err == nil || !strings.Contains(err.Error(), "range") {
+		t.Errorf("out-of-range customer must fail, got %v", err)
+	}
+	tooBig := []model.Customer{{ID: 0, Theta: 1, R: 1, Demand: 99, Profit: 99}}
+	if _, err := Exact(tooBig, typ, 0); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("oversized demand must fail, got %v", err)
+	}
+}
+
+func TestExactGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	many := randCustomers(rng, MaxExactCustomers+1, 5, 3)
+	typ := AntennaType{Rho: 1, Range: 6, Capacity: 100}
+	if _, err := Exact(many, typ, 0); err == nil {
+		t.Error("oversized Exact input must be rejected")
+	}
+	few := randCustomers(rng, 4, 5, 3)
+	if _, err := Exact(few, typ, -1); err != nil {
+		t.Errorf("maxK<=0 should default: %v", err)
+	}
+}
+
+func TestEmptyCover(t *testing.T) {
+	typ := AntennaType{Rho: 1, Range: 5, Capacity: 10}
+	g, err := Greedy(nil, typ)
+	if err != nil || g.K() != 0 {
+		t.Fatalf("empty greedy: %v, %v", g, err)
+	}
+	e, err := Exact(nil, typ, 0)
+	if err != nil || e.K() != 0 {
+		t.Fatalf("empty exact: %v, %v", e, err)
+	}
+}
+
+func TestUnboundedRangeCover(t *testing.T) {
+	customers := []model.Customer{
+		{ID: 0, Theta: 0.5, R: 1e6, Demand: 1, Profit: 1},
+		{ID: 1, Theta: 0.6, R: 2, Demand: 1, Profit: 1},
+	}
+	typ := AntennaType{Rho: 1, Range: 0, Capacity: 5} // unbounded
+	res, err := Greedy(customers, typ)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if res.K() != 1 {
+		t.Fatalf("K = %d, want 1", res.K())
+	}
+	if err := Check(customers, typ, res); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestCheckRejectsBadCovers(t *testing.T) {
+	customers := []model.Customer{{ID: 0, Theta: 0.5, R: 1, Demand: 2, Profit: 2}}
+	typ := AntennaType{Rho: 1, Range: 5, Capacity: 10}
+	// unserved
+	if err := Check(customers, typ, Result{}); err == nil {
+		t.Error("unserved customer must fail")
+	}
+	// double-served
+	r := Result{Placements: []Placement{
+		{Alpha: 0.4, Customers: []int{0}},
+		{Alpha: 0.3, Customers: []int{0}},
+	}}
+	if err := Check(customers, typ, r); err == nil {
+		t.Error("double service must fail")
+	}
+	// not covered
+	r = Result{Placements: []Placement{{Alpha: 3, Customers: []int{0}}}}
+	if err := Check(customers, typ, r); err == nil {
+		t.Error("non-covering placement must fail")
+	}
+	// overloaded
+	typ.Capacity = 1
+	r = Result{Placements: []Placement{{Alpha: 0.4, Customers: []int{0}}}}
+	if err := Check(customers, typ, r); err == nil {
+		t.Error("overload must fail")
+	}
+	// unknown index
+	r = Result{Placements: []Placement{{Alpha: 0.4, Customers: []int{5}}}}
+	if err := Check(customers, typ, r); err == nil {
+		t.Error("unknown customer must fail")
+	}
+}

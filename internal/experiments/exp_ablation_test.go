@@ -1,0 +1,136 @@
+package experiments
+
+import "testing"
+
+func TestE11CandidatesAlwaysExact(t *testing.T) {
+	rep, err := Run("E11", quickOpt())
+	if err != nil {
+		t.Fatalf("E11: %v", err)
+	}
+	if rep.Findings["cand_min_ratio"] != 1.0 {
+		t.Errorf("candidate method must be exact, min ratio %v", rep.Findings["cand_min_ratio"])
+	}
+	if rep.Findings["cand_matches"] != rep.Findings["trials"] {
+		t.Errorf("candidate method matched %v/%v", rep.Findings["cand_matches"], rep.Findings["trials"])
+	}
+	if rep.Findings["grid_min_ratio"] > 1.0 {
+		t.Errorf("grid ratio %v above 1 is impossible", rep.Findings["grid_min_ratio"])
+	}
+}
+
+func TestE12OrderAblation(t *testing.T) {
+	rep, err := Run("E12", quickOpt())
+	if err != nil {
+		t.Fatalf("E12: %v", err)
+	}
+	v := rep.Findings["asc_geo_vs_desc"]
+	if v <= 0 || v > 1.5 {
+		t.Errorf("ascending-vs-descending geo ratio %v implausible", v)
+	}
+}
+
+func TestE13CoverNeverUndershoots(t *testing.T) {
+	rep, err := Run("E13", quickOpt())
+	if err != nil {
+		t.Fatalf("E13: %v", err)
+	}
+	if rep.Findings["max_overshoot"] < 0 {
+		t.Errorf("greedy covering cannot use fewer antennas than exact: %v", rep.Findings["max_overshoot"])
+	}
+}
+
+func TestE14ShootoutDominatesGreedy(t *testing.T) {
+	rep, err := Run("E14", quickOpt())
+	if err != nil {
+		t.Fatalf("E14: %v", err)
+	}
+	g := rep.Findings["geo_greedy"]
+	for _, name := range []string{"geo_localsearch", "geo_anneal", "geo_lpround"} {
+		if rep.Findings[name] < g-1e-9 {
+			t.Errorf("%s = %v below greedy %v (these solvers start from greedy)", name, rep.Findings[name], g)
+		}
+	}
+}
+
+func TestE15OnlineRatiosSane(t *testing.T) {
+	rep, err := Run("E15", quickOpt())
+	if err != nil {
+		t.Fatalf("E15: %v", err)
+	}
+	for _, key := range []string{"geo_uniform+first-fit", "geo_sample+best-fit"} {
+		v, ok := rep.Findings[key]
+		if !ok {
+			t.Fatalf("missing finding %s", key)
+		}
+		if v <= 0 || v > 1.5 {
+			t.Errorf("%s = %v implausible", key, v)
+		}
+	}
+}
+
+func TestExtensionIDsRegistered(t *testing.T) {
+	ids := IDs()
+	want := map[string]bool{"E11": true, "E12": true, "E13": true, "E14": true, "E15": true, "E16": true, "E17": true, "E18": true}
+	for _, id := range ids {
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing extension experiments: %v (have %v)", want, ids)
+	}
+}
+
+func TestE16BoundDominance(t *testing.T) {
+	rep, err := Run("E16", quickOpt())
+	if err != nil {
+		t.Fatalf("E16: %v", err)
+	}
+	if rep.Findings["simple_over_opt"] < 1-1e-9 || rep.Findings["cfg_over_opt"] < 1-1e-9 {
+		t.Errorf("bounds must dominate OPT: simple %v, cfg %v",
+			rep.Findings["simple_over_opt"], rep.Findings["cfg_over_opt"])
+	}
+	if rep.Findings["cfg_over_opt"] > rep.Findings["simple_over_opt"]+1e-9 {
+		t.Errorf("config LP bound looser than simple: %v vs %v",
+			rep.Findings["cfg_over_opt"], rep.Findings["simple_over_opt"])
+	}
+	if rep.Findings["greedy_vs_cfg"] < rep.Findings["greedy_vs_simple"]-1e-9 {
+		t.Errorf("ratio vs tighter bound must not be smaller: %v vs %v",
+			rep.Findings["greedy_vs_cfg"], rep.Findings["greedy_vs_simple"])
+	}
+}
+
+func TestE17IntegralityGap(t *testing.T) {
+	rep, err := Run("E17", quickOpt())
+	if err != nil {
+		t.Fatalf("E17: %v", err)
+	}
+	for _, g := range []string{"coarse", "medium", "fine"} {
+		v, ok := rep.Findings["geo_gap_"+g]
+		if !ok {
+			t.Fatalf("missing gap for %s", g)
+		}
+		if v < 1-1e-9 {
+			t.Errorf("%s gap %v below 1 — splittable cannot lose to integral", g, v)
+		}
+	}
+	// Finer granularity should not have a LARGER gap than coarse.
+	if rep.Findings["geo_gap_fine"] > rep.Findings["geo_gap_coarse"]+0.05 {
+		t.Errorf("fine gap %v exceeds coarse gap %v", rep.Findings["geo_gap_fine"], rep.Findings["geo_gap_coarse"])
+	}
+}
+
+func TestE18FairnessFloor(t *testing.T) {
+	rep, err := Run("E18", quickOpt())
+	if err != nil {
+		t.Fatalf("E18: %v", err)
+	}
+	if rep.Findings["floor_fair"] < rep.Findings["floor_eff"]-1e-6 {
+		t.Errorf("fairness must not lower the worst-class floor: %v vs %v",
+			rep.Findings["floor_fair"], rep.Findings["floor_eff"])
+	}
+	er := rep.Findings["efficiency_retained"]
+	// Fair runs at class-aware orientations, efficiency at greedy ones, so
+	// the ratio may exceed 1 slightly; it must stay a sane fraction.
+	if er <= 0.2 || er > 1.5 {
+		t.Errorf("efficiency retained %v outside (0.2, 1.5]", er)
+	}
+}

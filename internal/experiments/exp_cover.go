@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"sectorpack/internal/cover"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+	"sectorpack/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Covering companion: minimum antennas to serve everyone",
+		Claim: "greedy covering never beats exact and stays within a small factor of it",
+		Run:   runE13,
+	})
+}
+
+func runE13(opt Options) (Report, error) {
+	rep := Report{ID: "E13", Title: "covering companion", Findings: map[string]float64{}}
+	// Exact covering does iterative deepening over the antenna count k,
+	// and each k costs an exhaustive n^k orientation enumeration — sizes
+	// here keep k at 2–3 so the full run stays in seconds.
+	trials := pick(opt, 10, 4)
+	ns := pick(opt, []int{5, 7, 9}, []int{6})
+
+	tb := stats.NewTable("Table E13: antennas used, greedy vs exact covering",
+		"n", "trials", "mean greedy k", "mean exact k", "max overshoot", "exact matches")
+	worstOvershoot := 0.0
+	for _, n := range ns {
+		type pair struct{ g, e float64 }
+		seeds := make([]int64, trials)
+		for k := range seeds {
+			seeds[k] = cfgSeed(opt, k) + int64(n)
+		}
+		outs, err := parallelMap(opt, seeds, func(seed int64) (pair, error) {
+			rng := rand.New(rand.NewSource(seed))
+			customers := make([]model.Customer, n)
+			for i := range customers {
+				customers[i] = model.Customer{
+					ID:     i,
+					Theta:  rng.Float64() * geom.TwoPi,
+					R:      rng.Float64() * 6,
+					Demand: 1 + rng.Int63n(4),
+				}
+				customers[i].Profit = customers[i].Demand
+			}
+			typ := cover.AntennaType{Rho: 1.2, Range: 7, Capacity: 12}
+			g, err := cover.Greedy(customers, typ)
+			if err != nil {
+				return pair{}, err
+			}
+			if err := cover.Check(customers, typ, g); err != nil {
+				return pair{}, err
+			}
+			e, err := cover.Exact(customers, typ, 0)
+			if err != nil {
+				return pair{}, err
+			}
+			if err := cover.Check(customers, typ, e); err != nil {
+				return pair{}, err
+			}
+			return pair{g: float64(g.K()), e: float64(e.K())}, nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		var gs, es []float64
+		maxOver := 0.0
+		matches := 0
+		for _, o := range outs {
+			gs = append(gs, o.g)
+			es = append(es, o.e)
+			if over := o.g - o.e; over > maxOver {
+				maxOver = over
+			}
+			if o.g == o.e {
+				matches++
+			}
+		}
+		tb.AddRow(n, trials, stats.Summarize(gs).Mean, stats.Summarize(es).Mean, maxOver, matches)
+		if maxOver > worstOvershoot {
+			worstOvershoot = maxOver
+		}
+	}
+	tb.Caption = "overshoot = greedy k − exact k; greedy can never be below exact"
+	rep.Tables = append(rep.Tables, tb)
+	rep.Findings["max_overshoot"] = worstOvershoot
+	return rep, nil
+}

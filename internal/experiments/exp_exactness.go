@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+	"sectorpack/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E7",
+		Title: "DisjointDP exactness on the DisjointAngles variant",
+		Claim: "the chain DP matches exhaustive search exactly on every instance",
+		Run:   runE7,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Title: "UnitFlow exactness and speed on unit-demand instances",
+		Claim: "flow-based assignment is exact for one antenna and much faster than exhaustive search",
+		Run:   runE8,
+	})
+}
+
+func runE7(opt Options) (Report, error) {
+	rep := Report{ID: "E7", Title: "disjoint DP exactness", Findings: map[string]float64{}}
+	trials := pick(opt, 12, 4)
+	shapes := pick(opt, []shape{{6, 2}, {8, 2}, {10, 2}}, []shape{{6, 2}})
+
+	tb := stats.NewTable("Table E7: disjoint-dp profit / exact profit (DisjointAngles)",
+		"n", "m", "trials", "min-ratio", "max-ratio", "exact matches")
+	minOverall := 1.0
+	for _, sh := range shapes {
+		cfgs := mkConfigs(opt, gen.Uniform, model.DisjointAngles, sh.n, sh.m, trials, func(c *gen.Config) {
+			c.Rho = 1.0
+			c.RhoSpread = 0.4
+		})
+		ratios, err := parallelMap(opt, cfgs, func(cfg gen.Config) (float64, error) {
+			in, err := gen.Generate(cfg)
+			if err != nil {
+				return 0, err
+			}
+			dp, err := runSolver("disjoint-dp", in, core.Options{})
+			if err != nil {
+				return 0, err
+			}
+			ex, err := runSolver("exact", in, core.Options{})
+			if err != nil {
+				return 0, err
+			}
+			return ratioOf(dp.Profit, ex.Profit), nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		s := stats.Summarize(ratios)
+		matches := 0
+		for _, r := range ratios {
+			if r == 1.0 {
+				matches++
+			}
+		}
+		tb.AddRow(sh.n, sh.m, trials, s.Min, s.Max, fmt.Sprintf("%d/%d", matches, trials))
+		if s.Min < minOverall {
+			minOverall = s.Min
+		}
+	}
+	tb.Caption = "every ratio must be exactly 1.000: both solvers are exact"
+	rep.Tables = append(rep.Tables, tb)
+	rep.Findings["min_ratio"] = minOverall
+	return rep, nil
+}
+
+func runE8(opt Options) (Report, error) {
+	rep := Report{ID: "E8", Title: "unit-flow exactness and speed", Findings: map[string]float64{}}
+	trials := pick(opt, 10, 3)
+	ns := pick(opt, []int{10, 14}, []int{8})
+
+	tb := stats.NewTable("Table E8: unitflow vs exact on unit-demand instances (m=1)",
+		"n", "trials", "min-ratio", "geo-speedup")
+	minOverall := 1.0
+	for _, n := range ns {
+		cfgs := mkConfigs(opt, gen.Uniform, model.Sectors, n, 1, trials, func(c *gen.Config) {
+			c.UnitDemand = true
+		})
+		type out struct {
+			ratio   float64
+			speedup float64
+		}
+		outs, err := parallelMap(opt, cfgs, func(cfg gen.Config) (out, error) {
+			in, err := gen.Generate(cfg)
+			if err != nil {
+				return out{}, err
+			}
+			uf, err := runSolver("unitflow", in, core.Options{SkipBound: true})
+			if err != nil {
+				return out{}, err
+			}
+			ex, err := runSolver("exact", in, core.Options{})
+			if err != nil {
+				return out{}, err
+			}
+			sp := float64(ex.Elapsed) / float64(maxDur(uf.Elapsed, time.Microsecond))
+			return out{ratio: ratioOf(uf.Profit, ex.Profit), speedup: sp}, nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		var ratios, speedups []float64
+		for _, o := range outs {
+			ratios = append(ratios, o.ratio)
+			speedups = append(speedups, o.speedup)
+		}
+		s := stats.Summarize(ratios)
+		tb.AddRow(n, trials, s.Min, stats.GeoMean(speedups))
+		if s.Min < minOverall {
+			minOverall = s.Min
+		}
+	}
+	tb.Caption = "ratio must be exactly 1.000 (both exact for m=1); speedup = exact time / flow time"
+	rep.Tables = append(rep.Tables, tb)
+	rep.Findings["min_ratio"] = minOverall
+	return rep, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

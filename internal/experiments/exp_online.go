@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+	"sectorpack/internal/online"
+	"sectorpack/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E15",
+		Title: "Online arrivals: admission policies vs offline greedy",
+		Claim: "sample-informed orientations with best-fit admission recover most of the offline profit; uniform layouts and naive admission lose a constant factor",
+		Run:   runE15,
+	})
+}
+
+func runE15(opt Options) (Report, error) {
+	rep := Report{ID: "E15", Title: "online arrivals", Findings: map[string]float64{}}
+	trials := pick(opt, 10, 3)
+	n := pick(opt, 120, 30)
+	m := 3
+
+	type setup struct {
+		name   string
+		sample bool
+		policy online.Policy
+	}
+	setups := []setup{
+		{"uniform+first-fit", false, online.FirstFit{}},
+		{"uniform+best-fit", false, online.BestFit{}},
+		{"sample+best-fit", true, online.BestFit{}},
+		{"sample+threshold", true, online.Threshold{MinDensity: 1.6}},
+	}
+
+	tb := stats.NewTable("Table E15: online profit / offline greedy profit (hotspot, m=3, random arrival order)",
+		"setup", "geo-ratio", "min-ratio")
+	for _, s := range setups {
+		cfgs := mkConfigs(opt, gen.Hotspot, model.Sectors, n, m, trials, func(c *gen.Config) {
+			c.ProfitSpread = 1.5 // densities in [1, 2.5): thresholding has bite
+		})
+		ratios, err := parallelMap(opt, cfgs, func(cfg gen.Config) (float64, error) {
+			in, err := gen.Generate(cfg)
+			if err != nil {
+				return 0, err
+			}
+			offline, err := core.SolveGreedy(in, core.Options{SkipBound: true})
+			if err != nil {
+				return 0, err
+			}
+			orientations := online.OrientUniform(in)
+			if s.sample {
+				orientations, err = online.OrientFromSample(in, 0.3, cfg.Seed+1)
+				if err != nil {
+					return 0, err
+				}
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + 2))
+			as, err := online.Run(in, orientations, rng.Perm(in.N()), s.policy)
+			if err != nil {
+				return 0, err
+			}
+			return ratioOf(as.Profit(in), offline.Profit), nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		sm := stats.Summarize(ratios)
+		tb.AddRow(s.name, stats.GeoMean(ratios), sm.Min)
+		rep.Findings["geo_"+s.name] = stats.GeoMean(ratios)
+	}
+	tb.Caption = "offline greedy re-optimizes orientation and assignment with full knowledge; online must commit per arrival"
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}

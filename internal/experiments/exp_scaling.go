@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+	"sectorpack/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E3",
+		Title: "Running-time scaling of the solvers",
+		Claim: "greedy scales near-quadratically in n (candidates x window scan), LP rounding polynomially but steeper",
+		Run:   runE3,
+	})
+}
+
+func runE3(opt Options) (Report, error) {
+	rep := Report{ID: "E3", Title: "runtime scaling", Findings: map[string]float64{}}
+	type plan struct {
+		solver string
+		ns     []int
+	}
+	plans := []plan{
+		{"greedy", pick(opt, []int{50, 100, 200, 400}, []int{20, 40})},
+		{"localsearch", pick(opt, []int{50, 100, 200}, []int{20, 40})},
+		{"lpround", pick(opt, []int{30, 60, 120}, []int{15, 30})},
+		{"unitflow", pick(opt, []int{50, 100, 200, 400}, []int{20, 40})},
+	}
+	trials := pick(opt, 3, 2)
+	m := 3
+
+	tb := stats.NewTable("Table E3: median wall time (ms) and log-log slope vs n (uniform, m=3)",
+		"solver", "n", "median-ms")
+	for _, p := range plans {
+		var xs, ys []float64
+		for _, n := range p.ns {
+			cfgs := mkConfigs(opt, gen.Uniform, model.Sectors, n, m, trials, func(c *gen.Config) {
+				c.UnitDemand = p.solver == "unitflow"
+			})
+			times, err := parallelMap(opt, cfgs, func(cfg gen.Config) (float64, error) {
+				in, err := gen.Generate(cfg)
+				if err != nil {
+					return 0, err
+				}
+				out, err := runSolver(p.solver, in, core.Options{Seed: cfg.Seed, SkipBound: true})
+				if err != nil {
+					return 0, err
+				}
+				return float64(out.Elapsed.Microseconds()) / 1000.0, nil
+			})
+			if err != nil {
+				return rep, err
+			}
+			med := stats.Summarize(times).Median
+			tb.AddRow(p.solver, n, med)
+			xs = append(xs, float64(n))
+			ys = append(ys, med+1e-6)
+		}
+		slope, err := stats.LogLogSlope(xs, ys)
+		if err != nil {
+			return rep, err
+		}
+		rep.Findings[fmt.Sprintf("slope_%s", p.solver)] = slope
+	}
+	tb.Caption = "slopes (log-log fit) are recorded in the findings; timing noise dominates at small n"
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}

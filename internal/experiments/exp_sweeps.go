@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"math"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+	"sectorpack/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E4",
+		Title: "Served demand vs sector width",
+		Claim: "coverage grows concavely in the angular width and saturates once sectors span the demand hotspots",
+		Run:   runE4,
+	})
+	register(Experiment{
+		ID:    "E5",
+		Title: "Capacity-tightness sweep",
+		Claim: "served fraction tracks 1/tightness once capacity binds; utilization peaks near tightness 1",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E9",
+		Title: "Coverage vs number of antennas",
+		Claim: "marginal antennas bring diminishing returns on hotspot workloads",
+		Run:   runE9,
+	})
+}
+
+func runE4(opt Options) (Report, error) {
+	rep := Report{ID: "E4", Title: "width sweep", Findings: map[string]float64{}}
+	n := pick(opt, 120, 30)
+	trials := pick(opt, 5, 2)
+	rhos := []float64{math.Pi / 12, math.Pi / 6, math.Pi / 3, math.Pi / 2, 2 * math.Pi / 3, math.Pi}
+
+	var xs, ys []float64
+	tb := stats.NewTable("Table E4 (figure data): served-demand fraction vs sector width ρ (uniform, m=3, greedy)",
+		"rho(rad)", "served-fraction")
+	for _, rho := range rhos {
+		cfgs := mkConfigs(opt, gen.Uniform, model.Sectors, n, 3, trials, func(c *gen.Config) { c.Rho = rho })
+		fracs, err := parallelMap(opt, cfgs, func(cfg gen.Config) (float64, error) {
+			in, err := gen.Generate(cfg)
+			if err != nil {
+				return 0, err
+			}
+			out, err := runSolver("greedy", in, core.Options{SkipBound: true})
+			if err != nil {
+				return 0, err
+			}
+			return ratioOf(out.Profit, in.TotalProfit()), nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		mean := stats.Summarize(fracs).Mean
+		tb.AddRow(rho, mean)
+		xs = append(xs, rho)
+		ys = append(ys, mean)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.Figures = append(rep.Figures,
+		stats.AsciiSeries("Figure E4: served fraction vs sector width", xs, ys, "ρ (rad)", "fraction", 48))
+	rep.Findings["frac_at_min_rho"] = ys[0]
+	rep.Findings["frac_at_max_rho"] = ys[len(ys)-1]
+	monotoneViolations := 0.0
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]-0.03 { // small noise tolerance
+			monotoneViolations++
+		}
+	}
+	rep.Findings["monotone_violations"] = monotoneViolations
+	return rep, nil
+}
+
+func runE5(opt Options) (Report, error) {
+	rep := Report{ID: "E5", Title: "tightness sweep", Findings: map[string]float64{}}
+	n := pick(opt, 120, 30)
+	trials := pick(opt, 5, 2)
+	tights := []float64{0.25, 0.5, 1.0, 1.5, 2.0}
+
+	tb := stats.NewTable("Table E5: served fraction and capacity utilization vs tightness (uniform, m=3, greedy)",
+		"tightness", "served-fraction", "capacity-utilization")
+	for _, tight := range tights {
+		cfgs := mkConfigs(opt, gen.Uniform, model.Sectors, n, 3, trials, func(c *gen.Config) { c.Tightness = tight })
+		type pair struct{ served, util float64 }
+		outs, err := parallelMap(opt, cfgs, func(cfg gen.Config) (pair, error) {
+			in, err := gen.Generate(cfg)
+			if err != nil {
+				return pair{}, err
+			}
+			out, err := runSolver("greedy", in, core.Options{SkipBound: true})
+			if err != nil {
+				return pair{}, err
+			}
+			// Profit defaults to demand in these workloads, so served
+			// profit equals served demand.
+			return pair{
+				served: ratioOf(out.Profit, in.TotalProfit()),
+				util:   ratioOf(out.Profit, in.TotalCapacity()),
+			}, nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		var served, util []float64
+		for _, o := range outs {
+			served = append(served, o.served)
+			util = append(util, o.util)
+		}
+		sMean, uMean := stats.Summarize(served).Mean, stats.Summarize(util).Mean
+		tb.AddRow(tight, sMean, uMean)
+		if tight == 0.25 {
+			rep.Findings["served_loose"] = sMean
+		}
+		if tight == 2.0 {
+			rep.Findings["served_tight"] = sMean
+			rep.Findings["util_tight"] = uMean
+		}
+	}
+	tb.Caption = "tightness = total demand / total capacity; utilization = served demand / total capacity"
+	rep.Tables = append(rep.Tables, tb)
+	return rep, nil
+}
+
+func runE9(opt Options) (Report, error) {
+	rep := Report{ID: "E9", Title: "coverage vs antenna count", Findings: map[string]float64{}}
+	n := pick(opt, 100, 30)
+	trials := pick(opt, 5, 2)
+	ms := pick(opt, []int{1, 2, 3, 4, 5, 6}, []int{1, 2, 3})
+
+	var xs, ys []float64
+	tb := stats.NewTable("Table E9 (figure data): served fraction vs antenna count (hotspot, greedy)",
+		"m", "served-fraction")
+	for _, m := range ms {
+		cfgs := mkConfigs(opt, gen.Hotspot, model.Sectors, n, m, trials, nil)
+		fracs, err := parallelMap(opt, cfgs, func(cfg gen.Config) (float64, error) {
+			in, err := gen.Generate(cfg)
+			if err != nil {
+				return 0, err
+			}
+			out, err := runSolver("greedy", in, core.Options{SkipBound: true})
+			if err != nil {
+				return 0, err
+			}
+			return ratioOf(out.Profit, in.TotalProfit()), nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		mean := stats.Summarize(fracs).Mean
+		tb.AddRow(m, mean)
+		xs = append(xs, float64(m))
+		ys = append(ys, mean)
+	}
+	rep.Tables = append(rep.Tables, tb)
+	rep.Figures = append(rep.Figures,
+		stats.AsciiSeries("Figure E9: served fraction vs antenna count", xs, ys, "m", "fraction", 48))
+	rep.Findings["frac_m_first"] = ys[0]
+	rep.Findings["frac_m_last"] = ys[len(ys)-1]
+	// Diminishing returns: first increment at least as valuable as last.
+	if len(ys) >= 3 {
+		rep.Findings["gain_first"] = ys[1] - ys[0]
+		rep.Findings["gain_last"] = ys[len(ys)-1] - ys[len(ys)-2]
+	}
+	return rep, nil
+}

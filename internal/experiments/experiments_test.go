@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options { return Options{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Error("unknown id must error")
+	}
+	if len(All()) != len(want) {
+		t.Error("All() must return every experiment")
+	}
+}
+
+func TestE1GreedyRatioFloor(t *testing.T) {
+	rep, err := Run("E1", quickOpt())
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if rep.Findings["min_ratio"] < 0.5 {
+		t.Errorf("E1 min ratio %v below the 1/2 guarantee", rep.Findings["min_ratio"])
+	}
+	if rep.Findings["geo_ratio"] < 0.8 {
+		t.Errorf("E1 geo ratio %v implausibly low", rep.Findings["geo_ratio"])
+	}
+	if !strings.Contains(rep.Render(), "Table E1") {
+		t.Error("report should render its table")
+	}
+}
+
+func TestE2BoundRatioSane(t *testing.T) {
+	rep, err := Run("E2", quickOpt())
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	r := rep.Findings["min_ratio_vs_bound"]
+	if r <= 0 || r > 1+1e-9 {
+		t.Errorf("E2 ratio vs bound %v outside (0, 1]", r)
+	}
+}
+
+func TestE3ProducesSlopes(t *testing.T) {
+	rep, err := Run("E3", quickOpt())
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	for _, solver := range []string{"greedy", "localsearch", "lpround", "unitflow"} {
+		if _, ok := rep.Findings["slope_"+solver]; !ok {
+			t.Errorf("E3 missing slope for %s", solver)
+		}
+	}
+}
+
+func TestE4WidthMonotone(t *testing.T) {
+	rep, err := Run("E4", quickOpt())
+	if err != nil {
+		t.Fatalf("E4: %v", err)
+	}
+	if rep.Findings["frac_at_max_rho"] < rep.Findings["frac_at_min_rho"] {
+		t.Errorf("wider sectors should not serve less: %v vs %v",
+			rep.Findings["frac_at_max_rho"], rep.Findings["frac_at_min_rho"])
+	}
+	if len(rep.Figures) == 0 {
+		t.Error("E4 must render a figure")
+	}
+}
+
+func TestE5TightnessShape(t *testing.T) {
+	rep, err := Run("E5", quickOpt())
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	if rep.Findings["served_loose"] < rep.Findings["served_tight"] {
+		t.Errorf("loose capacity should serve a larger fraction: %v vs %v",
+			rep.Findings["served_loose"], rep.Findings["served_tight"])
+	}
+}
+
+func TestE6ClassFloors(t *testing.T) {
+	rep, err := Run("E6", quickOpt())
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	for key, floor := range map[string]float64{
+		"identical_m2_min": 0.5,
+		"hetero_m2_min":    0.5,
+	} {
+		if v, ok := rep.Findings[key]; ok && v < floor {
+			t.Errorf("E6 %s = %v below floor %v", key, v, floor)
+		}
+	}
+}
+
+func TestE7DisjointDPExact(t *testing.T) {
+	rep, err := Run("E7", quickOpt())
+	if err != nil {
+		t.Fatalf("E7: %v", err)
+	}
+	if rep.Findings["min_ratio"] != 1.0 {
+		t.Errorf("E7 min ratio %v, want exactly 1.0", rep.Findings["min_ratio"])
+	}
+}
+
+func TestE8UnitFlowExact(t *testing.T) {
+	rep, err := Run("E8", quickOpt())
+	if err != nil {
+		t.Fatalf("E8: %v", err)
+	}
+	if rep.Findings["min_ratio"] != 1.0 {
+		t.Errorf("E8 min ratio %v, want exactly 1.0", rep.Findings["min_ratio"])
+	}
+}
+
+func TestE9CoverageMonotone(t *testing.T) {
+	rep, err := Run("E9", quickOpt())
+	if err != nil {
+		t.Fatalf("E9: %v", err)
+	}
+	if rep.Findings["frac_m_last"] < rep.Findings["frac_m_first"]-0.02 {
+		t.Errorf("more antennas should not serve less: %v vs %v",
+			rep.Findings["frac_m_last"], rep.Findings["frac_m_first"])
+	}
+}
+
+func TestE10FPTASFloor(t *testing.T) {
+	rep, err := Run("E10", quickOpt())
+	if err != nil {
+		t.Fatalf("E10: %v", err)
+	}
+	for _, eps := range []string{"0.5", "0.1"} {
+		min, ok := rep.Findings["min_ratio_eps_"+eps]
+		if !ok {
+			t.Fatalf("E10 missing eps %s", eps)
+		}
+		floor := rep.Findings["floor_eps_"+eps]
+		if min < floor-1e-9 {
+			t.Errorf("E10 eps=%s: min ratio %v below floor %v", eps, min, floor)
+		}
+	}
+}
+
+func TestReportsDeterministic(t *testing.T) {
+	a, err := Run("E1", quickOpt())
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	b, err := Run("E1", quickOpt())
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if a.Findings["geo_ratio"] != b.Findings["geo_ratio"] {
+		t.Error("experiments must be deterministic in (Seed, Quick)")
+	}
+}

@@ -1,0 +1,222 @@
+// Package fair adds a fairness objective to sector packing: customers are
+// partitioned into classes (neighborhoods, tenants, service tiers), and
+// instead of maximizing total served profit the planner first maximizes
+// the minimum class service fraction, then maximizes total profit subject
+// to that floor.
+//
+// This is the natural fairness refinement of the paper's objective
+// [reconstruction: coverage equity is the standard regulatory constraint
+// this problem family runs into in practice]. Orientations are taken from
+// the integral greedy; at fixed orientations both steps are linear
+// programs over fractional assignments, solved with the in-repo simplex:
+//
+//	step 1:  max t   s.t. assignment polytope, served_c ≥ t·P_c ∀ classes c
+//	step 2:  max Σ served  s.t. assignment polytope, served_c ≥ t*·P_c
+//
+// The result is fractional (demands are splittable across antennas here);
+// see core.SolveSplittable for the fractional semantics.
+package fair
+
+import (
+	"fmt"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/lp"
+	"sectorpack/internal/model"
+)
+
+// Solution is a fair fractional plan.
+type Solution struct {
+	Orientation []float64
+	// Frac[i][j] is the fraction of customer i served by antenna j.
+	Frac [][]float64
+	// MinFraction is the guaranteed service fraction of every class.
+	MinFraction float64
+	// Value is the total fractional profit served.
+	Value float64
+	// ClassFraction[c] is the achieved service fraction per class.
+	ClassFraction []float64
+}
+
+// Solve computes the max-min fair plan at greedy-chosen orientations.
+// classes[i] gives customer i's class in [0, numClasses); nil means a
+// single class (plain efficiency). Greedy orientations optimize profit,
+// not the floor — when orientation choice matters for fairness, pick
+// orientations explicitly and call SolveAt (e.g. one antenna aimed at
+// each class's best window).
+func Solve(in *model.Instance, classes []int, opt core.Options) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, fmt.Errorf("fair: %w", err)
+	}
+	greedy, err := core.SolveGreedy(in, opt)
+	if err != nil {
+		return Solution{}, err
+	}
+	return SolveAt(in, classes, greedy.Assignment.Orientation)
+}
+
+// SolveAt computes the max-min fair plan at the given fixed orientations.
+func SolveAt(in *model.Instance, classes []int, orientations []float64) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, fmt.Errorf("fair: %w", err)
+	}
+	n, m := in.N(), in.M()
+	if len(orientations) != m {
+		return Solution{}, fmt.Errorf("fair: %d orientations for %d antennas", len(orientations), m)
+	}
+	if classes == nil {
+		classes = make([]int, n)
+	}
+	if len(classes) != n {
+		return Solution{}, fmt.Errorf("fair: %d class labels for %d customers", len(classes), n)
+	}
+	numClasses := 0
+	for i, c := range classes {
+		if c < 0 {
+			return Solution{}, fmt.Errorf("fair: customer %d has negative class %d", i, c)
+		}
+		if c+1 > numClasses {
+			numClasses = c + 1
+		}
+	}
+	sol := Solution{Orientation: append([]float64(nil), orientations...)}
+	if n == 0 || m == 0 {
+		sol.Frac = make([][]float64, n)
+		sol.ClassFraction = make([]float64, numClasses)
+		return sol, nil
+	}
+
+	// Class profit totals; empty classes are trivially at fraction 1.
+	classTotal := make([]float64, numClasses)
+	for i, c := range in.Customers {
+		classTotal[classes[i]] += float64(c.Profit)
+	}
+
+	// Variable layout: one x_{ij} per eligible pair, then t (step 1 only).
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i, c := range in.Customers {
+		for j, a := range in.Antennas {
+			if a.Covers(sol.Orientation[j], c) {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	nv := len(pairs)
+
+	baseRows := func(extra int) ([][]float64, []float64) {
+		var a [][]float64
+		var b []float64
+		// per-customer: Σ_j x_ij ≤ 1
+		perCust := make(map[int][]float64)
+		for k, pr := range pairs {
+			row, ok := perCust[pr.i]
+			if !ok {
+				row = make([]float64, nv+extra)
+				perCust[pr.i] = row
+			}
+			row[k] = 1
+		}
+		for i := 0; i < n; i++ {
+			if row, ok := perCust[i]; ok {
+				a = append(a, row)
+				b = append(b, 1)
+			}
+		}
+		// per-antenna capacity: Σ_i d_i x_ij ≤ C_j
+		perAnt := make([][]float64, m)
+		for j := range perAnt {
+			perAnt[j] = make([]float64, nv+extra)
+		}
+		for k, pr := range pairs {
+			perAnt[pr.j][k] = float64(in.Customers[pr.i].Demand)
+		}
+		for j := 0; j < m; j++ {
+			a = append(a, perAnt[j])
+			b = append(b, float64(in.Antennas[j].Capacity))
+		}
+		return a, b
+	}
+
+	// Step 1: maximize t with served_c ≥ t·P_c, i.e.
+	// t·P_c − Σ_{i∈c} p_i x_ij ≤ 0, and t ≤ 1.
+	a1, b1 := baseRows(1)
+	tVar := nv
+	for cls := 0; cls < numClasses; cls++ {
+		if classTotal[cls] == 0 {
+			continue
+		}
+		row := make([]float64, nv+1)
+		row[tVar] = classTotal[cls]
+		for k, pr := range pairs {
+			if classes[pr.i] == cls {
+				row[k] = -float64(in.Customers[pr.i].Profit)
+			}
+		}
+		a1 = append(a1, row)
+		b1 = append(b1, 0)
+	}
+	capT := make([]float64, nv+1)
+	capT[tVar] = 1
+	a1 = append(a1, capT)
+	b1 = append(b1, 1)
+	obj1 := make([]float64, nv+1)
+	obj1[tVar] = 1
+	s1, err := lp.Maximize(obj1, a1, b1)
+	if err != nil {
+		return Solution{}, fmt.Errorf("fair: step-1 LP: %w", err)
+	}
+	if s1.Status != lp.Optimal {
+		return Solution{}, fmt.Errorf("fair: step-1 LP %v", s1.Status)
+	}
+	tStar := s1.Value
+
+	// Step 2: maximize total profit with served_c ≥ (t*−slack)·P_c.
+	const slack = 1e-7
+	a2, b2 := baseRows(0)
+	for cls := 0; cls < numClasses; cls++ {
+		if classTotal[cls] == 0 {
+			continue
+		}
+		row := make([]float64, nv)
+		for k, pr := range pairs {
+			if classes[pr.i] == cls {
+				row[k] = -float64(in.Customers[pr.i].Profit)
+			}
+		}
+		a2 = append(a2, row)
+		b2 = append(b2, -(tStar-slack)*classTotal[cls])
+	}
+	obj2 := make([]float64, nv)
+	for k, pr := range pairs {
+		obj2[k] = float64(in.Customers[pr.i].Profit)
+	}
+	s2, err := lp.Maximize(obj2, a2, b2)
+	if err != nil {
+		return Solution{}, fmt.Errorf("fair: step-2 LP: %w", err)
+	}
+	if s2.Status != lp.Optimal {
+		return Solution{}, fmt.Errorf("fair: step-2 LP %v", s2.Status)
+	}
+
+	sol.MinFraction = tStar
+	sol.Value = s2.Value
+	sol.Frac = make([][]float64, n)
+	for i := range sol.Frac {
+		sol.Frac[i] = make([]float64, m)
+	}
+	served := make([]float64, numClasses)
+	for k, pr := range pairs {
+		sol.Frac[pr.i][pr.j] = s2.X[k]
+		served[classes[pr.i]] += s2.X[k] * float64(in.Customers[pr.i].Profit)
+	}
+	sol.ClassFraction = make([]float64, numClasses)
+	for cls := range sol.ClassFraction {
+		if classTotal[cls] == 0 {
+			sol.ClassFraction[cls] = 1
+		} else {
+			sol.ClassFraction[cls] = served[cls] / classTotal[cls]
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,167 @@
+package fair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+func checkFrac(t *testing.T, in *model.Instance, sol Solution) {
+	t.Helper()
+	const tol = 1e-6
+	load := make([]float64, in.M())
+	for i, row := range sol.Frac {
+		var total float64
+		for j, f := range row {
+			if f < -tol {
+				t.Fatalf("negative fraction x[%d][%d] = %v", i, j, f)
+			}
+			if f > tol && !in.Antennas[j].Covers(sol.Orientation[j], in.Customers[i]) {
+				t.Fatalf("customer %d served by non-covering antenna %d", i, j)
+			}
+			total += f
+			load[j] += f * float64(in.Customers[i].Demand)
+		}
+		if total > 1+tol {
+			t.Fatalf("customer %d served %v > 1", i, total)
+		}
+	}
+	for j, l := range load {
+		if l > float64(in.Antennas[j].Capacity)+tol*(1+l) {
+			t.Fatalf("antenna %d load %v > %d", j, l, in.Antennas[j].Capacity)
+		}
+	}
+}
+
+func TestFairFeasibleAndFloorsHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 10; trial++ {
+		in := gen.MustGenerate(gen.Config{
+			Family: gen.Hotspot, Variant: model.Sectors,
+			Seed: rng.Int63(), N: 25, M: 3,
+		})
+		classes := make([]int, in.N())
+		for i := range classes {
+			classes[i] = i % 3
+		}
+		sol, err := Solve(in, classes, core.Options{SkipBound: true})
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		checkFrac(t, in, sol)
+		for cls, f := range sol.ClassFraction {
+			if f < sol.MinFraction-1e-5 {
+				t.Fatalf("class %d fraction %v below guaranteed floor %v", cls, f, sol.MinFraction)
+			}
+		}
+		if sol.MinFraction < 0 || sol.MinFraction > 1+1e-9 {
+			t.Fatalf("MinFraction %v outside [0,1]", sol.MinFraction)
+		}
+	}
+}
+
+func TestFairnessRaisesTheFloorVsEfficiency(t *testing.T) {
+	// Two clusters, one big and one small, one antenna that can only point
+	// at one of them: the efficiency objective abandons the small cluster
+	// (floor 0); max-min splits service.
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 1, Demand: 4}, // class 0 (big cluster)
+			{Theta: 0.2, R: 1, Demand: 4}, // class 0
+			{Theta: 3.2, R: 1, Demand: 4}, // class 1 (small cluster, opposite side)
+		},
+		Antennas: []model.Antenna{
+			{Rho: 0.5, Capacity: 8},
+			{Rho: 0.5, Capacity: 8},
+		},
+	}
+	in.Normalize()
+	classes := []int{0, 0, 1}
+	sol, err := Solve(in, classes, core.Options{SkipBound: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	checkFrac(t, in, sol)
+	// With two antennas, one can point at each cluster: floor should be 1.
+	if sol.MinFraction < 1-1e-6 {
+		t.Fatalf("both clusters are fully servable, floor = %v", sol.MinFraction)
+	}
+}
+
+func TestFairSymmetricClassesEqualFractions(t *testing.T) {
+	// Two mirror-image clusters with one antenna capacity-limited to half
+	// the total: max-min must split close to evenly.
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.10, R: 1, Demand: 4},
+			{Theta: 0.30, R: 1, Demand: 4},
+		},
+		Antennas: []model.Antenna{{Rho: 1.0, Capacity: 4}},
+	}
+	in.Normalize()
+	classes := []int{0, 1}
+	sol, err := Solve(in, classes, core.Options{SkipBound: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	checkFrac(t, in, sol)
+	if math.Abs(sol.ClassFraction[0]-sol.ClassFraction[1]) > 1e-5 {
+		t.Fatalf("symmetric classes should tie: %v vs %v", sol.ClassFraction[0], sol.ClassFraction[1])
+	}
+	if math.Abs(sol.MinFraction-0.5) > 1e-5 {
+		t.Fatalf("floor should be 1/2 with half capacity, got %v", sol.MinFraction)
+	}
+}
+
+func TestFairNilClassesIsEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	in := gen.MustGenerate(gen.Config{
+		Family: gen.Uniform, Variant: model.Sectors,
+		Seed: rng.Int63(), N: 15, M: 2,
+	})
+	sol, err := Solve(in, nil, core.Options{SkipBound: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	checkFrac(t, in, sol)
+	// With a single class, step 2's value equals the splittable LP value
+	// at the same orientations.
+	split, err := core.SolveSplittable(in, core.Options{SkipBound: true})
+	if err != nil {
+		t.Fatalf("splittable: %v", err)
+	}
+	if math.Abs(sol.Value-split.Value) > 1e-4*(1+split.Value) {
+		t.Fatalf("single-class fair value %v != splittable value %v", sol.Value, split.Value)
+	}
+}
+
+func TestFairErrors(t *testing.T) {
+	in := gen.MustGenerate(gen.Config{
+		Family: gen.Uniform, Variant: model.Sectors, Seed: 1, N: 5, M: 1,
+	})
+	if _, err := Solve(in, []int{0, 1}, core.Options{}); err == nil {
+		t.Error("wrong class label count must error")
+	}
+	if _, err := Solve(in, []int{0, 0, 0, 0, -1}, core.Options{}); err == nil {
+		t.Error("negative class must error")
+	}
+	_ = geom.TwoPi
+}
+
+func TestFairEmpty(t *testing.T) {
+	in := (&model.Instance{Variant: model.Angles}).Normalize()
+	sol, err := Solve(in, nil, core.Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Value != 0 {
+		t.Fatalf("empty value = %v", sol.Value)
+	}
+}

@@ -1,0 +1,279 @@
+// Package gen produces the synthetic workload families used by the
+// experiments. The paper is a theory paper with no published datasets
+// (soundness band: "theory-only, no systems evaluation"), so these
+// generators are the substitute for an evaluation testbed: each family
+// stresses a different structural regime of the problem — uniform spatial
+// spread, angular hotspots, concentric rings, heavy-tailed demands, and an
+// adversarial family that embeds hard knapsack instances into a sector.
+//
+// All generators are deterministic functions of their Config (including
+// the Seed); experiments are therefore reproducible bit for bit.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+// Family names a workload family.
+type Family string
+
+const (
+	// Uniform scatters customers uniformly on a disk with uniform demands.
+	Uniform Family = "uniform"
+	// Hotspot concentrates customers in a few Gaussian angular clusters
+	// (the "event crowd" regime that motivates directional antennas).
+	Hotspot Family = "hotspot"
+	// Rings places customers on concentric rings (dense urban blocks),
+	// stressing the radial constraint of the Sectors variant.
+	Rings Family = "rings"
+	// Zipf scatters uniformly but draws demands from a Zipf-like heavy
+	// tail, stressing the knapsack layer.
+	Zipf Family = "zipf"
+	// Adversarial embeds a two-value knapsack gadget in a narrow arc so
+	// density-greedy heuristics are maximally misled.
+	Adversarial Family = "adversarial"
+)
+
+// Families lists all generator families.
+func Families() []Family {
+	return []Family{Uniform, Hotspot, Rings, Zipf, Adversarial}
+}
+
+// Config fully determines a generated instance.
+type Config struct {
+	Family  Family
+	Seed    int64
+	N       int           // number of customers
+	M       int           // number of antennas
+	Variant model.Variant // problem variant to stamp on the instance
+
+	// Rho is the angular width of every antenna (radians). Zero means a
+	// family default of π/3.
+	Rho float64
+	// RhoSpread, when positive, perturbs each antenna's width uniformly
+	// within ±RhoSpread (clamped to stay positive and within the
+	// DisjointAngles feasibility budget).
+	RhoSpread float64
+	// Range is the radial reach for the Sectors variant; ignored (forced
+	// unbounded) for Angles and DisjointAngles. Zero means 8.
+	Range float64
+	// MinRange is the antennas' near-field exclusion radius (annulus
+	// extension); zero disables it.
+	MinRange float64
+	// Tightness is total demand / total capacity; capacities are scaled
+	// to hit it. Zero means 1.5 (meaningfully contended).
+	Tightness float64
+	// MaxDemand bounds individual demands. Zero means 10.
+	MaxDemand int64
+	// ProfitSpread decouples profit from demand: each customer's profit
+	// becomes demand × U(1, 1+ProfitSpread), rounded. Zero keeps the
+	// default profit = demand.
+	ProfitSpread float64
+	// Hotspots is the cluster count for the Hotspot family. Zero means 3.
+	Hotspots int
+	// ZipfS is the Zipf exponent for the Zipf family. Zero means 1.5.
+	ZipfS float64
+	// UnitDemand forces every demand (and profit) to the same value
+	// (MaxDemand is ignored; demand is 1).
+	UnitDemand bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rho == 0 {
+		c.Rho = math.Pi / 3
+	}
+	if c.Range == 0 {
+		c.Range = 8
+	}
+	if c.Tightness == 0 {
+		c.Tightness = 1.5
+	}
+	if c.MaxDemand == 0 {
+		c.MaxDemand = 10
+	}
+	if c.Hotspots == 0 {
+		c.Hotspots = 3
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.5
+	}
+	return c
+}
+
+// Generate builds the instance described by the config.
+func Generate(cfg Config) (*model.Instance, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 0 || cfg.M < 0 {
+		return nil, fmt.Errorf("gen: negative N or M")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := &model.Instance{
+		Name:    fmt.Sprintf("%s-n%d-m%d-seed%d", cfg.Family, cfg.N, cfg.M, cfg.Seed),
+		Variant: cfg.Variant,
+	}
+	switch cfg.Family {
+	case Uniform:
+		genUniformPositions(in, cfg, rng)
+		genUniformDemands(in, cfg, rng)
+	case Hotspot:
+		genHotspotPositions(in, cfg, rng)
+		genUniformDemands(in, cfg, rng)
+	case Rings:
+		genRingPositions(in, cfg, rng)
+		genUniformDemands(in, cfg, rng)
+	case Zipf:
+		genUniformPositions(in, cfg, rng)
+		genZipfDemands(in, cfg, rng)
+	case Adversarial:
+		genAdversarial(in, cfg, rng)
+	default:
+		return nil, fmt.Errorf("gen: unknown family %q", cfg.Family)
+	}
+	if cfg.UnitDemand {
+		for i := range in.Customers {
+			in.Customers[i].Demand = 1
+			in.Customers[i].Profit = 1
+		}
+	} else if cfg.ProfitSpread > 0 {
+		for i := range in.Customers {
+			factor := 1 + rng.Float64()*cfg.ProfitSpread
+			p := int64(float64(in.Customers[i].Demand) * factor)
+			if p < 1 {
+				p = 1
+			}
+			in.Customers[i].Profit = p
+		}
+	}
+	genAntennas(in, cfg, rng)
+	in.Normalize()
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: generated invalid instance: %w", err)
+	}
+	return in, nil
+}
+
+// MustGenerate is Generate for callers with static configs (tests,
+// examples); it panics on error.
+func MustGenerate(cfg Config) *model.Instance {
+	in, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func genUniformPositions(in *model.Instance, cfg Config, rng *rand.Rand) {
+	maxR := cfg.Range * 1.25 // some customers are out of reach by design
+	for i := 0; i < cfg.N; i++ {
+		in.Customers = append(in.Customers, model.Customer{
+			Theta: rng.Float64() * geom.TwoPi,
+			R:     math.Sqrt(rng.Float64()) * maxR, // uniform on the disk
+		})
+	}
+}
+
+func genHotspotPositions(in *model.Instance, cfg Config, rng *rand.Rand) {
+	centers := make([]float64, cfg.Hotspots)
+	for k := range centers {
+		centers[k] = rng.Float64() * geom.TwoPi
+	}
+	sigma := cfg.Rho / 3 // clusters comparable to a sector width
+	for i := 0; i < cfg.N; i++ {
+		c := centers[rng.Intn(len(centers))]
+		in.Customers = append(in.Customers, model.Customer{
+			Theta: geom.NormAngle(c + rng.NormFloat64()*sigma),
+			R:     math.Sqrt(rng.Float64()) * cfg.Range,
+		})
+	}
+}
+
+func genRingPositions(in *model.Instance, cfg Config, rng *rand.Rand) {
+	rings := []float64{cfg.Range * 0.3, cfg.Range * 0.7, cfg.Range * 1.1}
+	for i := 0; i < cfg.N; i++ {
+		r := rings[rng.Intn(len(rings))] * (1 + rng.NormFloat64()*0.03)
+		if r < 0 {
+			r = 0
+		}
+		in.Customers = append(in.Customers, model.Customer{
+			Theta: rng.Float64() * geom.TwoPi,
+			R:     r,
+		})
+	}
+}
+
+func genUniformDemands(in *model.Instance, cfg Config, rng *rand.Rand) {
+	for i := range in.Customers {
+		in.Customers[i].Demand = 1 + rng.Int63n(cfg.MaxDemand)
+	}
+}
+
+func genZipfDemands(in *model.Instance, cfg Config, rng *rand.Rand) {
+	z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.MaxDemand-1))
+	for i := range in.Customers {
+		in.Customers[i].Demand = 1 + int64(z.Uint64())
+	}
+}
+
+// genAdversarial embeds the classic greedy-killer knapsack gadget in a
+// narrow arc: one small high-density item and many large items whose total
+// value exceeds it, all inside a single sector width, so the density greedy
+// fills with the small item first and strands capacity.
+func genAdversarial(in *model.Instance, cfg Config, rng *rand.Rand) {
+	arc := cfg.Rho * 0.8
+	base := rng.Float64() * geom.TwoPi
+	for i := 0; i < cfg.N; i++ {
+		theta := geom.NormAngle(base + rng.Float64()*arc)
+		r := math.Sqrt(rng.Float64()) * cfg.Range * 0.9
+		var demand, profit int64
+		if i%5 == 0 {
+			demand, profit = 1, 3 // density 3: greedy grabs these first
+		} else {
+			demand, profit = cfg.MaxDemand, 2*cfg.MaxDemand-1 // density just below 2
+		}
+		in.Customers = append(in.Customers, model.Customer{
+			Theta: theta, R: r, Demand: demand, Profit: profit,
+		})
+	}
+}
+
+func genAntennas(in *model.Instance, cfg Config, rng *rand.Rand) {
+	if cfg.M == 0 {
+		return
+	}
+	var totalDemand int64
+	for _, c := range in.Customers {
+		totalDemand += c.Demand
+	}
+	totalCap := float64(totalDemand) / cfg.Tightness
+	if totalCap < 1 {
+		totalCap = 1
+	}
+	perCap := int64(totalCap / float64(cfg.M))
+	if perCap < 1 {
+		perCap = 1
+	}
+	// Width budget keeps DisjointAngles instances feasible.
+	budget := geom.TwoPi * 0.95
+	for j := 0; j < cfg.M; j++ {
+		w := cfg.Rho
+		if cfg.RhoSpread > 0 {
+			w += (rng.Float64()*2 - 1) * cfg.RhoSpread
+		}
+		if w < 0.05 {
+			w = 0.05
+		}
+		if cfg.Variant == model.DisjointAngles && w > budget/float64(cfg.M) {
+			w = budget / float64(cfg.M)
+		}
+		a := model.Antenna{Rho: w, Capacity: perCap, MinRange: cfg.MinRange}
+		if cfg.Variant == model.Sectors {
+			a.Range = cfg.Range
+		}
+		in.Antennas = append(in.Antennas, a)
+	}
+}

@@ -1,0 +1,198 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+func TestAllFamiliesGenerateValidInstances(t *testing.T) {
+	for _, fam := range Families() {
+		for _, variant := range []model.Variant{model.Sectors, model.Angles, model.DisjointAngles} {
+			cfg := Config{Family: fam, Seed: 1, N: 40, M: 3, Variant: variant}
+			in, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", fam, variant, err)
+			}
+			if in.N() != 40 || in.M() != 3 {
+				t.Fatalf("%s/%v: shape %dx%d", fam, variant, in.N(), in.M())
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s/%v: invalid: %v", fam, variant, err)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Family: Hotspot, Seed: 42, N: 30, M: 2, Variant: model.Sectors}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	for i := range a.Customers {
+		if a.Customers[i] != b.Customers[i] {
+			t.Fatalf("customer %d differs across identical configs", i)
+		}
+	}
+	for j := range a.Antennas {
+		if a.Antennas[j] != b.Antennas[j] {
+			t.Fatalf("antenna %d differs across identical configs", j)
+		}
+	}
+	c := MustGenerate(Config{Family: Hotspot, Seed: 43, N: 30, M: 2, Variant: model.Sectors})
+	same := true
+	for i := range a.Customers {
+		if a.Customers[i] != c.Customers[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different instances")
+	}
+}
+
+func TestTightnessControl(t *testing.T) {
+	for _, tight := range []float64{0.5, 1.0, 2.0} {
+		in := MustGenerate(Config{Family: Uniform, Seed: 7, N: 200, M: 4, Tightness: tight, Variant: model.Angles})
+		got := in.Tightness()
+		// per-antenna integer truncation skews it slightly upward
+		if got < tight*0.95 || got > tight*1.3 {
+			t.Errorf("tightness %v: got %v", tight, got)
+		}
+	}
+}
+
+func TestUnitDemandFlag(t *testing.T) {
+	in := MustGenerate(Config{Family: Zipf, Seed: 3, N: 50, M: 2, UnitDemand: true, Variant: model.Angles})
+	if !in.UnitDemand() {
+		t.Fatal("UnitDemand flag must force unit demands")
+	}
+	if in.Customers[0].Demand != 1 {
+		t.Fatal("unit demand should be 1")
+	}
+}
+
+func TestVariantAntennaShapes(t *testing.T) {
+	angles := MustGenerate(Config{Family: Uniform, Seed: 5, N: 10, M: 2, Variant: model.Angles})
+	for _, a := range angles.Antennas {
+		if !a.Unbounded() {
+			t.Error("Angles antennas must be unbounded")
+		}
+	}
+	sectors := MustGenerate(Config{Family: Uniform, Seed: 5, N: 10, M: 2, Variant: model.Sectors})
+	for _, a := range sectors.Antennas {
+		if a.Unbounded() {
+			t.Error("Sectors antennas must be bounded")
+		}
+	}
+	dis := MustGenerate(Config{Family: Uniform, Seed: 5, N: 10, M: 5, Variant: model.DisjointAngles, Rho: 3.0})
+	var total float64
+	for _, a := range dis.Antennas {
+		total += a.Rho
+	}
+	if total > geom.TwoPi {
+		t.Errorf("DisjointAngles widths %v exceed 2π", total)
+	}
+}
+
+func TestZipfDemandsHeavyTailed(t *testing.T) {
+	in := MustGenerate(Config{Family: Zipf, Seed: 11, N: 2000, M: 1, MaxDemand: 50, Variant: model.Angles})
+	ones, max := 0, int64(0)
+	for _, c := range in.Customers {
+		if c.Demand == 1 {
+			ones++
+		}
+		if c.Demand > max {
+			max = c.Demand
+		}
+	}
+	if ones < in.N()/3 {
+		t.Errorf("Zipf should concentrate at 1: only %d/%d", ones, in.N())
+	}
+	if max < 10 {
+		t.Errorf("Zipf tail too short: max %d", max)
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	cfg := Config{Family: Hotspot, Seed: 13, N: 500, M: 1, Hotspots: 2, Variant: model.Angles}
+	in := MustGenerate(cfg)
+	// With 2 clusters of σ=ρ/3, a window of width ρ around the best angle
+	// should capture far more than the uniform share.
+	rho := math.Pi / 3
+	best := 0
+	for _, c := range in.Customers {
+		count := 0
+		for _, d := range in.Customers {
+			if geom.AngleDist(c.Theta, d.Theta) <= rho {
+				count++
+			}
+		}
+		if count > best {
+			best = count
+		}
+	}
+	uniformShare := float64(in.N()) * rho / geom.TwoPi
+	if float64(best) < 1.5*uniformShare {
+		t.Errorf("hotspot concentration too weak: best window %d vs uniform share %.0f", best, uniformShare)
+	}
+}
+
+func TestAdversarialStructure(t *testing.T) {
+	in := MustGenerate(Config{Family: Adversarial, Seed: 17, N: 25, M: 1, Variant: model.Sectors})
+	small, large := 0, 0
+	for _, c := range in.Customers {
+		if c.Demand == 1 {
+			small++
+		} else {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("adversarial family needs both item types: %d small, %d large", small, large)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Generate(Config{Family: "bogus", N: 5, M: 1}); err == nil {
+		t.Error("unknown family must error")
+	}
+	if _, err := Generate(Config{Family: Uniform, N: -1, M: 1}); err == nil {
+		t.Error("negative N must error")
+	}
+}
+
+func TestZeroCustomersOrAntennas(t *testing.T) {
+	in := MustGenerate(Config{Family: Uniform, Seed: 1, N: 0, M: 2, Variant: model.Angles})
+	if in.N() != 0 || in.M() != 2 {
+		t.Fatalf("shape %dx%d", in.N(), in.M())
+	}
+	in = MustGenerate(Config{Family: Uniform, Seed: 1, N: 5, M: 0, Variant: model.Angles})
+	if in.M() != 0 {
+		t.Fatalf("M = %d", in.M())
+	}
+}
+
+func TestProfitSpread(t *testing.T) {
+	in := MustGenerate(Config{Family: Uniform, Seed: 19, N: 200, M: 1, ProfitSpread: 1.5, Variant: model.Angles})
+	diverged := 0
+	for _, c := range in.Customers {
+		if c.Profit < c.Demand {
+			t.Fatalf("profit %d below demand %d", c.Profit, c.Demand)
+		}
+		if c.Profit > c.Demand {
+			diverged++
+		}
+	}
+	if diverged < in.N()/4 {
+		t.Errorf("profit spread had no effect: only %d/%d diverged", diverged, in.N())
+	}
+	plain := MustGenerate(Config{Family: Uniform, Seed: 19, N: 50, M: 1, Variant: model.Angles})
+	for _, c := range plain.Customers {
+		if c.Profit != c.Demand {
+			t.Fatal("zero spread must keep profit = demand")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package geom provides the planar and circular geometry primitives that
+// underpin sector packing: normalized angles, circular (wrap-around)
+// intervals, polar points, and antenna sectors.
+//
+// All angles are expressed in radians and normalized to the half-open range
+// [0, 2π). Because sector boundaries are typically aligned exactly with
+// customer angles (the candidate-orientation lemma), containment tests use a
+// small absolute tolerance Eps so that boundary customers count as covered
+// regardless of floating-point rounding.
+package geom
+
+import "math"
+
+// TwoPi is the full circle in radians.
+const TwoPi = 2 * math.Pi
+
+// Eps is the absolute tolerance used by angular containment tests. It is
+// large enough to absorb the rounding of a handful of float64 operations on
+// angles, and far smaller than any meaningful angular separation between
+// distinct customers in generated workloads.
+const Eps = 1e-9
+
+// NormAngle maps an arbitrary angle in radians to the canonical range
+// [0, 2π). NaN is returned unchanged; ±Inf normalize to NaN, matching
+// math.Mod semantics.
+func NormAngle(theta float64) float64 {
+	t := math.Mod(theta, TwoPi)
+	if t < 0 {
+		t += TwoPi
+	}
+	// math.Mod can return exactly TwoPi-ulp inputs as TwoPi after the
+	// correction above when theta is a tiny negative number; fold it back.
+	if t >= TwoPi {
+		t -= TwoPi
+	}
+	return t
+}
+
+// AngleDist returns the clockwise distance from angle a to angle b, i.e. the
+// unique value d in [0, 2π) with NormAngle(a+d) == NormAngle(b) up to
+// floating-point rounding. It is the primitive on which circular interval
+// containment is built.
+func AngleDist(from, to float64) float64 {
+	return NormAngle(to - from)
+}
+
+// AngleBetween reports whether the angle theta lies on the clockwise arc
+// from start spanning width radians, with Eps tolerance on both ends.
+// Width must be in [0, 2π]; a width of 2π (or more) covers every angle.
+func AngleBetween(theta, start, width float64) bool {
+	if width >= TwoPi-Eps {
+		return true
+	}
+	d := AngleDist(start, theta)
+	if d <= width+Eps {
+		return true
+	}
+	// theta may sit just *before* start due to rounding (d ≈ 2π).
+	return TwoPi-d <= Eps
+}
+
+// MinAngularGap returns the smallest pairwise clockwise gap between any two
+// distinct angles in the slice, or 2π if fewer than two angles are given.
+// Generators use it to certify that instances keep customers separated by
+// much more than Eps.
+func MinAngularGap(angles []float64) float64 {
+	if len(angles) < 2 {
+		return TwoPi
+	}
+	sorted := make([]float64, len(angles))
+	for i, a := range angles {
+		sorted[i] = NormAngle(a)
+	}
+	insertionSort(sorted)
+	best := TwoPi - sorted[len(sorted)-1] + sorted[0]
+	for i := 1; i < len(sorted); i++ {
+		if g := sorted[i] - sorted[i-1]; g < best {
+			best = g
+		}
+	}
+	return best
+}
+
+// insertionSort keeps geom free of a sort dependency for the tiny slices it
+// handles; callers with large inputs sort themselves.
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Degrees converts radians to degrees; handy for human-readable output.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }

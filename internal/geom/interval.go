@@ -1,0 +1,131 @@
+package geom
+
+import "fmt"
+
+// Interval is a circular (wrap-around) angular interval: the clockwise arc
+// that starts at Start and spans Width radians. Start is kept normalized to
+// [0, 2π); Width lies in [0, 2π]. The zero value is the degenerate single
+// angle {0}.
+type Interval struct {
+	Start float64
+	Width float64
+}
+
+// NewInterval builds a normalized interval. Widths outside [0, 2π] are
+// clamped: negative widths collapse to 0 and widths beyond a full turn
+// saturate at 2π (a full-circle interval).
+func NewInterval(start, width float64) Interval {
+	if width < 0 {
+		width = 0
+	}
+	if width > TwoPi {
+		width = TwoPi
+	}
+	return Interval{Start: NormAngle(start), Width: width}
+}
+
+// FullCircle returns the interval covering every angle.
+func FullCircle() Interval { return Interval{Start: 0, Width: TwoPi} }
+
+// End returns the normalized end angle of the interval (Start + Width).
+func (iv Interval) End() float64 { return NormAngle(iv.Start + iv.Width) }
+
+// IsFull reports whether the interval covers the whole circle (up to Eps).
+func (iv Interval) IsFull() bool { return iv.Width >= TwoPi-Eps }
+
+// Contains reports whether angle theta lies inside the interval, with Eps
+// tolerance at both boundaries.
+func (iv Interval) Contains(theta float64) bool {
+	return AngleBetween(theta, iv.Start, iv.Width)
+}
+
+// Overlaps reports whether the two intervals share any angle. Boundary
+// touching within Eps counts as overlap, which is the conservative choice
+// for disjointness constraints: DISJOINT solutions must keep sectors
+// separated by strictly more than Eps.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.Width <= 0 || other.Width <= 0 {
+		// A degenerate interval is a single point; it overlaps iff that
+		// point is inside the other interval.
+		if iv.Width <= 0 && other.Width <= 0 {
+			return AngleDist(iv.Start, other.Start) <= Eps ||
+				AngleDist(other.Start, iv.Start) <= Eps
+		}
+		if iv.Width <= 0 {
+			return other.Contains(iv.Start)
+		}
+		return iv.Contains(other.Start)
+	}
+	if iv.IsFull() || other.IsFull() {
+		return true
+	}
+	return iv.Contains(other.Start) || other.Contains(iv.Start)
+}
+
+// InteriorsOverlap reports whether the open interiors of the two intervals
+// intersect. Flush intervals (one starting exactly where the other ends)
+// have disjoint interiors, which is the disjointness notion the
+// DisjointAngles variant uses: optimal packings routinely place sectors
+// flush against each other. Zero-width intervals have empty interiors.
+func (iv Interval) InteriorsOverlap(other Interval) bool {
+	if iv.Width <= Eps || other.Width <= Eps {
+		return false
+	}
+	// Disjoint interiors iff other starts at or after iv's end (clockwise)
+	// AND iv starts at or after other's end.
+	gapA := AngleDist(iv.Start, other.Start) // clockwise iv.Start → other.Start
+	gapB := AngleDist(other.Start, iv.Start)
+	return !(gapA >= iv.Width-Eps && gapB >= other.Width-Eps)
+}
+
+// ContainsInterval reports whether the entire other interval lies within iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if iv.IsFull() {
+		return true
+	}
+	if other.Width > iv.Width+Eps {
+		return false
+	}
+	d := AngleDist(iv.Start, other.Start)
+	if d > iv.Width+Eps && TwoPi-d > Eps {
+		return false
+	}
+	if TwoPi-d <= Eps {
+		d = 0
+	}
+	return d+other.Width <= iv.Width+Eps
+}
+
+// ClockwiseGapTo returns the clockwise angular gap from the end of iv to the
+// start of other; 0 means other begins exactly where iv ends.
+func (iv Interval) ClockwiseGapTo(other Interval) float64 {
+	return AngleDist(iv.End(), other.Start)
+}
+
+// String renders the interval in degrees for diagnostics.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.2f°+%.2f°]", Degrees(iv.Start), Degrees(iv.Width))
+}
+
+// Disjoint reports whether every pair of intervals in the slice has
+// disjoint interiors (boundary touching is allowed; see InteriorsOverlap).
+func Disjoint(ivs []Interval) bool {
+	for i := range ivs {
+		for j := i + 1; j < len(ivs); j++ {
+			if ivs[i].InteriorsOverlap(ivs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TotalWidth sums the widths of the intervals; for a disjoint family this
+// never exceeds 2π (a fact the DISJOINT feasibility checker exploits).
+func TotalWidth(ivs []Interval) float64 {
+	var w float64
+	for _, iv := range ivs {
+		w += iv.Width
+	}
+	return w
+}

@@ -1,0 +1,243 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIntervalClamps(t *testing.T) {
+	iv := NewInterval(-1, -2)
+	if iv.Width != 0 {
+		t.Errorf("negative width should clamp to 0, got %v", iv.Width)
+	}
+	if iv.Start < 0 || iv.Start >= TwoPi {
+		t.Errorf("start not normalized: %v", iv.Start)
+	}
+	iv = NewInterval(0, 100)
+	if iv.Width != TwoPi {
+		t.Errorf("oversized width should clamp to 2π, got %v", iv.Width)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := NewInterval(5.5, 2.0) // wraps through 0
+	for _, theta := range []float64{5.5, 6.0, 0.2, NormAngle(5.5 + 2.0)} {
+		if !iv.Contains(theta) {
+			t.Errorf("%v should contain θ=%v", iv, theta)
+		}
+	}
+	for _, theta := range []float64{2.0, 5.0, 4.0} {
+		if iv.Contains(theta) {
+			t.Errorf("%v should not contain θ=%v", iv, theta)
+		}
+	}
+}
+
+func TestIntervalEnd(t *testing.T) {
+	iv := NewInterval(6.0, 1.0)
+	if !almostEqual(iv.End(), NormAngle(7.0), 1e-12) {
+		t.Errorf("End = %v, want %v", iv.End(), NormAngle(7.0))
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := NewInterval(0, 1)
+	b := NewInterval(0.5, 1)
+	c := NewInterval(2, 1)
+	d := NewInterval(6, 0.5) // wraps into a
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("a and c are disjoint")
+	}
+	if !a.Overlaps(d) || !d.Overlaps(a) {
+		t.Error("a and d overlap across the wrap")
+	}
+	if !FullCircle().Overlaps(c) {
+		t.Error("full circle overlaps everything")
+	}
+}
+
+func TestDegenerateIntervalOverlap(t *testing.T) {
+	pt := NewInterval(1.0, 0)
+	host := NewInterval(0.5, 1.0)
+	if !pt.Overlaps(host) || !host.Overlaps(pt) {
+		t.Error("point interval inside a host interval should overlap it")
+	}
+	far := NewInterval(3.0, 0.2)
+	if pt.Overlaps(far) || far.Overlaps(pt) {
+		t.Error("point interval outside should not overlap")
+	}
+	pt2 := NewInterval(1.0, 0)
+	if !pt.Overlaps(pt2) {
+		t.Error("identical point intervals overlap")
+	}
+	pt3 := NewInterval(1.1, 0)
+	if pt.Overlaps(pt3) {
+		t.Error("distinct point intervals do not overlap")
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	outer := NewInterval(1, 2)
+	inner := NewInterval(1.5, 1)
+	if !outer.ContainsInterval(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsInterval(outer) {
+		t.Error("inner cannot contain a wider outer")
+	}
+	if !outer.ContainsInterval(outer) {
+		t.Error("interval contains itself")
+	}
+	if !FullCircle().ContainsInterval(outer) {
+		t.Error("full circle contains everything")
+	}
+	wrap := NewInterval(6, 1.5)
+	sub := NewInterval(0.1, 0.5)
+	if !wrap.ContainsInterval(sub) {
+		t.Error("wrap-around interval should contain its tail segment")
+	}
+	outside := NewInterval(3, 0.5)
+	if wrap.ContainsInterval(outside) {
+		t.Error("wrap-around interval should not contain a far segment")
+	}
+}
+
+func TestContainsIntervalStartAtOwnStart(t *testing.T) {
+	outer := NewInterval(2, 1)
+	sub := NewInterval(2, 0.5)
+	if !outer.ContainsInterval(sub) {
+		t.Error("sub starting at outer.Start should be contained")
+	}
+	over := NewInterval(2.8, 0.5) // sticks out past the end
+	if outer.ContainsInterval(over) {
+		t.Error("interval protruding past the end must not be contained")
+	}
+}
+
+func TestClockwiseGapTo(t *testing.T) {
+	a := NewInterval(0, 1)
+	b := NewInterval(2, 1)
+	if g := a.ClockwiseGapTo(b); !almostEqual(g, 1, 1e-12) {
+		t.Errorf("gap = %v, want 1", g)
+	}
+	if g := b.ClockwiseGapTo(a); !almostEqual(g, TwoPi-3, 1e-12) {
+		t.Errorf("reverse gap = %v, want %v", g, TwoPi-3)
+	}
+}
+
+func TestInteriorsOverlap(t *testing.T) {
+	a := NewInterval(0, 1)
+	flush := NewInterval(1, 1)
+	if a.InteriorsOverlap(flush) || flush.InteriorsOverlap(a) {
+		t.Error("flush intervals have disjoint interiors")
+	}
+	overlapping := NewInterval(0.5, 1)
+	if !a.InteriorsOverlap(overlapping) {
+		t.Error("shifted interval overlaps interior")
+	}
+	point := NewInterval(0.5, 0)
+	if a.InteriorsOverlap(point) || point.InteriorsOverlap(a) {
+		t.Error("zero-width interval has empty interior")
+	}
+	full := FullCircle()
+	if !full.InteriorsOverlap(a) || !a.InteriorsOverlap(full) {
+		t.Error("full circle interior overlaps any positive-width interval")
+	}
+	embedded := NewInterval(0.2, 0.3)
+	if !a.InteriorsOverlap(embedded) {
+		t.Error("embedded interval overlaps interior")
+	}
+	wrapA := NewInterval(6, 1) // wraps through 0
+	if !wrapA.InteriorsOverlap(NewInterval(0.2, 1)) {
+		t.Error("wrap-around interval overlaps a tail neighbor")
+	}
+	if wrapA.InteriorsOverlap(NewInterval(NormAngle(7), 1)) {
+		t.Error("flush after wrap-around interval should not overlap")
+	}
+}
+
+func TestDisjointAllowsFlushPartition(t *testing.T) {
+	// Three sectors tiling the circle flush: interiors disjoint.
+	w := TwoPi / 3
+	ivs := []Interval{NewInterval(0, w), NewInterval(w, w), NewInterval(2*w, w)}
+	if !Disjoint(ivs) {
+		t.Error("flush partition of the circle should count as disjoint")
+	}
+}
+
+func TestDisjointFamily(t *testing.T) {
+	ivs := []Interval{NewInterval(0, 1), NewInterval(1.5, 1), NewInterval(3, 0.5)}
+	if !Disjoint(ivs) {
+		t.Error("family should be disjoint")
+	}
+	ivs = append(ivs, NewInterval(0.5, 0.2))
+	if Disjoint(ivs) {
+		t.Error("family with an embedded interval is not disjoint")
+	}
+}
+
+func TestTotalWidth(t *testing.T) {
+	ivs := []Interval{NewInterval(0, 1), NewInterval(2, 0.5)}
+	if w := TotalWidth(ivs); !almostEqual(w, 1.5, 1e-12) {
+		t.Errorf("TotalWidth = %v, want 1.5", w)
+	}
+}
+
+// Property: containment is rotation-invariant — rotating both the interval
+// and the probe angle by the same offset never changes the answer.
+func TestContainsRotationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		start := rng.Float64() * TwoPi
+		width := rng.Float64() * TwoPi
+		theta := rng.Float64() * TwoPi
+		shift := rng.Float64()*100 - 50
+		iv := NewInterval(start, width)
+		shifted := NewInterval(start+shift, width)
+		// Avoid probing within the tolerance band of a boundary, where a
+		// shifted representation may legitimately differ by one Eps.
+		dFromStart := AngleDist(start, theta)
+		if math.Abs(dFromStart-width) < 1e-6 || dFromStart < 1e-6 || TwoPi-dFromStart < 1e-6 {
+			continue
+		}
+		if iv.Contains(theta) != shifted.Contains(NormAngle(theta+shift)) {
+			t.Fatalf("rotation changed containment: iv=%v θ=%v shift=%v", iv, theta, shift)
+		}
+	}
+}
+
+// Property: an interval always contains its start, its midpoint and its end.
+func TestContainsBoundaryProperty(t *testing.T) {
+	f := func(start, width float64) bool {
+		if math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(width) || math.IsInf(width, 0) {
+			return true
+		}
+		iv := NewInterval(start, math.Abs(math.Mod(width, TwoPi)))
+		return iv.Contains(iv.Start) &&
+			iv.Contains(NormAngle(iv.Start+iv.Width/2)) &&
+			iv.Contains(iv.End())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Disjoint families never exceed a total width of 2π.
+func TestDisjointWidthBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(5)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			ivs[i] = NewInterval(rng.Float64()*TwoPi, rng.Float64())
+		}
+		if Disjoint(ivs) && TotalWidth(ivs) > TwoPi+1e-6 {
+			t.Fatalf("disjoint family with total width %v > 2π: %v", TotalWidth(ivs), ivs)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package knapsack
+
+import "fmt"
+
+// MaxDPCells bounds the table size (rows × columns) a DP solver will
+// allocate; beyond it the solver refuses and callers should fall back to
+// BranchBound or the FPTAS. At 8 bytes per cell this caps a table at ~2 GB
+// in the worst case, but in practice the experiments stay far below it.
+const MaxDPCells = 1 << 28
+
+// DPByWeight solves 0/1 knapsack exactly by the textbook weight-indexed
+// dynamic program in O(n·C) time and memory (the full table is kept to
+// reconstruct the chosen subset). It returns an error when the table would
+// exceed MaxDPCells.
+func DPByWeight(items []Item, capacity int64) (Result, error) {
+	if err := validate(items, capacity); err != nil {
+		return Result{}, err
+	}
+	n := len(items)
+	if int64(n+1)*(capacity+1) > MaxDPCells {
+		return Result{}, fmt.Errorf("knapsack: DPByWeight table %d×%d exceeds budget", n+1, capacity+1)
+	}
+	w := int(capacity)
+	// dp[i][c] = best profit using items[:i] within capacity c.
+	dp := make([][]int64, n+1)
+	for i := range dp {
+		dp[i] = make([]int64, w+1)
+	}
+	for i := 1; i <= n; i++ {
+		it := items[i-1]
+		prev, cur := dp[i-1], dp[i]
+		for c := 0; c <= w; c++ {
+			best := prev[c]
+			if it.Weight <= int64(c) {
+				if cand := prev[c-int(it.Weight)] + it.Profit; cand > best {
+					best = cand
+				}
+			}
+			cur[c] = best
+		}
+	}
+	res := Result{Profit: dp[n][w], Take: make([]bool, n)}
+	c := w
+	for i := n; i >= 1; i-- {
+		if dp[i][c] != dp[i-1][c] {
+			res.Take[i-1] = true
+			c -= int(items[i-1].Weight)
+		}
+	}
+	return res, nil
+}
+
+// DPByProfit solves 0/1 knapsack exactly by the profit-indexed dynamic
+// program: minWeight[p] is the least weight achieving profit exactly p.
+// Runs in O(n·P) where P is the total profit; it is the engine behind the
+// FPTAS. Returns an error when the table would exceed MaxDPCells.
+func DPByProfit(items []Item, capacity int64) (Result, error) {
+	if err := validate(items, capacity); err != nil {
+		return Result{}, err
+	}
+	n := len(items)
+	P := totalProfit(items)
+	if int64(n+1)*(P+1) > MaxDPCells {
+		return Result{}, fmt.Errorf("knapsack: DPByProfit table %d×%d exceeds budget", n+1, P+1)
+	}
+	const inf = int64(1) << 62
+	// minw[i][p] = least weight achieving profit exactly p with items[:i].
+	minw := make([][]int64, n+1)
+	for i := range minw {
+		minw[i] = make([]int64, P+1)
+		for p := range minw[i] {
+			minw[i][p] = inf
+		}
+		minw[i][0] = 0
+	}
+	for i := 1; i <= n; i++ {
+		it := items[i-1]
+		prev, cur := minw[i-1], minw[i]
+		for p := int64(0); p <= P; p++ {
+			best := prev[p]
+			if it.Profit <= p && prev[p-it.Profit] < inf {
+				if cand := prev[p-it.Profit] + it.Weight; cand < best {
+					best = cand
+				}
+			}
+			cur[p] = best
+		}
+	}
+	var bestP int64
+	for p := P; p >= 0; p-- {
+		if minw[n][p] <= capacity {
+			bestP = p
+			break
+		}
+	}
+	res := Result{Profit: bestP, Take: make([]bool, n)}
+	p := bestP
+	for i := n; i >= 1; i-- {
+		if minw[i][p] != minw[i-1][p] {
+			res.Take[i-1] = true
+			p -= items[i-1].Profit
+		}
+	}
+	return res, nil
+}
+
+// FPTAS returns a (1−eps)-approximate solution by scaling profits down to
+// make the profit-indexed DP polynomial: classical Ibarra–Kim. eps must lie
+// in (0, 1). The returned Result reports the true (unscaled) profit of the
+// chosen subset.
+func FPTAS(items []Item, capacity int64, eps float64) (Result, error) {
+	if eps <= 0 || eps >= 1 {
+		return Result{}, fmt.Errorf("knapsack: FPTAS eps %v outside (0,1)", eps)
+	}
+	if err := validate(items, capacity); err != nil {
+		return Result{}, err
+	}
+	n := len(items)
+	if n == 0 {
+		return Result{Take: []bool{}}, nil
+	}
+	var pmax int64
+	for _, it := range items {
+		if it.Weight <= capacity && it.Profit > pmax {
+			pmax = it.Profit
+		}
+	}
+	if pmax == 0 {
+		// Nothing profitable fits individually; the optimum is 0 profit.
+		return Result{Take: make([]bool, n)}, nil
+	}
+	k := eps * float64(pmax) / float64(n)
+	if k < 1 {
+		k = 1 // profits already small: the DP below is exact
+	}
+	scaled := make([]Item, n)
+	for i, it := range items {
+		scaled[i] = Item{Weight: it.Weight, Profit: int64(float64(it.Profit) / k)}
+		if it.Weight > capacity {
+			// Unusable item: zero it out so it cannot inflate the table.
+			scaled[i] = Item{Weight: capacity + 1, Profit: 0}
+		}
+	}
+	res, err := DPByProfit(scaled, capacity)
+	if err != nil {
+		return Result{}, fmt.Errorf("knapsack: FPTAS inner DP: %w", err)
+	}
+	// Re-price the chosen subset with true profits.
+	var trueProfit int64
+	for i, t := range res.Take {
+		if t {
+			trueProfit += items[i].Profit
+		}
+	}
+	return Result{Profit: trueProfit, Take: res.Take}, nil
+}

@@ -1,0 +1,118 @@
+// Package knapsack implements the 0/1 knapsack solvers that sector packing
+// reduces to: once an antenna's orientation is fixed, choosing which covered
+// customers to serve subject to the antenna's capacity is exactly 0/1
+// knapsack with weights = demands and profits = customer profits.
+//
+// The package offers the full classical toolbox:
+//
+//   - DPByWeight: exact O(n·C) dynamic program (pseudo-polynomial in the
+//     capacity), the method of choice when capacities are small integers.
+//   - DPByProfit: exact O(n·P) dynamic program over total profit, the basis
+//     of the FPTAS.
+//   - FPTAS: (1−ε)-approximation in O(n³/ε) by profit scaling.
+//   - Greedy: the density greedy with the best-single-item fallback, a
+//     1/2-approximation in O(n log n).
+//   - BranchBound: exact depth-first search with the Dantzig fractional
+//     upper bound; fast in practice for n up to a few hundred.
+//   - MeetInMiddle: exact O(2^{n/2}) enumeration for tiny n, used as an
+//     independent cross-check in tests.
+//   - Solve: a dispatcher that picks an exact method when affordable and
+//     falls back to the FPTAS.
+//
+// All solvers return the chosen subset aligned with the input order, so
+// callers can map selections back to customers without bookkeeping.
+package knapsack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one knapsack item.
+type Item struct {
+	Weight int64 // capacity consumed (customer demand); must be >= 0
+	Profit int64 // objective contribution; must be >= 0
+}
+
+// Result is a solved knapsack: the total profit and the chosen subset in
+// input order.
+type Result struct {
+	Profit int64
+	Take   []bool
+}
+
+// Weight returns the total weight of the chosen subset.
+func (r Result) Weight(items []Item) int64 {
+	var w int64
+	for i, t := range r.Take {
+		if t {
+			w += items[i].Weight
+		}
+	}
+	return w
+}
+
+// Count returns the number of chosen items.
+func (r Result) Count() int {
+	n := 0
+	for _, t := range r.Take {
+		if t {
+			n++
+		}
+	}
+	return n
+}
+
+// validate rejects negative weights/profits and a negative capacity, which
+// would silently corrupt every DP below.
+func validate(items []Item, capacity int64) error {
+	if capacity < 0 {
+		return fmt.Errorf("knapsack: negative capacity %d", capacity)
+	}
+	for i, it := range items {
+		if it.Weight < 0 {
+			return fmt.Errorf("knapsack: item %d has negative weight %d", i, it.Weight)
+		}
+		if it.Profit < 0 {
+			return fmt.Errorf("knapsack: item %d has negative profit %d", i, it.Profit)
+		}
+	}
+	return nil
+}
+
+// totalProfit sums profits of all items.
+func totalProfit(items []Item) int64 {
+	var s int64
+	for _, it := range items {
+		s += it.Profit
+	}
+	return s
+}
+
+// byDensity returns item indices sorted by profit density (profit/weight)
+// descending, with zero-weight items (infinite density) first and ties
+// broken by higher profit. The ordering is shared by Greedy and the
+// Dantzig bound so their analyses line up.
+func byDensity(items []Item) []int {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := items[idx[a]], items[idx[b]]
+		// compare ia.Profit/ia.Weight > ib.Profit/ib.Weight without division
+		if ia.Weight == 0 || ib.Weight == 0 {
+			if ia.Weight == 0 && ib.Weight == 0 {
+				return ia.Profit > ib.Profit
+			}
+			return ia.Weight == 0
+		}
+		lhs := ia.Profit * ib.Weight
+		rhs := ib.Profit * ia.Weight
+		if lhs != rhs {
+			return lhs > rhs
+		}
+		return ia.Profit > ib.Profit
+	})
+	return idx
+}

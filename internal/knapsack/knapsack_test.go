@@ -1,0 +1,320 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce is the trusted oracle: full 2^n enumeration for n <= 20.
+func bruteForce(items []Item, capacity int64) int64 {
+	n := len(items)
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		var w, p int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				w += items[i].Weight
+				p += items[i].Profit
+			}
+		}
+		if w <= capacity && p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+func randomItems(rng *rand.Rand, n int, maxW, maxP int64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Weight: 1 + rng.Int63n(maxW), Profit: 1 + rng.Int63n(maxP)}
+	}
+	return items
+}
+
+// checkResult verifies internal consistency: reported profit matches the
+// subset, and the subset respects the capacity.
+func checkResult(t *testing.T, items []Item, capacity int64, res Result, label string) {
+	t.Helper()
+	if len(res.Take) != len(items) {
+		t.Fatalf("%s: Take length %d != %d items", label, len(res.Take), len(items))
+	}
+	var w, p int64
+	for i, take := range res.Take {
+		if take {
+			w += items[i].Weight
+			p += items[i].Profit
+		}
+	}
+	if p != res.Profit {
+		t.Fatalf("%s: reported profit %d != subset profit %d", label, res.Profit, p)
+	}
+	if w > capacity {
+		t.Fatalf("%s: subset weight %d exceeds capacity %d", label, w, capacity)
+	}
+}
+
+func TestExactSolversAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		items := randomItems(rng, n, 20, 30)
+		capacity := rng.Int63n(80)
+		want := bruteForce(items, capacity)
+
+		dw, err := DPByWeight(items, capacity)
+		if err != nil {
+			t.Fatalf("DPByWeight: %v", err)
+		}
+		checkResult(t, items, capacity, dw, "DPByWeight")
+		if dw.Profit != want {
+			t.Fatalf("DPByWeight = %d, want %d (items=%v cap=%d)", dw.Profit, want, items, capacity)
+		}
+
+		dp, err := DPByProfit(items, capacity)
+		if err != nil {
+			t.Fatalf("DPByProfit: %v", err)
+		}
+		checkResult(t, items, capacity, dp, "DPByProfit")
+		if dp.Profit != want {
+			t.Fatalf("DPByProfit = %d, want %d", dp.Profit, want)
+		}
+
+		bb, ok, err := BranchBound(items, capacity, DefaultMaxBBNodes)
+		if err != nil || !ok {
+			t.Fatalf("BranchBound: ok=%v err=%v", ok, err)
+		}
+		checkResult(t, items, capacity, bb, "BranchBound")
+		if bb.Profit != want {
+			t.Fatalf("BranchBound = %d, want %d", bb.Profit, want)
+		}
+
+		mm, err := MeetInMiddle(items, capacity)
+		if err != nil {
+			t.Fatalf("MeetInMiddle: %v", err)
+		}
+		checkResult(t, items, capacity, mm, "MeetInMiddle")
+		if mm.Profit != want {
+			t.Fatalf("MeetInMiddle = %d, want %d", mm.Profit, want)
+		}
+	}
+}
+
+func TestExactSolversAgreeOnLargerInstances(t *testing.T) {
+	// Beyond brute-force reach: cross-check the independent exact methods
+	// against each other.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + rng.Intn(16)
+		items := randomItems(rng, n, 50, 60)
+		capacity := rng.Int63n(400) + 50
+
+		dw, err := DPByWeight(items, capacity)
+		if err != nil {
+			t.Fatalf("DPByWeight: %v", err)
+		}
+		bb, ok, err := BranchBound(items, capacity, 50_000_000)
+		if err != nil || !ok {
+			t.Fatalf("BranchBound: ok=%v err=%v", ok, err)
+		}
+		mm, err := MeetInMiddle(items, capacity)
+		if err != nil {
+			t.Fatalf("MeetInMiddle: %v", err)
+		}
+		if dw.Profit != bb.Profit || dw.Profit != mm.Profit {
+			t.Fatalf("exact solvers disagree: DP=%d BB=%d MiM=%d", dw.Profit, bb.Profit, mm.Profit)
+		}
+	}
+}
+
+func TestGreedyHalfApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(14)
+		items := randomItems(rng, n, 25, 40)
+		capacity := rng.Int63n(100)
+		want := bruteForce(items, capacity)
+		g, err := Greedy(items, capacity)
+		if err != nil {
+			t.Fatalf("Greedy: %v", err)
+		}
+		checkResult(t, items, capacity, g, "Greedy")
+		if 2*g.Profit < want {
+			t.Fatalf("Greedy %d < OPT/2 (OPT=%d): items=%v cap=%d", g.Profit, want, items, capacity)
+		}
+	}
+}
+
+func TestFPTASGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, eps := range []float64{0.5, 0.2, 0.05} {
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.Intn(13)
+			items := randomItems(rng, n, 30, 1000)
+			capacity := rng.Int63n(150)
+			want := bruteForce(items, capacity)
+			res, err := FPTAS(items, capacity, eps)
+			if err != nil {
+				t.Fatalf("FPTAS: %v", err)
+			}
+			checkResult(t, items, capacity, res, "FPTAS")
+			if float64(res.Profit) < (1-eps)*float64(want)-1e-9 {
+				t.Fatalf("FPTAS(%v) = %d < (1-eps)·OPT (OPT=%d)", eps, res.Profit, want)
+			}
+		}
+	}
+}
+
+func TestFractionalBoundDominatesOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		items := randomItems(rng, n, 20, 30)
+		capacity := rng.Int63n(80)
+		want := bruteForce(items, capacity)
+		if b := FractionalBound(items, capacity); b < float64(want)-1e-9 {
+			t.Fatalf("FractionalBound %v < OPT %d", b, want)
+		}
+	}
+}
+
+func TestSolveDispatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		items := randomItems(rng, n, 20, 30)
+		capacity := rng.Int63n(80)
+		want := bruteForce(items, capacity)
+		res, exact, err := Solve(items, capacity, Options{})
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		checkResult(t, items, capacity, res, "Solve")
+		if !exact {
+			t.Fatal("small instances should be solved exactly")
+		}
+		if res.Profit != want {
+			t.Fatalf("Solve = %d, want %d", res.Profit, want)
+		}
+	}
+}
+
+func TestSolveForceApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomItems(rng, 15, 20, 500)
+	capacity := int64(100)
+	want := bruteForce(items, capacity)
+	res, exact, err := Solve(items, capacity, Options{ForceApprox: true, Eps: 0.1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if exact {
+		t.Error("ForceApprox must not report exactness")
+	}
+	if float64(res.Profit) < 0.9*float64(want) {
+		t.Errorf("forced FPTAS %d < 0.9·OPT (%d)", res.Profit, want)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	// empty item set
+	for name, f := range map[string]func([]Item, int64) (Result, error){
+		"DPByWeight": DPByWeight,
+		"DPByProfit": DPByProfit,
+		"Greedy":     Greedy,
+		"MiM":        MeetInMiddle,
+	} {
+		res, err := f(nil, 10)
+		if err != nil {
+			t.Errorf("%s(nil): %v", name, err)
+		}
+		if res.Profit != 0 {
+			t.Errorf("%s(nil) profit = %d", name, res.Profit)
+		}
+	}
+	// zero capacity with zero-weight items: free profit must be taken
+	items := []Item{{Weight: 0, Profit: 5}, {Weight: 3, Profit: 10}}
+	res, err := DPByWeight(items, 0)
+	if err != nil || res.Profit != 5 {
+		t.Errorf("zero capacity: profit=%d err=%v, want 5", res.Profit, err)
+	}
+	g, err := Greedy(items, 0)
+	if err != nil || g.Profit != 5 {
+		t.Errorf("greedy zero capacity: profit=%d err=%v, want 5", g.Profit, err)
+	}
+	// item heavier than capacity is never taken
+	res, err = DPByWeight([]Item{{Weight: 100, Profit: 99}}, 10)
+	if err != nil || res.Profit != 0 || res.Take[0] {
+		t.Errorf("oversized item: %+v err=%v", res, err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []Item{{Weight: -1, Profit: 1}}
+	if _, err := DPByWeight(bad, 10); err == nil {
+		t.Error("negative weight must be rejected")
+	}
+	if _, err := DPByWeight([]Item{{Weight: 1, Profit: -1}}, 10); err == nil {
+		t.Error("negative profit must be rejected")
+	}
+	if _, err := Greedy([]Item{{1, 1}}, -1); err == nil {
+		t.Error("negative capacity must be rejected")
+	}
+	if _, err := FPTAS([]Item{{1, 1}}, 10, 0); err == nil {
+		t.Error("eps=0 must be rejected")
+	}
+	if _, err := FPTAS([]Item{{1, 1}}, 10, 1); err == nil {
+		t.Error("eps=1 must be rejected")
+	}
+	if _, err := MeetInMiddle(make([]Item, MaxMeetInMiddle+1), 1); err == nil {
+		t.Error("oversized MeetInMiddle input must be rejected")
+	}
+}
+
+func TestDPBudgetExceeded(t *testing.T) {
+	items := []Item{{Weight: 1, Profit: 1}}
+	if _, err := DPByWeight(items, MaxDPCells); err == nil {
+		t.Error("oversized weight table must be refused")
+	}
+	big := []Item{{Weight: 1, Profit: MaxDPCells}}
+	if _, err := DPByProfit(big, 1); err == nil {
+		t.Error("oversized profit table must be refused")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	items := []Item{{2, 3}, {4, 5}, {6, 7}}
+	res := Result{Profit: 8, Take: []bool{true, false, true}}
+	if w := res.Weight(items); w != 8 {
+		t.Errorf("Weight = %d, want 8", w)
+	}
+	if c := res.Count(); c != 2 {
+		t.Errorf("Count = %d, want 2", c)
+	}
+}
+
+func TestByDensityOrdering(t *testing.T) {
+	items := []Item{{Weight: 2, Profit: 2}, {Weight: 0, Profit: 1}, {Weight: 1, Profit: 3}}
+	order := byDensity(items)
+	if order[0] != 1 {
+		t.Errorf("zero-weight item should sort first, got order %v", order)
+	}
+	if order[1] != 2 {
+		t.Errorf("density-3 item should sort second, got order %v", order)
+	}
+}
+
+func TestBranchBoundBudget(t *testing.T) {
+	// A tiny node budget must still return a feasible (if suboptimal)
+	// solution and report ok=false.
+	rng := rand.New(rand.NewSource(8))
+	items := randomItems(rng, 30, 1000, 1000)
+	res, ok, err := BranchBound(items, 5000, 10)
+	if err != nil {
+		t.Fatalf("BranchBound: %v", err)
+	}
+	if ok {
+		t.Error("10-node budget on n=30 should be exhausted")
+	}
+	checkResult(t, items, 5000, res, "BranchBound(budget)")
+}

@@ -1,0 +1,114 @@
+package knapsack
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxMeetInMiddle is the largest item count MeetInMiddle accepts; 2^(n/2)
+// subsets per half stays comfortably in memory up to n = 40.
+const MaxMeetInMiddle = 40
+
+// MeetInMiddle solves 0/1 knapsack exactly in O(2^{n/2}·n) by enumerating
+// both halves, Pareto-pruning one, and binary-searching the combination.
+// It exists as an algorithmically independent oracle for cross-checking
+// the DPs and BranchBound in tests, and handles n ≤ MaxMeetInMiddle.
+func MeetInMiddle(items []Item, capacity int64) (Result, error) {
+	if err := validate(items, capacity); err != nil {
+		return Result{}, err
+	}
+	n := len(items)
+	if n > MaxMeetInMiddle {
+		return Result{}, fmt.Errorf("knapsack: MeetInMiddle limited to %d items, got %d", MaxMeetInMiddle, n)
+	}
+	half := n / 2
+	left, right := items[:half], items[half:]
+
+	type subset struct {
+		weight int64
+		profit int64
+		mask   uint64
+	}
+	enumerate := func(part []Item) []subset {
+		m := len(part)
+		out := make([]subset, 0, 1<<m)
+		for mask := uint64(0); mask < 1<<m; mask++ {
+			var w, p int64
+			rem := mask
+			for rem != 0 {
+				i := bits.TrailingZeros64(rem)
+				rem &= rem - 1
+				w += part[i].Weight
+				p += part[i].Profit
+			}
+			if w <= capacity {
+				out = append(out, subset{weight: w, profit: p, mask: mask})
+			}
+		}
+		return out
+	}
+
+	ls := enumerate(left)
+	rs := enumerate(right)
+	// Pareto-prune the right half: sort by weight, keep only entries whose
+	// profit strictly improves on all lighter ones.
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].weight != rs[b].weight {
+			return rs[a].weight < rs[b].weight
+		}
+		return rs[a].profit > rs[b].profit
+	})
+	pruned := rs[:0]
+	var bestProfit int64 = -1
+	for _, s := range rs {
+		if s.profit > bestProfit {
+			pruned = append(pruned, s)
+			bestProfit = s.profit
+		}
+	}
+	rs = pruned
+
+	var best subset
+	var bestRight subset
+	var bestTotal int64 = -1
+	for _, l := range ls {
+		rem := capacity - l.weight
+		// binary search: last pruned entry with weight <= rem
+		lo, hi := 0, len(rs)-1
+		pos := -1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if rs[mid].weight <= rem {
+				pos = mid
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		if total := l.profit + rs[pos].profit; total > bestTotal {
+			bestTotal = total
+			best = l
+			bestRight = rs[pos]
+		}
+	}
+	res := Result{Profit: bestTotal, Take: make([]bool, n)}
+	if bestTotal < 0 {
+		res.Profit = 0
+		return res, nil
+	}
+	for i := 0; i < half; i++ {
+		if best.mask&(1<<uint(i)) != 0 {
+			res.Take[i] = true
+		}
+	}
+	for i := 0; i < n-half; i++ {
+		if bestRight.mask&(1<<uint(i)) != 0 {
+			res.Take[half+i] = true
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDPMonotoneInCapacity: more capacity never hurts.
+func TestDPMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 100; trial++ {
+		items := randomItems(rng, 1+rng.Intn(10), 15, 20)
+		prev := int64(-1)
+		for c := int64(0); c <= 60; c += 5 {
+			res, err := DPByWeight(items, c)
+			if err != nil {
+				t.Fatalf("DPByWeight: %v", err)
+			}
+			if res.Profit < prev {
+				t.Fatalf("profit decreased with capacity: %d -> %d at c=%d", prev, res.Profit, c)
+			}
+			prev = res.Profit
+		}
+	}
+}
+
+// TestDPSupersetDominance: adding an item never decreases the optimum.
+func TestDPSupersetDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 100; trial++ {
+		items := randomItems(rng, 1+rng.Intn(10), 15, 20)
+		capacity := rng.Int63n(60)
+		base, err := DPByWeight(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extended := append(append([]Item(nil), items...), Item{Weight: 1 + rng.Int63n(15), Profit: 1 + rng.Int63n(20)})
+		bigger, err := DPByWeight(extended, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bigger.Profit < base.Profit {
+			t.Fatalf("superset lost profit: %d -> %d", base.Profit, bigger.Profit)
+		}
+	}
+}
+
+// TestScaleInvariance: doubling all profits doubles the optimum and keeps
+// the same subset feasible/optimal structure.
+func TestProfitScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := randomItems(rng, 1+rng.Intn(8), 10, 15)
+		capacity := rng.Int63n(40)
+		base, err := DPByWeight(items, capacity)
+		if err != nil {
+			return false
+		}
+		scaled := make([]Item, len(items))
+		for i, it := range items {
+			scaled[i] = Item{Weight: it.Weight, Profit: it.Profit * 2}
+		}
+		doubled, err := DPByWeight(scaled, capacity)
+		if err != nil {
+			return false
+		}
+		return doubled.Profit == 2*base.Profit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGreedyNeverExceedsExact: sanity direction of the approximation.
+func TestGreedyNeverExceedsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 150; trial++ {
+		items := randomItems(rng, 1+rng.Intn(12), 20, 25)
+		capacity := rng.Int63n(80)
+		g, err := Greedy(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := DPByWeight(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Profit > ex.Profit {
+			t.Fatalf("greedy %d beats exact %d — infeasible subset?", g.Profit, ex.Profit)
+		}
+	}
+}
+
+// TestFPTASMonotoneInEps: a smaller eps can only help (within the same
+// instance, FPTAS profit is not strictly monotone per-instance because the
+// scaling grid changes; assert the guarantee floor instead at each eps).
+func TestFPTASFloorAcrossEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	for trial := 0; trial < 60; trial++ {
+		items := randomItems(rng, 1+rng.Intn(10), 15, 500)
+		capacity := rng.Int63n(70)
+		ex, err := DPByWeight(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0.6, 0.3, 0.15, 0.07} {
+			res, err := FPTAS(items, capacity, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.Profit) < (1-eps)*float64(ex.Profit)-1e-9 {
+				t.Fatalf("FPTAS(%v) = %d < floor of OPT %d", eps, res.Profit, ex.Profit)
+			}
+		}
+	}
+}
+
+func FuzzDPConsistency(f *testing.F) {
+	f.Add(int64(1), 5, int64(30))
+	f.Add(int64(99), 12, int64(0))
+	f.Fuzz(func(t *testing.T, seed int64, n int, capacity int64) {
+		if n < 0 || n > 14 || capacity < 0 || capacity > 200 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		items := randomItems(rng, n, 20, 30)
+		dw, err1 := DPByWeight(items, capacity)
+		dp, err2 := DPByProfit(items, capacity)
+		bb, ok, err3 := BranchBound(items, capacity, 10_000_000)
+		if err1 != nil || err2 != nil || err3 != nil || !ok {
+			t.Fatalf("solver errors: %v %v %v ok=%v", err1, err2, err3, ok)
+		}
+		if dw.Profit != dp.Profit || dw.Profit != bb.Profit {
+			t.Fatalf("exact solvers disagree: %d %d %d (items=%v cap=%d)",
+				dw.Profit, dp.Profit, bb.Profit, items, capacity)
+		}
+	})
+}

@@ -1,0 +1,333 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the inequality form
+//
+//	maximize    cᵀx
+//	subject to  Ax ≤ b,  x ≥ 0
+//
+// which is exactly the shape of the fractional assignment relaxations used
+// by the sector-packing LP-rounding pipeline and by the exact solver's
+// bounding step. Negative right-hand sides are handled by a phase-1 search
+// with artificial variables, so equality and ≥ constraints can be encoded
+// by the caller in the usual ways (a pair of inequalities, or negation).
+//
+// The implementation is the textbook full-tableau method with Bland's rule
+// for both the entering and leaving variable, which guarantees termination
+// (no cycling) at the price of speed on degenerate problems — an acceptable
+// trade for a solver whose inputs are a few hundred variables.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Status reports how a solve terminated.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system admits no x ≥ 0.
+	Infeasible
+	// Unbounded means the objective can be increased without limit.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is the outcome of a solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // primal values of the original variables
+	Value      float64   // objective cᵀx (meaningful only when Optimal)
+	Iterations int       // total simplex pivots across both phases
+}
+
+// eps is the numerical tolerance separating "zero" from signal in pivoting
+// and feasibility decisions.
+const eps = 1e-9
+
+// maxIterations guards against runaway pivoting on pathological input; with
+// Bland's rule this should never trigger, but a substrate must not hang.
+const maxIterations = 200_000
+
+// Maximize solves max cᵀx subject to Ax ≤ b, x ≥ 0. A is row-major with
+// len(A) constraints over len(c) variables; len(b) must equal len(A).
+func Maximize(c []float64, a [][]float64, b []float64) (Solution, error) {
+	n := len(c)
+	m := len(a)
+	if len(b) != m {
+		return Solution{}, fmt.Errorf("lp: %d constraint rows but %d right-hand sides", m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	for i := range b {
+		if math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+			return Solution{}, fmt.Errorf("lp: b[%d] = %v", i, b[i])
+		}
+	}
+
+	t := newTableau(c, a, b)
+	iters1, feasible := t.phase1()
+	if !feasible {
+		return Solution{Status: Infeasible, Iterations: iters1}, nil
+	}
+	iters2, bounded := t.phase2()
+	sol := Solution{Iterations: iters1 + iters2}
+	if !bounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+	sol.Status = Optimal
+	sol.X = t.extract(n)
+	for j := 0; j < n; j++ {
+		sol.Value += c[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+// tableau is the dense simplex state: rows of [variables | rhs], the basis,
+// and the column bookkeeping that distinguishes structural, slack, and
+// artificial variables.
+type tableau struct {
+	rows    [][]float64 // m rows, each ncols+1 wide (last entry is the rhs)
+	basis   []int       // basis[i] = column basic in row i
+	ncols   int         // columns excluding rhs
+	nStruct int         // structural (original) variables: columns [0, nStruct)
+	nSlack  int         // slack variables: columns [nStruct, nStruct+nSlack)
+	artCols []int       // artificial columns (subset of [nStruct+nSlack, ncols))
+	objC    []float64   // phase-2 minimization costs per column (−c for structurals)
+}
+
+func newTableau(c []float64, a [][]float64, b []float64) *tableau {
+	n := len(c)
+	m := len(a)
+	// Count rows needing an artificial variable (negative rhs after adding
+	// the slack).
+	var nArt int
+	for _, bi := range b {
+		if bi < 0 {
+			nArt++
+		}
+	}
+	ncols := n + m + nArt
+	t := &tableau{
+		rows:    make([][]float64, m),
+		basis:   make([]int, m),
+		ncols:   ncols,
+		nStruct: n,
+		nSlack:  m,
+		objC:    make([]float64, ncols),
+	}
+	for j := 0; j < n; j++ {
+		t.objC[j] = -c[j] // maximize c'x == minimize -c'x
+	}
+	art := n + m
+	for i := 0; i < m; i++ {
+		row := make([]float64, ncols+1)
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * a[i][j]
+		}
+		row[n+i] = sign // slack (negated when the row was flipped)
+		row[ncols] = sign * b[i]
+		if b[i] < 0 {
+			row[art] = 1
+			t.basis[i] = art
+			t.artCols = append(t.artCols, art)
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.rows[i] = row
+	}
+	return t
+}
+
+// phase1 drives all artificial variables to zero. Returns feasibility.
+func (t *tableau) phase1() (iters int, feasible bool) {
+	if len(t.artCols) == 0 {
+		return 0, true
+	}
+	cost := make([]float64, t.ncols)
+	for _, j := range t.artCols {
+		cost[j] = 1
+	}
+	iters, _ = t.simplex(cost) // phase-1 objective is bounded below by 0
+	if t.objValue(cost) > eps {
+		return iters, false
+	}
+	t.evictArtificials()
+	return iters, true
+}
+
+// phase2 optimizes the real objective after artificials are gone.
+func (t *tableau) phase2() (iters int, bounded bool) {
+	return t.simplex(t.objC)
+}
+
+// isArtificial reports whether column j is artificial.
+func (t *tableau) isArtificial(j int) bool {
+	return j >= t.nStruct+t.nSlack
+}
+
+// evictArtificials pivots basic artificial variables (all at value ~0 after
+// a feasible phase 1) out of the basis, dropping redundant rows when no
+// pivot column exists.
+func (t *tableau) evictArtificials() {
+	keep := t.rows[:0]
+	keptBasis := t.basis[:0]
+	for i := 0; i < len(t.rows); i++ {
+		if !t.isArtificial(t.basis[i]) {
+			keep = append(keep, t.rows[i])
+			keptBasis = append(keptBasis, t.basis[i])
+			continue
+		}
+		// Find a non-artificial column to pivot in.
+		pivotCol := -1
+		for j := 0; j < t.nStruct+t.nSlack; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol < 0 {
+			continue // redundant row: drop it
+		}
+		t.pivotRowOnly(i, pivotCol)
+		t.basis[i] = pivotCol
+		keep = append(keep, t.rows[i])
+		keptBasis = append(keptBasis, t.basis[i])
+	}
+	t.rows = keep
+	t.basis = keptBasis
+	// Zero out artificial columns so they can never re-enter.
+	for _, r := range t.rows {
+		for _, j := range t.artCols {
+			r[j] = 0
+		}
+	}
+}
+
+// pivotRowOnly performs the elimination for a pivot at (r, c) across all
+// rows (the caller updates the basis).
+func (t *tableau) pivotRowOnly(r, c int) {
+	prow := t.rows[r]
+	pv := prow[c]
+	for j := range prow {
+		prow[j] /= pv
+	}
+	for i, row := range t.rows {
+		if i == r {
+			continue
+		}
+		f := row[c]
+		if f == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[c] = 0 // crush rounding residue in the pivot column
+	}
+}
+
+// objValue returns the current objective Σ cost[basis[i]]·rhs_i.
+func (t *tableau) objValue(cost []float64) float64 {
+	var v float64
+	for i, bi := range t.basis {
+		v += cost[bi] * t.rows[i][t.ncols]
+	}
+	return v
+}
+
+// reducedCosts computes c̄ = cost − costᵀ_B·T for every column, from
+// scratch. O(m·n) per call — the same order as a pivot — in exchange for
+// numerical robustness (errors do not accumulate across pivots).
+func (t *tableau) reducedCosts(cost []float64, red []float64) {
+	copy(red, cost[:t.ncols])
+	for i, bi := range t.basis {
+		cb := cost[bi]
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j < t.ncols; j++ {
+			red[j] -= cb * row[j]
+		}
+	}
+}
+
+// simplex runs Bland-rule pivoting to minimize costᵀx over the current
+// tableau. Returns bounded=false when an entering column has no positive
+// row entry.
+func (t *tableau) simplex(cost []float64) (iters int, bounded bool) {
+	red := make([]float64, t.ncols)
+	for iters = 0; iters < maxIterations; iters++ {
+		t.reducedCosts(cost, red)
+		// Bland: entering column = smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.ncols; j++ {
+			if red[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return iters, true // optimal
+		}
+		// Ratio test with Bland tie-break on the basis index.
+		leave := -1
+		var bestRatio float64
+		for i, row := range t.rows {
+			if row[enter] > eps {
+				ratio := row[t.ncols] / row[enter]
+				if leave < 0 || ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && t.basis[i] < t.basis[leave]) {
+					leave = i
+					bestRatio = ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return iters, false // unbounded
+		}
+		t.pivotRowOnly(leave, enter)
+		t.basis[leave] = enter
+	}
+	// Iteration guard tripped; treat as bounded with the incumbent, which
+	// is feasible. This is unreachable with Bland's rule on finite input.
+	return iters, true
+}
+
+// extract reads the values of the first n (structural) variables.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi < n {
+			v := t.rows[i][t.ncols]
+			if v < 0 && v > -1e-7 {
+				v = 0 // clip pivot dust
+			}
+			x[bi] = v
+		}
+	}
+	return x
+}

@@ -1,0 +1,259 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/knapsack"
+)
+
+func solveOrDie(t *testing.T, c []float64, a [][]float64, b []float64) Solution {
+	t.Helper()
+	sol, err := Maximize(c, a, b)
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	return sol
+}
+
+// checkFeasible verifies the returned point satisfies Ax <= b, x >= 0.
+func checkFeasible(t *testing.T, a [][]float64, b []float64, x []float64) {
+	t.Helper()
+	for j, v := range x {
+		if v < -1e-6 {
+			t.Fatalf("x[%d] = %v < 0", j, v)
+		}
+	}
+	for i, row := range a {
+		var lhs float64
+		for j := range row {
+			lhs += row[j] * x[j]
+		}
+		if lhs > b[i]+1e-6*(1+math.Abs(b[i])) {
+			t.Fatalf("constraint %d violated: %v > %v", i, lhs, b[i])
+		}
+	}
+}
+
+func TestSimpleLP(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, value 12.
+	sol := solveOrDie(t, []float64{3, 2}, [][]float64{{1, 1}, {1, 3}}, []float64{4, 6})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-12) > 1e-7 {
+		t.Errorf("value = %v, want 12", sol.Value)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-7 || math.Abs(sol.X[1]) > 1e-7 {
+		t.Errorf("x = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestInteriorOptimumLP(t *testing.T) {
+	// max x + y s.t. 2x + y <= 4, x + 2y <= 4 → x = y = 4/3, value 8/3.
+	sol := solveOrDie(t, []float64{1, 1}, [][]float64{{2, 1}, {1, 2}}, []float64{4, 4})
+	if sol.Status != Optimal || math.Abs(sol.Value-8.0/3) > 1e-7 {
+		t.Fatalf("got %v value=%v, want 8/3", sol.Status, sol.Value)
+	}
+}
+
+func TestUnboundedLP(t *testing.T) {
+	// max x with only y constrained.
+	sol := solveOrDie(t, []float64{1, 0}, [][]float64{{0, 1}}, []float64{5})
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	// x <= -1 with x >= 0 is infeasible (negative rhs forces phase 1).
+	sol := solveOrDie(t, []float64{1}, [][]float64{{1}}, []float64{-1})
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestNegativeRHSFeasible(t *testing.T) {
+	// -x <= -2 (i.e. x >= 2) and x <= 5: max -x → x = 2, value -2.
+	sol := solveOrDie(t, []float64{-1}, [][]float64{{-1}, {1}}, []float64{-2, 5})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 {
+		t.Errorf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestEqualityViaInequalityPair(t *testing.T) {
+	// x + y = 3 encoded as <= and >=; max 2x + y → x=3, y=0, value 6.
+	a := [][]float64{{1, 1}, {-1, -1}}
+	b := []float64{3, -3}
+	sol := solveOrDie(t, []float64{2, 1}, a, b)
+	if sol.Status != Optimal || math.Abs(sol.Value-6) > 1e-7 {
+		t.Fatalf("status=%v value=%v, want optimal 6", sol.Status, sol.Value)
+	}
+	checkFeasible(t, a, b, sol.X)
+}
+
+func TestDegenerateLPTerminates(t *testing.T) {
+	// Classic Beale-style degeneracy; Bland's rule must terminate.
+	c := []float64{0.75, -150, 0.02, -6}
+	a := [][]float64{
+		{0.25, -60, -0.04, 9},
+		{0.5, -90, -0.02, 3},
+		{0, 0, 1, 0},
+	}
+	b := []float64{0, 0, 1}
+	sol := solveOrDie(t, c, a, b)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Value-0.05) > 1e-6 {
+		t.Errorf("value = %v, want 0.05", sol.Value)
+	}
+}
+
+func TestZeroConstraintLP(t *testing.T) {
+	// No constraints: max 0 over x >= 0 is optimal at 0; max x is unbounded.
+	sol := solveOrDie(t, []float64{0, 0}, nil, nil)
+	if sol.Status != Optimal || sol.Value != 0 {
+		t.Fatalf("zero objective: %v value=%v", sol.Status, sol.Value)
+	}
+	sol = solveOrDie(t, []float64{1}, nil, nil)
+	if sol.Status != Unbounded {
+		t.Fatalf("unconstrained positive objective should be unbounded, got %v", sol.Status)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, err := Maximize([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("row width mismatch must error")
+	}
+	if _, err := Maximize([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs length mismatch must error")
+	}
+	if _, err := Maximize([]float64{1}, [][]float64{{1}}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN rhs must error")
+	}
+}
+
+// Fractional knapsack LP cross-check: max Σ p_i x_i, Σ w_i x_i ≤ C,
+// 0 ≤ x ≤ 1 has the closed-form Dantzig solution that
+// knapsack.FractionalBound computes independently.
+func TestFractionalKnapsackCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		items := make([]knapsack.Item, n)
+		c := make([]float64, n)
+		weightRow := make([]float64, n)
+		a := make([][]float64, 0, n+1)
+		b := make([]float64, 0, n+1)
+		for i := range items {
+			items[i] = knapsack.Item{Weight: 1 + rng.Int63n(20), Profit: 1 + rng.Int63n(30)}
+			c[i] = float64(items[i].Profit)
+			weightRow[i] = float64(items[i].Weight)
+		}
+		capacity := rng.Int63n(80)
+		a = append(a, weightRow)
+		b = append(b, float64(capacity))
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			row[i] = 1
+			a = append(a, row)
+			b = append(b, 1)
+		}
+		sol := solveOrDie(t, c, a, b)
+		if sol.Status != Optimal {
+			t.Fatalf("status = %v", sol.Status)
+		}
+		checkFeasible(t, a, b, sol.X)
+		want := knapsack.FractionalBound(items, capacity)
+		if math.Abs(sol.Value-want) > 1e-6*(1+want) {
+			t.Fatalf("LP value %v != Dantzig bound %v (items=%v cap=%d)", sol.Value, want, items, capacity)
+		}
+	}
+}
+
+// Random LPs: the simplex optimum must dominate a large sample of random
+// feasible points (a necessary condition for optimality that catches sign
+// and pivot bugs without a second solver).
+func TestRandomLPDominatesFeasibleSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(5)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()*4 - 1
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64() // non-negative ⇒ bounded, feasible at 0
+			}
+			b[i] = rng.Float64()*10 + 1
+		}
+		// ensure every variable is bounded: add x_j <= 10
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			a = append(a, row)
+			b = append(b, 10)
+		}
+		sol := solveOrDie(t, c, a, b)
+		if sol.Status != Optimal {
+			t.Fatalf("status = %v", sol.Status)
+		}
+		checkFeasible(t, a, b, sol.X)
+		for s := 0; s < 200; s++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 10
+			}
+			feasible := true
+			for i := range a {
+				var lhs float64
+				for j := range x {
+					lhs += a[i][j] * x[j]
+				}
+				if lhs > b[i] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			var val float64
+			for j := range x {
+				val += c[j] * x[j]
+			}
+			if val > sol.Value+1e-6 {
+				t.Fatalf("random feasible point beats simplex: %v > %v", val, sol.Value)
+			}
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{Optimal, Infeasible, Unbounded, Status(7)} {
+		if s.String() == "" {
+			t.Errorf("Status(%d).String() empty", int(s))
+		}
+	}
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality constraints exercise the redundant-row drop in
+	// phase 1: x = 2 stated twice, maximize x.
+	a := [][]float64{{1}, {-1}, {1}, {-1}}
+	b := []float64{2, -2, 2, -2}
+	sol := solveOrDie(t, []float64{1}, a, b)
+	if sol.Status != Optimal || math.Abs(sol.X[0]-2) > 1e-7 {
+		t.Fatalf("status=%v x=%v, want optimal x=2", sol.Status, sol.X)
+	}
+}

@@ -1,0 +1,158 @@
+package mkp
+
+import (
+	"sort"
+
+	"sectorpack/internal/knapsack"
+)
+
+// GreedyOptions tunes GreedySuccessive.
+type GreedyOptions struct {
+	// Knapsack configures the per-bin subproblem solver.
+	Knapsack knapsack.Options
+	// BinOrder, when non-nil, fixes the order in which bins are filled;
+	// otherwise bins are processed in decreasing capacity order.
+	BinOrder []int
+}
+
+// GreedySuccessive fills bins one at a time, each with a (near-)optimal
+// knapsack over the still-unassigned items eligible for that bin. With an
+// exact inner solver this is the classical successive-knapsack heuristic:
+// a 1/2-approximation in general and 1−(1−1/m)^m ≥ 1−1/e for identical
+// bins; an FPTAS inner solver multiplies the factor by (1−ε).
+func GreedySuccessive(p *Problem, opt GreedyOptions) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	n, m := len(p.Items), len(p.Capacities)
+	order := opt.BinOrder
+	if order == nil {
+		order = make([]int, m)
+		for j := range order {
+			order[j] = j
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return p.Capacities[order[a]] > p.Capacities[order[b]]
+		})
+	}
+	res := emptyResult(n)
+	for _, j := range order {
+		// Collect unassigned items eligible for bin j.
+		var sub []knapsack.Item
+		var ids []int
+		for i := 0; i < n; i++ {
+			if res.Bin[i] == Unassigned && p.eligible(i, j) {
+				sub = append(sub, p.Items[i])
+				ids = append(ids, i)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		kr, _, err := knapsack.Solve(sub, p.Capacities[j], opt.Knapsack)
+		if err != nil {
+			return Result{}, err
+		}
+		for k, take := range kr.Take {
+			if take {
+				res.Bin[ids[k]] = j
+				res.Profit += p.Items[ids[k]].Profit
+			}
+		}
+	}
+	return res, nil
+}
+
+// LocalSearch improves a feasible result by first-improvement moves until a
+// local optimum or maxRounds passes: unassigned-item insertions, item
+// relocations that make room for a new insertion, and pairwise swaps that
+// free capacity. Returns the improved result (never worse than the input).
+func LocalSearch(p *Problem, start Result, maxRounds int) (Result, error) {
+	if err := p.Check(start); err != nil {
+		return Result{}, err
+	}
+	n, m := len(p.Items), len(p.Capacities)
+	res := Result{Profit: start.Profit, Bin: append([]int(nil), start.Bin...)}
+	load := make([]int64, m)
+	for i, b := range res.Bin {
+		if b != Unassigned {
+			load[b] += p.Items[i].Weight
+		}
+	}
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		// Move 1: insert an unassigned item anywhere it fits.
+		for i := 0; i < n; i++ {
+			if res.Bin[i] != Unassigned || p.Items[i].Profit == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if p.eligible(i, j) && load[j]+p.Items[i].Weight <= p.Capacities[j] {
+					res.Bin[i] = j
+					load[j] += p.Items[i].Weight
+					res.Profit += p.Items[i].Profit
+					improved = true
+					break
+				}
+			}
+		}
+		// Move 2: swap an assigned item with a heavier-profit unassigned
+		// item in the same bin.
+		for i := 0; i < n; i++ {
+			if res.Bin[i] != Unassigned {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				b := res.Bin[k]
+				if b == Unassigned || !p.eligible(i, b) {
+					continue
+				}
+				if p.Items[i].Profit <= p.Items[k].Profit {
+					continue
+				}
+				if load[b]-p.Items[k].Weight+p.Items[i].Weight <= p.Capacities[b] {
+					load[b] += p.Items[i].Weight - p.Items[k].Weight
+					res.Profit += p.Items[i].Profit - p.Items[k].Profit
+					res.Bin[i] = b
+					res.Bin[k] = Unassigned
+					improved = true
+					break
+				}
+			}
+		}
+		// Move 3: relocate an assigned item to another bin to make room
+		// for an unassigned item in its old bin.
+		for k := 0; k < n && !improved; k++ {
+			b := res.Bin[k]
+			if b == Unassigned {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if j == b || !p.eligible(k, j) || load[j]+p.Items[k].Weight > p.Capacities[j] {
+					continue
+				}
+				// Does moving k free room for some unassigned item in b?
+				freed := load[b] - p.Items[k].Weight
+				for i := 0; i < n; i++ {
+					if res.Bin[i] == Unassigned && p.eligible(i, b) && p.Items[i].Profit > 0 &&
+						freed+p.Items[i].Weight <= p.Capacities[b] {
+						res.Bin[k] = j
+						load[j] += p.Items[k].Weight
+						load[b] = freed + p.Items[i].Weight
+						res.Bin[i] = b
+						res.Profit += p.Items[i].Profit
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return res, nil
+}

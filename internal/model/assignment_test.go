@@ -1,0 +1,176 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAssignmentEmpty(t *testing.T) {
+	as := NewAssignment(3, 2)
+	if len(as.Owner) != 3 || len(as.Orientation) != 2 {
+		t.Fatalf("shape = %d owners, %d orientations", len(as.Owner), len(as.Orientation))
+	}
+	for _, o := range as.Owner {
+		if o != Unassigned {
+			t.Error("new assignment must leave customers unassigned")
+		}
+	}
+	if as.ServedCount() != 0 {
+		t.Error("ServedCount of empty assignment must be 0")
+	}
+}
+
+func TestAssignmentAccounting(t *testing.T) {
+	in := testInstance()
+	as := NewAssignment(in.N(), in.M())
+	as.Orientation[0] = 0.0 // covers customers 0 (θ=0.1,r=1) and 1 (θ=1.0,r=2)
+	as.Owner[0] = 0
+	as.Owner[1] = 0
+	if got := as.Profit(in); got != 8 {
+		t.Errorf("Profit = %d, want 8", got)
+	}
+	if got := as.ServedDemand(in); got != 8 {
+		t.Errorf("ServedDemand = %d, want 8", got)
+	}
+	load := as.Load(in)
+	if load[0] != 8 || load[1] != 0 {
+		t.Errorf("Load = %v", load)
+	}
+	if as.ServedCount() != 2 {
+		t.Errorf("ServedCount = %d, want 2", as.ServedCount())
+	}
+	if err := as.Check(in); err != nil {
+		t.Errorf("feasible assignment rejected: %v", err)
+	}
+}
+
+func TestCheckDetectsCoverageViolation(t *testing.T) {
+	in := testInstance()
+	as := NewAssignment(in.N(), in.M())
+	as.Orientation[0] = 3.0 // does not cover customer 0 at θ=0.1
+	as.Owner[0] = 0
+	err := as.Check(in)
+	if err == nil || !strings.Contains(err.Error(), "not covered") {
+		t.Errorf("expected coverage violation, got %v", err)
+	}
+}
+
+func TestCheckDetectsRangeViolation(t *testing.T) {
+	in := testInstance()
+	as := NewAssignment(in.N(), in.M())
+	// customer 2 is at r=6, antenna 0 has range 5
+	as.Orientation[0] = 1.8
+	as.Owner[2] = 0
+	if err := as.Check(in); err == nil {
+		t.Error("expected radial violation")
+	}
+	// antenna 1 has range 10: fine
+	as.Owner[2] = 1
+	as.Orientation[1] = 1.8
+	if err := as.Check(in); err != nil {
+		t.Errorf("radially feasible assignment rejected: %v", err)
+	}
+}
+
+func TestCheckDetectsOverload(t *testing.T) {
+	in := testInstance()
+	in.Antennas[0].Capacity = 7 // customers 0+1 demand 8
+	as := NewAssignment(in.N(), in.M())
+	as.Owner[0] = 0
+	as.Owner[1] = 0
+	err := as.Check(in)
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Errorf("expected overload, got %v", err)
+	}
+}
+
+func TestCheckDetectsBadShapesAndIndices(t *testing.T) {
+	in := testInstance()
+	as := NewAssignment(in.N()-1, in.M())
+	if err := as.Check(in); err == nil {
+		t.Error("short owner slice must be rejected")
+	}
+	as = NewAssignment(in.N(), in.M()+1)
+	if err := as.Check(in); err == nil {
+		t.Error("long orientation slice must be rejected")
+	}
+	as = NewAssignment(in.N(), in.M())
+	as.Owner[0] = 5
+	if err := as.Check(in); err == nil {
+		t.Error("out-of-range owner must be rejected")
+	}
+}
+
+func TestCheckDisjointVariant(t *testing.T) {
+	in := testInstance()
+	in.Variant = DisjointAngles
+	for j := range in.Antennas {
+		in.Antennas[j].Range = 0 // unbounded
+	}
+	as := NewAssignment(in.N(), in.M())
+	as.Orientation[0] = 0
+	as.Owner[0] = 0 // θ=0.1 in [0, 1.5]
+	as.Orientation[1] = 0.5
+	as.Owner[1] = 1 // θ=1.0 in [0.5, 1.5] — sector interiors overlap
+	if err := as.Check(in); err == nil {
+		t.Error("overlapping serving sectors must be rejected under DisjointAngles")
+	}
+	as.Orientation[1] = 1.8
+	as.Owner[1] = Unassigned
+	as.Owner[2] = 1 // θ=2.0 in [1.8, 2.8]
+	if err := as.Check(in); err != nil {
+		t.Errorf("disjoint serving sectors rejected: %v", err)
+	}
+	// An overlapping but idle antenna does not violate disjointness.
+	as.Owner[2] = Unassigned
+	as.Orientation[1] = 0.5
+	if err := as.Check(in); err != nil {
+		t.Errorf("idle antenna should not trigger disjointness: %v", err)
+	}
+	// Flush sectors are allowed.
+	as.Orientation[1] = 1.5
+	as.Owner[2] = 1 // θ=2.0 in [1.5, 2.5]
+	if err := as.Check(in); err != nil {
+		t.Errorf("flush serving sectors rejected: %v", err)
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	as := NewAssignment(2, 1)
+	cp := as.Clone()
+	cp.Owner[0] = 0
+	cp.Orientation[0] = 1
+	if as.Owner[0] != Unassigned || as.Orientation[0] != 0 {
+		t.Error("Clone must not share backing arrays")
+	}
+}
+
+func TestSolutionRatioAndString(t *testing.T) {
+	s := Solution{Profit: 50, UpperBound: 100, Algorithm: "greedy"}
+	if s.Ratio() != 0.5 {
+		t.Errorf("Ratio = %v", s.Ratio())
+	}
+	if !strings.Contains(s.String(), "greedy") {
+		t.Error("String should include algorithm name")
+	}
+	s2 := Solution{Profit: 50, Algorithm: "exact"}
+	if s2.Ratio() != 0 {
+		t.Error("Ratio without bound should be 0")
+	}
+	if !strings.Contains(s2.String(), "50") {
+		t.Error("String should include profit")
+	}
+}
+
+func TestSectorsView(t *testing.T) {
+	in := testInstance()
+	as := NewAssignment(in.N(), in.M())
+	as.Orientation[1] = 2.5
+	secs := as.Sectors(in)
+	if len(secs) != in.M() {
+		t.Fatalf("Sectors length = %d", len(secs))
+	}
+	if secs[1].Alpha != 2.5 || secs[1].Rho != in.Antennas[1].Rho {
+		t.Errorf("sector 1 = %v", secs[1])
+	}
+}

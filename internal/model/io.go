@@ -1,0 +1,74 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// instanceJSON is the wire form: Range uses 0 to encode "unbounded" so the
+// JSON stays valid (math.Inf cannot be marshalled).
+//
+// The Go structs already use the <=0 ⇒ unbounded convention, so the wire
+// form is the struct itself; this indirection exists to keep a stable,
+// versioned envelope around it.
+type instanceJSON struct {
+	FormatVersion int       `json:"format_version"`
+	Instance      *Instance `json:"instance"`
+}
+
+const formatVersion = 1
+
+// WriteJSON serializes the instance to w with indentation, wrapped in a
+// versioned envelope.
+func WriteJSON(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(instanceJSON{FormatVersion: formatVersion, Instance: in})
+}
+
+// ReadJSON parses an instance previously written by WriteJSON and validates
+// it.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var env instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("decode instance: %w", err)
+	}
+	if env.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("unsupported instance format version %d (want %d)", env.FormatVersion, formatVersion)
+	}
+	if env.Instance == nil {
+		return nil, fmt.Errorf("instance envelope missing body")
+	}
+	env.Instance.Normalize()
+	if err := env.Instance.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid instance: %w", err)
+	}
+	return env.Instance, nil
+}
+
+// SaveFile writes the instance to path.
+func SaveFile(path string, in *Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteJSON(f, in); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an instance from path.
+func LoadFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

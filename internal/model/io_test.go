@@ -1,0 +1,68 @@
+package model
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := testInstance()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if out.N() != in.N() || out.M() != in.M() || out.Name != in.Name || out.Variant != in.Variant {
+		t.Fatalf("round trip changed shape: %+v", out)
+	}
+	for i := range in.Customers {
+		if out.Customers[i] != in.Customers[i] {
+			t.Errorf("customer %d changed: %+v vs %+v", i, out.Customers[i], in.Customers[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"format_version": 99, "instance": {"variant":0}}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"format_version": 1}`)); err == nil {
+		t.Error("missing body should fail")
+	}
+	// invalid instance content
+	bad := `{"format_version":1,"instance":{"variant":0,"customers":[{"id":0,"theta":0,"r":1,"demand":-5}],"antennas":[]}}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid instance should fail validation")
+	}
+	// unknown fields rejected
+	unk := `{"format_version":1,"bogus":3,"instance":{"variant":0,"customers":[],"antennas":[]}}`
+	if _, err := ReadJSON(strings.NewReader(unk)); err == nil {
+		t.Error("unknown fields should fail")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	in := testInstance()
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := SaveFile(path, in); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	out, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if out.N() != in.N() || out.M() != in.M() {
+		t.Fatalf("file round trip changed shape")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,189 @@
+// Package online implements the online-arrival variant of sector packing:
+// antenna orientations are fixed up front (from a uniform layout or from a
+// predicted sample of the demand), then customers arrive one at a time in
+// an adversary-chosen order and each must be irrevocably admitted to a
+// covering antenna with spare capacity — or rejected — before the next
+// arrives.
+//
+// This is the natural online extension of the paper's offline problem
+// [reconstruction: the offline model implicitly assumes the demand is
+// known; operators deploy before demand materializes]. Admission control
+// under fixed orientations is online multiple knapsack, so no policy is
+// constant-competitive in general; the experiment harness (E15) measures
+// how far the simple policies actually fall behind the offline optimum on
+// the workload families.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+// Policy decides the fate of one arriving customer.
+type Policy interface {
+	// Name identifies the policy in tables.
+	Name() string
+	// Admit returns the antenna index to serve the customer, or
+	// model.Unassigned to reject. feasible lists the antennas that cover
+	// the customer and still have room (possibly empty); remaining is the
+	// spare capacity per antenna.
+	Admit(c model.Customer, feasible []int, remaining []int64) int
+}
+
+// Run plays the arrival sequence through the policy and returns the final
+// assignment. order lists customer indices in arrival order (nil means
+// instance order); orientations fixes each antenna's start angle.
+func Run(in *model.Instance, orientations []float64, order []int, p Policy) (*model.Assignment, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("online: %w", err)
+	}
+	if len(orientations) != in.M() {
+		return nil, fmt.Errorf("online: %d orientations for %d antennas", len(orientations), in.M())
+	}
+	n := in.N()
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("online: order covers %d of %d customers", len(order), n)
+	}
+	seen := make([]bool, n)
+	as := model.NewAssignment(n, in.M())
+	copy(as.Orientation, orientations)
+	remaining := make([]int64, in.M())
+	for j, a := range in.Antennas {
+		remaining[j] = a.Capacity
+	}
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return nil, fmt.Errorf("online: order is not a permutation (index %d)", i)
+		}
+		seen[i] = true
+		c := in.Customers[i]
+		var feasible []int
+		for j, a := range in.Antennas {
+			if remaining[j] >= c.Demand && a.Covers(orientations[j], c) {
+				feasible = append(feasible, j)
+			}
+		}
+		pick := p.Admit(c, feasible, remaining)
+		if pick == model.Unassigned {
+			continue
+		}
+		ok := false
+		for _, j := range feasible {
+			if j == pick {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("online: policy %s picked infeasible antenna %d for customer %d", p.Name(), pick, i)
+		}
+		as.Owner[i] = pick
+		remaining[pick] -= c.Demand
+	}
+	return as, nil
+}
+
+// FirstFit admits every customer to the lowest-indexed feasible antenna.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Admit implements Policy.
+func (FirstFit) Admit(_ model.Customer, feasible []int, _ []int64) int {
+	if len(feasible) == 0 {
+		return model.Unassigned
+	}
+	return feasible[0]
+}
+
+// BestFit admits to the feasible antenna with the least remaining capacity
+// (tightest fit), preserving flexibility elsewhere.
+type BestFit struct{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Admit implements Policy.
+func (BestFit) Admit(c model.Customer, feasible []int, remaining []int64) int {
+	best := model.Unassigned
+	for _, j := range feasible {
+		if best == model.Unassigned || remaining[j] < remaining[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Threshold admits only customers whose profit density (profit/demand)
+// meets a threshold, placed best-fit; the classical defense against
+// low-value demand exhausting capacity early.
+type Threshold struct {
+	// MinDensity is the admission bar in profit per unit demand.
+	MinDensity float64
+}
+
+// Name implements Policy.
+func (t Threshold) Name() string { return fmt.Sprintf("threshold(%.2g)", t.MinDensity) }
+
+// Admit implements Policy.
+func (t Threshold) Admit(c model.Customer, feasible []int, remaining []int64) int {
+	if c.Demand > 0 && float64(c.Profit)/float64(c.Demand) < t.MinDensity {
+		return model.Unassigned
+	}
+	return BestFit{}.Admit(c, feasible, remaining)
+}
+
+// OrientUniform spreads the antennas' start angles evenly around the
+// circle — the no-information baseline layout.
+func OrientUniform(in *model.Instance) []float64 {
+	m := in.M()
+	out := make([]float64, m)
+	for j := 0; j < m; j++ {
+		out[j] = geom.TwoPi * float64(j) / float64(m)
+	}
+	return out
+}
+
+// OrientFromSample orients antennas by running the offline greedy on a
+// random sample of the customers (a demand forecast): the layout the
+// operator would deploy given historical data. frac is the sample
+// fraction in (0, 1]; the sample is drawn with the given seed.
+func OrientFromSample(in *model.Instance, frac float64, seed int64) ([]float64, error) {
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("online: sample fraction %v outside (0, 1]", frac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(in.N())
+	k := int(float64(in.N()) * frac)
+	if k < 1 {
+		k = 1
+	}
+	if k > in.N() {
+		k = in.N()
+	}
+	chosen := idx[:k]
+	sort.Ints(chosen)
+	sample := &model.Instance{Variant: in.Variant, Name: in.Name + "-sample"}
+	for _, i := range chosen {
+		sample.Customers = append(sample.Customers, in.Customers[i])
+	}
+	sample.Antennas = append(sample.Antennas, in.Antennas...)
+	sample.Normalize()
+	sol, err := core.SolveGreedy(sample, core.Options{SkipBound: true})
+	if err != nil {
+		return nil, err
+	}
+	return sol.Assignment.Orientation, nil
+}

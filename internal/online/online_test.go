@@ -1,0 +1,216 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+func onlineInstance(rng *rand.Rand, n, m int) *model.Instance {
+	return gen.MustGenerate(gen.Config{
+		Family: gen.Uniform, Variant: model.Sectors,
+		Seed: rng.Int63(), N: n, M: m,
+	})
+}
+
+func TestRunFeasibilityAllPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	policies := []Policy{FirstFit{}, BestFit{}, Threshold{MinDensity: 0.5}}
+	for trial := 0; trial < 20; trial++ {
+		in := onlineInstance(rng, 10+rng.Intn(30), 1+rng.Intn(4))
+		orientations := OrientUniform(in)
+		order := rng.Perm(in.N())
+		for _, p := range policies {
+			as, err := Run(in, orientations, order, p)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if err := as.Check(in); err != nil {
+				t.Fatalf("%s produced infeasible assignment: %v", p.Name(), err)
+			}
+		}
+	}
+}
+
+func TestFirstFitAdmitsWhenPossible(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 1, Demand: 2},
+			{Theta: 0.2, R: 1, Demand: 2},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Capacity: 4}},
+	}
+	in.Normalize()
+	as, err := Run(in, []float64{0}, nil, FirstFit{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if as.ServedCount() != 2 {
+		t.Fatalf("first-fit should admit both, served %d", as.ServedCount())
+	}
+}
+
+func TestThresholdRejectsLowDensity(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 1, Demand: 10, Profit: 1}, // density 0.1
+			{Theta: 0.2, R: 1, Demand: 2, Profit: 8},  // density 4
+		},
+		Antennas: []model.Antenna{{Rho: 1, Capacity: 10}},
+	}
+	in.Normalize()
+	as, err := Run(in, []float64{0}, nil, Threshold{MinDensity: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if as.Owner[0] != model.Unassigned {
+		t.Error("low-density customer should be rejected")
+	}
+	if as.Owner[1] == model.Unassigned {
+		t.Error("high-density customer should be admitted")
+	}
+	// Without the threshold, the whale fills the antenna first.
+	ff, err := Run(in, []float64{0}, nil, FirstFit{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ff.Profit(in) >= as.Profit(in) {
+		t.Errorf("threshold should beat first-fit here: %d vs %d", as.Profit(in), ff.Profit(in))
+	}
+}
+
+func TestBestFitPrefersTighter(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.Angles,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 1, Demand: 2},
+		},
+		Antennas: []model.Antenna{
+			{Rho: 1, Capacity: 10},
+			{Rho: 1, Capacity: 3},
+		},
+	}
+	in.Normalize()
+	as, err := Run(in, []float64{0, 0}, nil, BestFit{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if as.Owner[0] != 1 {
+		t.Errorf("best-fit should pick the tighter antenna, got %d", as.Owner[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	in := onlineInstance(rng, 5, 2)
+	if _, err := Run(in, []float64{0}, nil, FirstFit{}); err == nil {
+		t.Error("orientation shape mismatch must error")
+	}
+	if _, err := Run(in, OrientUniform(in), []int{0, 0, 1, 2, 3}, FirstFit{}); err == nil {
+		t.Error("non-permutation order must error")
+	}
+	if _, err := Run(in, OrientUniform(in), []int{0, 1}, FirstFit{}); err == nil {
+		t.Error("short order must error")
+	}
+}
+
+func TestOrientUniformSpacing(t *testing.T) {
+	in := onlineInstance(rand.New(rand.NewSource(123)), 5, 4)
+	got := OrientUniform(in)
+	for j := 1; j < len(got); j++ {
+		if d := geom.AngleDist(got[j-1], got[j]); d < geom.TwoPi/4-1e-9 || d > geom.TwoPi/4+1e-9 {
+			t.Fatalf("uneven spacing: %v", got)
+		}
+	}
+}
+
+func TestOrientFromSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	in := onlineInstance(rng, 40, 3)
+	or, err := OrientFromSample(in, 0.5, 7)
+	if err != nil {
+		t.Fatalf("OrientFromSample: %v", err)
+	}
+	if len(or) != in.M() {
+		t.Fatalf("orientation count %d", len(or))
+	}
+	or2, err := OrientFromSample(in, 0.5, 7)
+	if err != nil {
+		t.Fatalf("OrientFromSample: %v", err)
+	}
+	for j := range or {
+		if or[j] != or2[j] {
+			t.Fatal("sampling must be deterministic in the seed")
+		}
+	}
+	if _, err := OrientFromSample(in, 0, 1); err == nil {
+		t.Error("zero fraction must error")
+	}
+	if _, err := OrientFromSample(in, 1.5, 1); err == nil {
+		t.Error("fraction above 1 must error")
+	}
+}
+
+// TestSampleOrientationHelps checks the prediction pipeline end to end:
+// sample-informed orientations should (on hotspot workloads, on average)
+// beat the uniform layout.
+func TestSampleOrientationHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	winsSample, winsUniform := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		in := gen.MustGenerate(gen.Config{
+			Family: gen.Hotspot, Variant: model.Sectors,
+			Seed: rng.Int63(), N: 50, M: 2,
+		})
+		order := rng.Perm(in.N())
+		su, err := Run(in, OrientUniform(in), order, BestFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		orient, err := OrientFromSample(in, 0.3, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := Run(in, orient, order, BestFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Profit(in) > su.Profit(in) {
+			winsSample++
+		} else if su.Profit(in) > ss.Profit(in) {
+			winsUniform++
+		}
+	}
+	if winsSample <= winsUniform {
+		t.Errorf("sample-informed layout should usually win on hotspots: %d vs %d", winsSample, winsUniform)
+	}
+}
+
+// TestOnlineNeverBeatsOffline sanity-checks against the offline greedy at
+// the same orientations (which re-optimizes the assignment globally).
+func TestOnlineNeverBeatsOfflineExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(126))
+	for trial := 0; trial < 10; trial++ {
+		in := onlineInstance(rng, 8, 2)
+		sol, err := core.SolveGreedy(in, core.Options{SkipBound: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := Run(in, sol.Assignment.Orientation, rng.Perm(in.N()), BestFit{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The offline optimum at ANY orientation dominates an online run
+		// at the same orientations only in expectation, but the global
+		// upper bound always holds:
+		if float64(as.Profit(in)) > core.UpperBound(in)+1e-6 {
+			t.Fatalf("online profit %d above certified bound", as.Profit(in))
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/exact"
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+func randInstance(rng *rand.Rand, n, m int) *model.Instance {
+	in := &model.Instance{Variant: model.Sectors}
+	for i := 0; i < n; i++ {
+		in.Customers = append(in.Customers, model.Customer{
+			Theta:  rng.Float64() * geom.TwoPi,
+			R:      rng.Float64() * 14, // some beyond range by design
+			Demand: 2 * (1 + rng.Int63n(5)),
+		})
+	}
+	for j := 0; j < m; j++ {
+		in.Antennas = append(in.Antennas, model.Antenna{
+			Rho: 0.5 + rng.Float64(), Range: 3 + rng.Float64()*6,
+			Capacity: 2 * (3 + rng.Int63n(10)),
+		})
+	}
+	return in.Normalize()
+}
+
+func TestApplyPreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(rng, 3+rng.Intn(7), 1+rng.Intn(2))
+		before, err := exact.Solve(in, exact.Limits{})
+		if err != nil {
+			t.Fatalf("exact before: %v", err)
+		}
+		r, err := Apply(in)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		after, err := exact.Solve(r.Reduced, exact.Limits{})
+		if err != nil {
+			t.Fatalf("exact after: %v", err)
+		}
+		if before.Profit != after.Profit {
+			t.Fatalf("reduction changed optimum: %d -> %d (notes %v)", before.Profit, after.Profit, r.Notes)
+		}
+		// Lifted solution must be feasible on the original with the same profit.
+		lifted := r.Lift(after.Assignment)
+		if err := lifted.Check(in); err != nil {
+			t.Fatalf("lifted assignment infeasible: %v", err)
+		}
+		if got := lifted.Profit(in); got != after.Profit {
+			t.Fatalf("lifted profit %d != reduced profit %d", got, after.Profit)
+		}
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	in := randInstance(rng, 10, 2)
+	snapshot := in.Clone()
+	if _, err := Apply(in); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for i := range snapshot.Customers {
+		if in.Customers[i] != snapshot.Customers[i] {
+			t.Fatal("Apply mutated input customers")
+		}
+	}
+	for j := range snapshot.Antennas {
+		if in.Antennas[j] != snapshot.Antennas[j] {
+			t.Fatal("Apply mutated input antennas")
+		}
+	}
+}
+
+func TestDropUnreachable(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.Sectors,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 2, Demand: 3},
+			{Theta: 0.2, R: 50, Demand: 3},            // out of range
+			{Theta: 0.3, R: 2, Demand: 99},            // exceeds every capacity
+			{Theta: 0.4, R: 2, Demand: 3, Profit: -0}, // profit defaults to demand
+		},
+		Antennas: []model.Antenna{{Rho: 1, Range: 5, Capacity: 10}},
+	}
+	in.Normalize()
+	r, err := Apply(in)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if r.Reduced.N() != 2 {
+		t.Fatalf("kept %d customers, want 2", r.Reduced.N())
+	}
+	if !r.Shrunk() {
+		t.Error("Shrunk should report the drop")
+	}
+}
+
+func TestGCDScale(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.Sectors,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 2, Demand: 6},
+			{Theta: 0.2, R: 2, Demand: 9},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Range: 5, Capacity: 12}},
+	}
+	in.Normalize()
+	r, err := Apply(in)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	// capacity first tightens to reachable demand 15, then gcd(6,9,15)=3
+	if r.demandScale != 3 {
+		t.Fatalf("scale = %d, want 3 (notes %v)", r.demandScale, r.Notes)
+	}
+	if r.Reduced.Customers[0].Demand != 2 || r.Reduced.Customers[1].Demand != 3 {
+		t.Fatalf("scaled demands = %d, %d", r.Reduced.Customers[0].Demand, r.Reduced.Customers[1].Demand)
+	}
+	// profits untouched
+	if r.Reduced.Customers[0].Profit != 6 {
+		t.Fatalf("profit changed: %d", r.Reduced.Customers[0].Profit)
+	}
+}
+
+func TestTightenCapacities(t *testing.T) {
+	in := &model.Instance{
+		Variant: model.Sectors,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 2, Demand: 5},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Range: 5, Capacity: 1000}},
+	}
+	in.Normalize()
+	r, err := Apply(in)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if r.Reduced.Antennas[0].Capacity != 1 { // tightened to 5, then gcd 5 scales to 1
+		t.Fatalf("capacity = %d, want 1 after tighten+scale (notes %v)", r.Reduced.Antennas[0].Capacity, r.Notes)
+	}
+}
+
+func TestReducedSolveMatchesThroughGreedy(t *testing.T) {
+	// End-to-end: solving the reduced instance and lifting must be
+	// feasible on the original and match the reduced profit.
+	rng := rand.New(rand.NewSource(153))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(rng, 20, 3)
+		r, err := Apply(in)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		sol, err := core.SolveGreedy(r.Reduced, core.Options{SkipBound: true})
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		lifted := r.Lift(sol.Assignment)
+		if err := lifted.Check(in); err != nil {
+			t.Fatalf("lifted infeasible: %v", err)
+		}
+		if lifted.Profit(in) != sol.Profit {
+			t.Fatalf("lifted profit %d != %d", lifted.Profit(in), sol.Profit)
+		}
+	}
+}
+
+func TestEmptyAndNoopInstances(t *testing.T) {
+	empty := (&model.Instance{Variant: model.Angles}).Normalize()
+	r, err := Apply(empty)
+	if err != nil {
+		t.Fatalf("Apply empty: %v", err)
+	}
+	if r.Reduced.N() != 0 {
+		t.Fatal("empty stays empty")
+	}
+	// Already-minimal instance: nothing fires except possibly tightening.
+	in := &model.Instance{
+		Variant: model.Sectors,
+		Customers: []model.Customer{
+			{Theta: 0.1, R: 2, Demand: 1},
+			{Theta: 0.2, R: 2, Demand: 2},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Range: 5, Capacity: 3}},
+	}
+	in.Normalize()
+	r, err = Apply(in)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if r.Shrunk() {
+		t.Errorf("no reduction should fire, got notes %v", r.Notes)
+	}
+}
+
+func TestApplyRejectsInvalid(t *testing.T) {
+	bad := &model.Instance{
+		Variant:   model.Sectors,
+		Customers: []model.Customer{{ID: 0, Theta: 0.1, R: 1, Demand: -4}},
+	}
+	if _, err := Apply(bad); err == nil {
+		t.Error("invalid instance must be rejected")
+	}
+}

@@ -1,0 +1,151 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summaries (mean, quantiles, min/max, stddev), bootstrap
+// confidence intervals, and linear regression on log-log data for
+// estimating empirical complexity exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Summary condenses a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of the sample; an empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P25 = Quantile(sorted, 0.25)
+	s.Median = Quantile(sorted, 0.5)
+	s.P75 = Quantile(sorted, 0.75)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
+	var ss float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(sorted) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted sample
+// using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BootstrapCI returns a two-sided percentile bootstrap confidence interval
+// for the mean at the given level (e.g. 0.95), using resamples resampling
+// rounds driven by the seed.
+func BootstrapCI(xs []float64, level float64, resamples int, seed int64) (lo, hi float64) {
+	if len(xs) == 0 || resamples <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for r := range means {
+		var sum float64
+		for k := 0; k < len(xs); k++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha)
+}
+
+// LinFit fits y = a + b·x by least squares and returns (a, b). NaN inputs
+// poison the fit; callers filter first.
+func LinFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: LinFit needs two equal-length samples of size >= 2, got %d and %d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: LinFit degenerate x sample")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b, nil
+}
+
+// LogLogSlope estimates the exponent k of y ≈ c·x^k from positive samples
+// by regressing log y on log x — the empirical complexity estimator used
+// by experiment E3.
+func LogLogSlope(xs, ys []float64) (float64, error) {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	_, slope, err := LinFit(lx, ly)
+	return slope, err
+}
+
+// GeoMean returns the geometric mean of positive samples (used for ratio
+// aggregation, where arithmetic means overweight easy instances).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -1,0 +1,101 @@
+// Package sweep runs experiment workloads in parallel: a fixed pool of
+// workers (GOMAXPROCS by default) drains a queue of deterministic jobs and
+// collects results in submission order, so experiment tables are
+// reproducible regardless of scheduling. Cancellation flows through a
+// context; the first job error aborts the sweep.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of work; Run must be safe to call concurrently with
+// other jobs' Run (jobs share nothing mutable).
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Options tunes Run.
+type Options struct {
+	// Workers is the pool size; zero means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the jobs on a worker pool and returns their results in the
+// order the jobs were given. The first error cancels the remaining jobs
+// and is returned (wrapped with its job index).
+func Run[T any](ctx context.Context, jobs []Job[T], opt Options) ([]T, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type failure struct {
+		idx int
+		err error
+	}
+	var (
+		mu    sync.Mutex
+		first *failure
+	)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				if ctx.Err() != nil {
+					continue // drain remaining indices after cancellation
+				}
+				res, err := jobs[idx](ctx)
+				if err != nil {
+					mu.Lock()
+					if first == nil || idx < first.idx {
+						first = &failure{idx: idx, err: err}
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for idx := range jobs {
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+
+	if first != nil {
+		return nil, fmt.Errorf("sweep: job %d: %w", first.idx, first.err)
+	}
+	// Only an external cancellation can leave ctx done without a recorded
+	// failure (our own cancel fires solely on job errors).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Map is a convenience wrapper: it applies f to every input in parallel.
+func Map[In, Out any](ctx context.Context, inputs []In, f func(context.Context, In) (Out, error), opt Options) ([]Out, error) {
+	jobs := make([]Job[Out], len(inputs))
+	for i := range inputs {
+		in := inputs[i]
+		jobs[i] = func(ctx context.Context) (Out, error) { return f(ctx, in) }
+	}
+	return Run(ctx, jobs, opt)
+}

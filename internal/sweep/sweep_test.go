@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	jobs := make([]Job[int], 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) { return i * i, nil }
+	}
+	res, err := Run(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range res {
+		if r != i*i {
+			t.Fatalf("result %d = %d, want %d", i, r, i*i)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run[int](context.Background(), nil, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty run: %v, %v", res, err)
+	}
+}
+
+func TestRunErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int32
+	jobs := make([]Job[int], 200)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			executed.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			// Simulate work so cancellation has time to take effect.
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return i, nil
+		}
+	}
+	_, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if n := executed.Load(); n == 200 {
+		t.Error("cancellation should have skipped some jobs")
+	}
+}
+
+func TestRunExternalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Job[int]{func(context.Context) (int, error) { return 1, nil }}
+	_, err := Run(ctx, jobs, Options{})
+	if err == nil {
+		t.Fatal("cancelled context must surface as an error")
+	}
+}
+
+func TestRunWorkerCap(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return 0, nil
+		}
+	}
+	if _, err := Run(context.Background(), jobs, Options{Workers: 3}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds worker cap 3", p)
+	}
+}
+
+func TestMap(t *testing.T) {
+	inputs := []int{1, 2, 3, 4}
+	out, err := Map(context.Background(), inputs, func(_ context.Context, x int) (string, error) {
+		return fmt.Sprintf("v%d", x), nil
+	}, Options{})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	want := []string{"v1", "v2", "v3", "v4"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestRunFirstErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	jobs := []Job[int]{
+		func(context.Context) (int, error) { time.Sleep(5 * time.Millisecond); return 0, errA },
+		func(context.Context) (int, error) { return 0, errB },
+	}
+	_, err := Run(context.Background(), jobs, Options{Workers: 2})
+	// Lowest job index wins regardless of completion order.
+	if !errors.Is(err, errA) {
+		t.Fatalf("want errA (lowest index), got %v", err)
+	}
+}

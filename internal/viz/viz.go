@@ -1,0 +1,138 @@
+// Package viz renders sector-packing instances and solutions as ASCII
+// polar plots for terminal inspection: the base station sits at the
+// center, customers appear as the digit of the antenna serving them (or
+// '.' when unserved), and each placed sector's boundary rays are drawn.
+// It exists for debugging and demos, not for pixel fidelity.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+// Options controls the render.
+type Options struct {
+	// Width and Height are the character-grid dimensions; zero means
+	// 61×31 (2:1 aspect compensates for character cells).
+	Width, Height int
+	// MaxR is the radius mapped to the plot edge; zero means the largest
+	// customer radius (or antenna range) present.
+	MaxR float64
+	// Rays draws the boundary rays of each serving sector.
+	Rays bool
+}
+
+func (o Options) withDefaults(in *model.Instance) Options {
+	if o.Width <= 0 {
+		o.Width = 61
+	}
+	if o.Height <= 0 {
+		o.Height = 31
+	}
+	if o.MaxR <= 0 {
+		for _, c := range in.Customers {
+			if c.R > o.MaxR {
+				o.MaxR = c.R
+			}
+		}
+		for _, a := range in.Antennas {
+			if !a.Unbounded() && a.Range > o.MaxR {
+				o.MaxR = a.Range
+			}
+		}
+		if o.MaxR == 0 {
+			o.MaxR = 1
+		}
+	}
+	return o
+}
+
+// Render draws the instance with an optional solution (nil for instance
+// only). Customers show as their serving antenna's digit (mod 10) or '.'
+// when unserved; 'B' is the base station.
+func Render(in *model.Instance, as *model.Assignment, opt Options) string {
+	opt = opt.withDefaults(in)
+	grid := make([][]byte, opt.Height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	cx, cy := opt.Width/2, opt.Height/2
+	// Character cells are ~2:1 tall, so x gets double scale.
+	scaleX := float64(opt.Width-1) / (2 * opt.MaxR) * 0.98
+	scaleY := float64(opt.Height-1) / (2 * opt.MaxR) * 0.98 * 0.95
+
+	plot := func(theta, r float64, ch byte) {
+		x := cx + int(math.Round(r*math.Cos(theta)*scaleX))
+		y := cy - int(math.Round(r*math.Sin(theta)*scaleY))
+		if x >= 0 && x < opt.Width && y >= 0 && y < opt.Height {
+			grid[y][x] = ch
+		}
+	}
+
+	// Sector rays first so customers overwrite them.
+	if opt.Rays && as != nil {
+		for j, a := range in.Antennas {
+			serving := false
+			for _, owner := range as.Owner {
+				if owner == j {
+					serving = true
+					break
+				}
+			}
+			if !serving {
+				continue
+			}
+			reach := a.EffRange()
+			if math.IsInf(reach, 1) || reach > opt.MaxR {
+				reach = opt.MaxR
+			}
+			for _, edge := range []float64{as.Orientation[j], geom.NormAngle(as.Orientation[j] + a.Rho)} {
+				steps := opt.Width
+				for s := 0; s <= steps; s++ {
+					plot(edge, reach*float64(s)/float64(steps), '+')
+				}
+			}
+		}
+	}
+
+	for i, c := range in.Customers {
+		ch := byte('.')
+		if as != nil && as.Owner[i] != model.Unassigned {
+			ch = byte('0' + as.Owner[i]%10)
+		}
+		plot(c.Theta, c.R, ch)
+	}
+	grid[cy][cx] = 'B'
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d, m=%d, r<=%.1f)\n", in.Name, in.N(), in.M(), opt.MaxR)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	if as != nil {
+		b.WriteString(legend(in, as))
+	}
+	return b.String()
+}
+
+// legend summarizes each antenna's placement under the plot.
+func legend(in *model.Instance, as *model.Assignment) string {
+	var b strings.Builder
+	load := as.Load(in)
+	for j, a := range in.Antennas {
+		count := 0
+		for _, owner := range as.Owner {
+			if owner == j {
+				count++
+			}
+		}
+		fmt.Fprintf(&b, "  [%d] α=%6.1f° ρ=%5.1f° load %d/%d (%d customers)\n",
+			j, geom.Degrees(as.Orientation[j]), geom.Degrees(a.Rho), load[j], a.Capacity, count)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sectorpack/internal/model"
+)
+
+func vizInstance() (*model.Instance, *model.Assignment) {
+	in := &model.Instance{
+		Name:    "viz-test",
+		Variant: model.Sectors,
+		Customers: []model.Customer{
+			{Theta: 0, R: 4, Demand: 1},
+			{Theta: 1.5, R: 3, Demand: 1},
+			{Theta: 3.0, R: 5, Demand: 1},
+		},
+		Antennas: []model.Antenna{{Rho: 1, Range: 6, Capacity: 5}},
+	}
+	in.Normalize()
+	as := model.NewAssignment(in.N(), in.M())
+	as.Orientation[0] = 0
+	as.Owner[0] = 0
+	return in, as
+}
+
+func TestRenderBasics(t *testing.T) {
+	in, as := vizInstance()
+	out := Render(in, as, Options{Rays: true})
+	if !strings.Contains(out, "viz-test") {
+		t.Error("render should carry the instance name")
+	}
+	if !strings.Contains(out, "B") {
+		t.Error("base station marker missing")
+	}
+	if !strings.Contains(out, "0") {
+		t.Error("served customer should render as its antenna digit")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("unserved customers should render as dots")
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("sector rays missing")
+	}
+	if !strings.Contains(out, "load 1/5") {
+		t.Error("legend missing load line")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 31 {
+		t.Errorf("expected at least 31 grid lines, got %d", len(lines))
+	}
+}
+
+func TestRenderInstanceOnly(t *testing.T) {
+	in, _ := vizInstance()
+	out := Render(in, nil, Options{})
+	if strings.Contains(out, "load") {
+		t.Error("no legend without a solution")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("customers should render as dots without a solution")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	in, as := vizInstance()
+	if Render(in, as, Options{Rays: true}) != Render(in, as, Options{Rays: true}) {
+		t.Error("render must be deterministic")
+	}
+}
+
+func TestRenderCustomSize(t *testing.T) {
+	in, _ := vizInstance()
+	out := Render(in, nil, Options{Width: 21, Height: 11})
+	lines := strings.Split(out, "\n")
+	// title + 11 grid rows + trailing empty
+	if len(lines) != 13 {
+		t.Fatalf("lines = %d, want 13", len(lines))
+	}
+	for _, l := range lines[1:12] {
+		if len(l) != 21 {
+			t.Fatalf("row width %d, want 21", len(l))
+		}
+	}
+}
+
+func TestRenderEmptyInstance(t *testing.T) {
+	in := (&model.Instance{Name: "empty", Variant: model.Angles}).Normalize()
+	out := Render(in, nil, Options{})
+	if !strings.Contains(out, "B") {
+		t.Error("even an empty plot shows the base station")
+	}
+}
+
+func TestRenderIdleAntennaNoRays(t *testing.T) {
+	in, as := vizInstance()
+	as.Owner[0] = model.Unassigned // nobody served: no rays
+	out := Render(in, as, Options{Rays: true})
+	if strings.Contains(out, "+") {
+		t.Error("idle antennas should not draw rays")
+	}
+}

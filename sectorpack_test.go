@@ -1,0 +1,70 @@
+package sectorpack_test
+
+import (
+	"testing"
+
+	"sectorpack"
+)
+
+// TestPublicAPIEndToEnd exercises the façade the way the README shows.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Hotspot, Variant: sectorpack.Sectors,
+		Seed: 3, N: 60, M: 3,
+	})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	if err != nil {
+		t.Fatalf("SolveGreedy: %v", err)
+	}
+	if err := sol.Assignment.Check(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if sol.Profit <= 0 {
+		t.Fatal("hotspot instance should serve someone")
+	}
+	if b := sectorpack.UpperBound(in); float64(sol.Profit) > b+1e-6 {
+		t.Fatalf("profit %d above bound %v", sol.Profit, b)
+	}
+}
+
+func TestPublicSolveDispatch(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Angles,
+		Seed: 4, N: 20, M: 2,
+	})
+	names := sectorpack.SolverNames()
+	if len(names) < 5 {
+		t.Fatalf("SolverNames = %v", names)
+	}
+	sol, err := sectorpack.Solve("localsearch", in, sectorpack.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := sol.Assignment.Check(in); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if _, err := sectorpack.Solve("bogus", in, sectorpack.Options{}); err == nil {
+		t.Error("unknown solver must error")
+	}
+}
+
+func TestPublicVariantsRoundTrip(t *testing.T) {
+	for _, v := range []sectorpack.Variant{sectorpack.Sectors, sectorpack.Angles, sectorpack.DisjointAngles} {
+		in := sectorpack.MustGenerate(sectorpack.GenConfig{
+			Family: sectorpack.Uniform, Variant: v, Seed: 5, N: 12, M: 2, Rho: 1.0,
+		})
+		if in.Variant != v {
+			t.Errorf("variant %v not stamped", v)
+		}
+		sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+		if err != nil {
+			t.Fatalf("greedy on %v: %v", v, err)
+		}
+		if err := sol.Assignment.Check(in); err != nil {
+			t.Fatalf("greedy on %v infeasible: %v", v, err)
+		}
+	}
+}
