@@ -56,6 +56,7 @@ func benchSolver(b *testing.B, name string, n, m int) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 42, N: n, M: m,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sol, err := sectorpack.Solve(name, in, sectorpack.Options{Seed: 1, SkipBound: true})
@@ -93,6 +94,7 @@ func BenchmarkUnitFlow(b *testing.B) {
 				Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 				Seed: 42, N: n, M: 3, UnitDemand: true,
 			})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sectorpack.SolveUnitFlow(in, sectorpack.Options{SkipBound: true}); err != nil {
@@ -110,6 +112,7 @@ func BenchmarkDisjointDP(b *testing.B) {
 				Family: sectorpack.Uniform, Variant: sectorpack.DisjointAngles,
 				Seed: 42, N: n, M: 3, Rho: 1.2,
 			})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sectorpack.SolveDisjointDP(in, sectorpack.Options{}); err != nil {
@@ -125,6 +128,7 @@ func BenchmarkExactSmall(b *testing.B) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 42, N: 10, M: 2,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sectorpack.SolveExact(in); err != nil {
@@ -138,6 +142,7 @@ func BenchmarkUpperBound(b *testing.B) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 42, N: 300, M: 4,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if sectorpack.UpperBound(in) <= 0 {

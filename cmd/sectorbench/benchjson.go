@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"sectorpack"
+)
+
+// benchReport is the machine-readable summary written by -json: the wall
+// time of every experiment run plus allocation-aware micro-benchmarks of
+// the greedy hot path. Checked-in BENCH_<date>.json files are the
+// performance baselines regressions are judged against.
+type benchReport struct {
+	Date        string       `json:"date"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Quick       bool         `json:"quick"`
+	Experiments []expTiming  `json:"experiments"`
+	Micro       []microBench `json:"micro"`
+}
+
+type expTiming struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+type microBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// microBenchmarks measures the greedy solver at the bench_test.go sizes via
+// testing.Benchmark, so the JSON numbers are directly comparable to
+// `go test -bench=BenchmarkGreedy -benchmem`.
+func microBenchmarks() []microBench {
+	var out []microBench
+	for _, n := range []int{50, 200, 800} {
+		in := sectorpack.MustGenerate(sectorpack.GenConfig{
+			Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+			Seed: 42, N: n, M: 3,
+		})
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sectorpack.Solve("greedy", in, sectorpack.Options{Seed: 1, SkipBound: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, microBench{
+			Name:        fmt.Sprintf("greedy/n%d", n),
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
+
+// writeBenchJSON writes BENCH_<date>.json into dir and returns its path.
+func writeBenchJSON(dir string, quick bool, exps []expTiming) (string, error) {
+	rep := benchReport{
+		Date:        time.Now().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Quick:       quick,
+		Experiments: exps,
+		Micro:       microBenchmarks(),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+rep.Date+".json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -8,6 +8,7 @@
 //	sectorbench -exp E1,E7    # a subset
 //	sectorbench -quick        # reduced sizes (the test configuration)
 //	sectorbench -list         # list experiments and the claims they test
+//	sectorbench -json .       # also write a BENCH_<date>.json summary
 package main
 
 import (
@@ -38,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	jsonDir := fs.String("json", "", "write a BENCH_<date>.json benchmark summary into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		ids = strings.Split(*expFlag, ",")
 	}
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	var timings []expTiming
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -59,8 +62,10 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		elapsed := time.Since(start)
+		timings = append(timings, expTiming{ID: id, WallMS: float64(elapsed.Microseconds()) / 1000})
 		fmt.Fprint(out, rep.Render())
-		fmt.Fprintf(out, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				return err
@@ -72,6 +77,13 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 		}
+	}
+	if *jsonDir != "" {
+		path, err := writeBenchJSON(*jsonDir, *quick, timings)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchmark summary written to %s\n", path)
 	}
 	return nil
 }

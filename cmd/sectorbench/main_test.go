@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -43,6 +44,40 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}, &out); err == nil {
 		t.Error("unknown flag must error")
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real micro-benchmarks")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-exp", "E1", "-json", dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one BENCH_<date>.json, got %v (%v)", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "E1" || rep.Experiments[0].WallMS <= 0 {
+		t.Errorf("experiment timings = %+v", rep.Experiments)
+	}
+	if len(rep.Micro) != 3 {
+		t.Fatalf("micro benches = %+v, want 3", rep.Micro)
+	}
+	for _, m := range rep.Micro {
+		if m.NsPerOp <= 0 || m.AllocsPerOp <= 0 {
+			t.Errorf("degenerate micro bench %+v", m)
+		}
 	}
 }
 

@@ -1,9 +1,6 @@
 package angular
 
 import (
-	"runtime"
-	"sync"
-
 	"sectorpack/internal/knapsack"
 	"sectorpack/internal/model"
 )
@@ -14,91 +11,25 @@ type Window struct {
 	Alpha     float64
 	Customers []int // customer indices to serve
 	Profit    int64
-	Exact     bool // whether the inner knapsack was solved exactly at every candidate
+	Exact     bool // whether the result is certifiably the candidate-set optimum
 }
 
 // BestWindow finds the most profitable placement of a single antenna: the
 // rotating sweep enumerates every candidate window (orientation plus
 // covered set), a knapsack selects within each, and the best candidate
-// wins. Candidates are evaluated in parallel across GOMAXPROCS workers
-// when there are enough of them to pay for the fan-out.
+// wins. Evaluation goes through a one-shot Engine: candidate windows are
+// streamed (never materialized), visited in descending Dantzig-bound order,
+// pruned when their bound cannot beat the incumbent, and fanned out over
+// GOMAXPROCS workers when there are enough of them to pay for it. Callers
+// evaluating many windows of the same instance — one per greedy step, one
+// per local-search reorientation — should build an Engine once and reuse it
+// so the per-antenna sweeps are shared.
 //
 // With an exact inner solver the result is the true single-antenna optimum
 // (by the candidate-orientation lemma); with the FPTAS it is a (1−ε)
 // approximation of it.
 func BestWindow(in *model.Instance, antenna int, active []bool, opt knapsack.Options) (Window, error) {
-	alphas, members := NewSweep(in, antenna).windowSets(active)
-	if len(alphas) == 0 {
-		return Window{Exact: true}, nil
-	}
-	capacity := in.Antennas[antenna].Capacity
-
-	type outcome struct {
-		win Window
-		err error
-	}
-	eval := func(k int) outcome {
-		ids := members[k]
-		if len(ids) == 0 {
-			return outcome{win: Window{Alpha: alphas[k], Exact: true}}
-		}
-		items := make([]knapsack.Item, len(ids))
-		for t, i := range ids {
-			items[t] = knapsack.Item{Weight: in.Customers[i].Demand, Profit: in.Customers[i].Profit}
-		}
-		res, exact, err := knapsack.Solve(items, capacity, opt)
-		if err != nil {
-			return outcome{err: err}
-		}
-		w := Window{Alpha: alphas[k], Profit: res.Profit, Exact: exact}
-		for t, take := range res.Take {
-			if take {
-				w.Customers = append(w.Customers, ids[t])
-			}
-		}
-		return outcome{win: w}
-	}
-
-	const parallelThreshold = 16
-	workers := runtime.GOMAXPROCS(0)
-	if len(alphas) < parallelThreshold || workers <= 1 {
-		best := Window{Profit: -1, Exact: true}
-		for k := range alphas {
-			o := eval(k)
-			if o.err != nil {
-				return Window{}, o.err
-			}
-			best = better(best, o.win)
-		}
-		return clampEmpty(best), nil
-	}
-
-	results := make([]outcome, len(alphas))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range next {
-				results[k] = eval(k)
-			}
-		}()
-	}
-	for k := range alphas {
-		next <- k
-	}
-	close(next)
-	wg.Wait()
-
-	best := Window{Profit: -1, Exact: true}
-	for _, o := range results {
-		if o.err != nil {
-			return Window{}, o.err
-		}
-		best = better(best, o.win)
-	}
-	return clampEmpty(best), nil
+	return NewEngine(in).BestWindow(antenna, active, opt)
 }
 
 // better merges two windows: higher profit wins; exactness survives only if

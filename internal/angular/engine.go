@@ -1,0 +1,425 @@
+package angular
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// Engine is the reusable best-window evaluator behind the greedy, local
+// search, and constrained solvers. It caches one Sweep (and one candidate
+// list) per antenna for the lifetime of a solve — the sweep depends only on
+// instance geometry, so successive greedy steps and local-search
+// reorientations share it instead of re-filtering and re-sorting all
+// customers — and evaluates candidate windows with Dantzig-bound pruning:
+//
+//  1. For every candidate window a fractional (Dantzig) upper bound is
+//     computed in O(window) from the sweep's density order, using integer
+//     ceiling arithmetic so the bound NEVER undershoots the window's true
+//     knapsack optimum.
+//  2. Candidates are visited in descending-bound order; a candidate whose
+//     bound is strictly below the best profit already solved is skipped —
+//     its knapsack provably cannot win.
+//  3. The surviving evaluations fold in original candidate order with the
+//     same strictly-greater comparison as the unpruned path.
+//
+// Pruning is invisible in the results (see the correctness argument on
+// bestBound): Alpha, Profit, Customers, and Exact all match the unpruned
+// evaluation bit for bit on any input whose inner-solver exactness is
+// uniform across windows, and unconditionally for the first three. A
+// metamorphic test sweeps generator families × solvers to enforce this.
+//
+// An Engine is not safe for concurrent use; its methods parallelize
+// internally across GOMAXPROCS workers.
+type Engine struct {
+	in     *model.Instance
+	sweeps []*Sweep
+	cands  [][]float64
+
+	// Per-call scratch, reused across calls to keep the steady state
+	// allocation-free.
+	wins   []windowCand
+	order  []int32
+	outs   []outcome
+	posBuf []int32
+	posEnd []int32 // prefix ends of each candidate's segment in posBuf
+}
+
+// windowCand is one candidate window awaiting evaluation: either a circular
+// position range of the sweep (count >= 0, the streaming enumeration) or a
+// segment of Engine.posBuf (count < 0, arbitrary-angle candidates).
+type windowCand struct {
+	alpha float64
+	bound int64
+	start int32
+	count int32
+}
+
+type outcome struct {
+	win    Window
+	err    error
+	solved bool // evaluated (possibly trivially); false = pruned
+	empty  bool // no active members: participates only in unconstrained folds
+}
+
+// NewEngine prepares an engine for the instance. Sweeps are built lazily,
+// one per antenna, on first use.
+func NewEngine(in *model.Instance) *Engine {
+	return &Engine{
+		in:     in,
+		sweeps: make([]*Sweep, len(in.Antennas)),
+		cands:  make([][]float64, len(in.Antennas)),
+	}
+}
+
+// Instance returns the instance the engine was built for.
+func (e *Engine) Instance() *model.Instance { return e.in }
+
+// Sweep returns the antenna's cached sweep, building it on first use.
+func (e *Engine) Sweep(antenna int) *Sweep {
+	if e.sweeps[antenna] == nil {
+		e.sweeps[antenna] = NewSweep(e.in, antenna)
+	}
+	return e.sweeps[antenna]
+}
+
+// Candidates returns the antenna's candidate start angles (sorted customer
+// angles of in-range customers, deduplicated within geom.Eps), cached per
+// antenna. Callers must not mutate the returned slice.
+func (e *Engine) Candidates(antenna int) []float64 {
+	if e.cands[antenna] == nil {
+		s := e.Sweep(antenna)
+		sorted := append(make([]float64, 0, len(s.thetas)), s.thetas...)
+		e.cands[antenna] = dedupAngles(sorted)
+		if e.cands[antenna] == nil {
+			e.cands[antenna] = []float64{} // non-nil: cache hit marker
+		}
+	}
+	return e.cands[antenna]
+}
+
+// BestWindow finds the most profitable placement of a single antenna over
+// the active customers: the cached sweep streams every candidate window,
+// the Dantzig bound prunes hopeless ones, and a knapsack selects within
+// each survivor. Results are identical to evaluating every candidate.
+//
+// With an exact inner solver the result is the true single-antenna optimum
+// (by the candidate-orientation lemma); with the FPTAS it is a (1−ε)
+// approximation of it.
+func (e *Engine) BestWindow(antenna int, active []bool, opt knapsack.Options) (Window, error) {
+	s := e.Sweep(antenna)
+	capacity := e.in.Antennas[antenna].Capacity
+	e.wins = e.wins[:0]
+	s.forEachRange(func(start, count int, alpha float64) bool {
+		e.wins = append(e.wins, windowCand{
+			alpha: alpha,
+			bound: s.dantzigRange(start, count, active, capacity),
+			start: int32(start),
+			count: int32(count),
+		})
+		return true
+	})
+	if len(e.wins) == 0 {
+		return Window{Exact: true}, nil
+	}
+	return e.evaluate(s, capacity, active, opt, false)
+}
+
+// BestWindowAt evaluates an explicit set of candidate orientations — which
+// need not be customer angles (placed-sector ends, grid points) — with the
+// same pruned, parallel machinery as BestWindow. Window membership follows
+// Covers' tolerance semantics and knapsack items are ordered by ascending
+// customer index, matching the Covered/WindowItems scan it replaces.
+// Candidates whose window has no active member are skipped entirely (they
+// never become the incumbent), mirroring the historical constrained-search
+// behavior; if every candidate is empty the zero Window is returned.
+func (e *Engine) BestWindowAt(antenna int, alphas []float64, active []bool, opt knapsack.Options) (Window, error) {
+	s := e.Sweep(antenna)
+	capacity := e.in.Antennas[antenna].Capacity
+	e.wins = e.wins[:0]
+	e.posBuf = e.posBuf[:0]
+	e.posEnd = e.posEnd[:0]
+	for _, alpha := range alphas {
+		off := len(e.posBuf)
+		e.posBuf = s.appendCovered(alpha, e.posBuf)
+		seg := e.posBuf[off:]
+		e.posEnd = append(e.posEnd, int32(len(e.posBuf)))
+		e.wins = append(e.wins, windowCand{
+			alpha: alpha,
+			bound: s.dantzigSet(seg, active, capacity),
+			start: int32(off),
+			count: -1,
+		})
+	}
+	if len(e.wins) == 0 {
+		return Window{}, nil
+	}
+	return e.evaluate(s, capacity, active, opt, true)
+}
+
+// parallelThreshold is the candidate count below which the fan-out is not
+// worth its synchronization cost.
+const parallelThreshold = 16
+
+// evaluate runs the prune-and-solve loop over e.wins and folds the
+// outcomes. skipEmpty selects the constrained fold (empty windows are
+// ignored) versus the unconstrained one (an empty window still proposes
+// its orientation at profit 0, preserving BestWindow's historical
+// all-empty behavior).
+func (e *Engine) evaluate(s *Sweep, capacity int64, active []bool, opt knapsack.Options, skipEmpty bool) (Window, error) {
+	nc := len(e.wins)
+	if cap(e.order) < nc {
+		e.order = make([]int32, nc)
+		e.outs = make([]outcome, nc)
+	}
+	e.order, e.outs = e.order[:nc], e.outs[:nc]
+	for k := range e.outs {
+		e.outs[k] = outcome{}
+	}
+	for k := range e.order {
+		e.order[k] = int32(k)
+	}
+	// Descending bound, ties by original candidate order: the highest
+	// upper bound is the best chance to raise the incumbent early.
+	sort.Slice(e.order, func(x, y int) bool {
+		a, b := e.order[x], e.order[y]
+		if e.wins[a].bound != e.wins[b].bound {
+			return e.wins[a].bound > e.wins[b].bound
+		}
+		return a < b
+	})
+
+	// best is the highest profit of any solved candidate so far; −1 until
+	// the first solve, so the first candidate in bound order — which has
+	// the globally highest bound — is never pruned. Pruning strictly
+	// (bound < best) is what makes the fold below provably identical to
+	// the unpruned path: a pruned candidate's true window optimum is at
+	// most its bound, hence strictly below some solved profit, so it can
+	// be neither the maximum nor a first-index tie-winner.
+	var best atomic.Int64
+	best.Store(-1)
+
+	workers := runtime.GOMAXPROCS(0)
+	if nc < parallelThreshold || workers <= 1 {
+		sc := evalPool.Get().(*evalScratch)
+		for _, k := range e.order {
+			if e.wins[k].bound < best.Load() {
+				continue
+			}
+			e.solve(s, int(k), capacity, active, opt, &best, sc)
+		}
+		evalPool.Put(sc)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		if workers > nc {
+			workers = nc
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := evalPool.Get().(*evalScratch)
+				defer evalPool.Put(sc)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nc {
+						return
+					}
+					k := e.order[i]
+					if e.wins[k].bound < best.Load() {
+						continue
+					}
+					e.solve(s, int(k), capacity, active, opt, &best, sc)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Fold in original candidate order, exactly as the unpruned path did.
+	acc := Window{Profit: -1, Exact: true}
+	for k := range e.outs {
+		o := &e.outs[k]
+		if !o.solved {
+			continue
+		}
+		if o.err != nil {
+			return Window{}, o.err
+		}
+		if o.empty && skipEmpty {
+			continue
+		}
+		acc = better(acc, o.win)
+	}
+	return clampEmpty(acc), nil
+}
+
+// evalScratch is a worker's reusable id/item workspace.
+type evalScratch struct {
+	ids   []int
+	items []knapsack.Item
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// solve evaluates candidate k into e.outs[k] and raises the shared
+// incumbent. Member enumeration preserves the historical item orders:
+// sweep order (rotated theta order) for range candidates, ascending
+// customer index for explicit-angle candidates.
+func (e *Engine) solve(s *Sweep, k int, capacity int64, active []bool, opt knapsack.Options, best *atomic.Int64, sc *evalScratch) {
+	c := e.wins[k]
+	n := s.Len()
+	ids := sc.ids[:0]
+	if c.count >= 0 {
+		for t := int(c.start); t < int(c.start)+int(c.count); t++ {
+			i := s.ids[t%n]
+			if active == nil || active[i] {
+				ids = append(ids, i)
+			}
+		}
+	} else {
+		for _, p := range e.posBuf[c.start:e.posEnd[k]] {
+			i := s.ids[p]
+			if active == nil || active[i] {
+				ids = append(ids, i)
+			}
+		}
+		sort.Ints(ids) // Covered() order: ascending customer index
+	}
+	sc.ids = ids
+	if len(ids) == 0 {
+		e.outs[k] = outcome{win: Window{Alpha: c.alpha, Exact: true}, solved: true, empty: true}
+		raise(best, 0)
+		return
+	}
+	items := sc.items[:0]
+	for _, i := range ids {
+		items = append(items, knapsack.Item{Weight: e.in.Customers[i].Demand, Profit: e.in.Customers[i].Profit})
+	}
+	sc.items = items
+	res, exact, err := knapsack.Solve(items, capacity, opt)
+	if err != nil {
+		e.outs[k] = outcome{err: err, solved: true}
+		return
+	}
+	w := Window{Alpha: c.alpha, Profit: res.Profit, Exact: exact}
+	for t, take := range res.Take {
+		if take {
+			w.Customers = append(w.Customers, ids[t])
+		}
+	}
+	e.outs[k] = outcome{win: w, solved: true}
+	raise(best, res.Profit)
+}
+
+// raise lifts the atomic incumbent to at least p.
+func raise(best *atomic.Int64, p int64) {
+	for {
+		cur := best.Load()
+		if p <= cur || best.CompareAndSwap(cur, p) {
+			return
+		}
+	}
+}
+
+// dantzigRange computes the Dantzig fractional upper bound of the window
+// given as a circular position range, over active members only. Walking the
+// sweep's density order and rounding the split item's contribution UP with
+// integer arithmetic makes the result an exact-arithmetic upper bound on
+// the window's 0/1 optimum — no float rounding can pull it below.
+func (s *Sweep) dantzigRange(start, count int, active []bool, capacity int64) int64 {
+	n := len(s.ids)
+	rem := capacity
+	var bound int64
+	for _, p32 := range s.density {
+		p := int(p32)
+		rel := p - start
+		if rel < 0 {
+			rel += n
+		}
+		if rel >= count {
+			continue
+		}
+		if active != nil && !active[s.ids[p]] {
+			continue
+		}
+		w := s.weights[p]
+		if w <= rem {
+			bound += s.profits[p]
+			rem -= w
+			if rem == 0 {
+				break
+			}
+		} else {
+			bound += ceilFrac(s.profits[p], rem, w)
+			break
+		}
+	}
+	return bound
+}
+
+// dantzigSet is dantzigRange for an explicit member-position set; the set
+// must be sorted or not — only membership matters. It marks the members
+// and walks the density order, so cost is O(set + prefix of density walk).
+func (s *Sweep) dantzigSet(set []int32, active []bool, capacity int64) int64 {
+	if len(set) == 0 {
+		return 0
+	}
+	if cap(s.markBuf) < len(s.ids) {
+		s.markBuf = make([]int32, len(s.ids))
+		s.markEpoch = 0
+	}
+	s.markBuf = s.markBuf[:len(s.ids)]
+	s.markEpoch++
+	if s.markEpoch == 0 { // wrapped: reset
+		clear(s.markBuf)
+		s.markEpoch = 1
+	}
+	for _, p := range set {
+		s.markBuf[p] = s.markEpoch
+	}
+	rem := capacity
+	var bound int64
+	for _, p32 := range s.density {
+		p := int(p32)
+		if s.markBuf[p] != s.markEpoch {
+			continue
+		}
+		if active != nil && !active[s.ids[p]] {
+			continue
+		}
+		w := s.weights[p]
+		if w <= rem {
+			bound += s.profits[p]
+			rem -= w
+			if rem == 0 {
+				break
+			}
+		} else {
+			bound += ceilFrac(s.profits[p], rem, w)
+			break
+		}
+	}
+	return bound
+}
+
+// ceilFrac returns ceil(p·rem/w), the split item's share of the Dantzig
+// bound, computed in integers so it can only round UP (a float could round
+// below the true fraction and break the pruning soundness proof). If the
+// product would overflow it falls back to p, which is always a valid upper
+// bound on the fraction since rem < w.
+func ceilFrac(p, rem, w int64) int64 {
+	if p == 0 || rem == 0 {
+		return 0
+	}
+	if p > math.MaxInt64/rem {
+		return p
+	}
+	return (p*rem + w - 1) / w
+}

@@ -13,6 +13,14 @@ import (
 // every window's member list costs O(total member count) instead of the
 // naive O(n) scan per candidate.
 //
+// A Sweep depends only on the instance geometry (positions, the antenna's
+// radial range and width), not on which customers are currently active or
+// where other antennas point, so one Sweep per antenna can be cached for
+// the lifetime of a solve — Engine does exactly that. Beyond the sorted
+// angles it carries the per-position demands/profits and a profit-density
+// order, the raw material of the Dantzig fractional bound used to prune
+// candidate windows before their knapsack is solved.
+//
 // General position caveat: a customer strictly less than geom.Eps *behind*
 // a window's start angle (and not exactly at it) is treated as outside,
 // whereas the tolerant geometric test would include it; such
@@ -22,6 +30,15 @@ type Sweep struct {
 	thetas []float64 // sorted angles of in-range customers
 	ids    []int     // customer index per sorted position
 	rho    float64
+
+	weights []int64 // demand per sorted position
+	profits []int64 // profit per sorted position
+	density []int32 // positions in Dantzig order (profit density descending)
+
+	buf []int // reusable member buffer for ForEach
+
+	markBuf   []int32 // epoch marks for membership tests in dantzigSet
+	markEpoch int32
 }
 
 // NewSweep prepares the sweep for one antenna: customers outside the
@@ -36,6 +53,41 @@ func NewSweep(in *model.Instance, antenna int) *Sweep {
 		}
 	}
 	sort.Sort(byTheta{s})
+	n := len(s.ids)
+	s.weights = make([]int64, n)
+	s.profits = make([]int64, n)
+	s.density = make([]int32, n)
+	for p, i := range s.ids {
+		s.weights[p] = in.Customers[i].Demand
+		s.profits[p] = in.Customers[i].Profit
+		s.density[p] = int32(p)
+	}
+	// Dantzig order: profit/weight descending, zero-weight (infinite
+	// density) first, ties by higher profit then position — the same
+	// comparator as knapsack's byDensity, with an explicit final tie-break
+	// so the order (and therefore every computed bound) is deterministic.
+	sort.Slice(s.density, func(x, y int) bool {
+		a, b := s.density[x], s.density[y]
+		wa, wb := s.weights[a], s.weights[b]
+		pa, pb := s.profits[a], s.profits[b]
+		if wa == 0 || wb == 0 {
+			if wa == 0 && wb == 0 {
+				if pa != pb {
+					return pa > pb
+				}
+				return a < b
+			}
+			return wa == 0
+		}
+		lhs, rhs := pa*wb, pb*wa
+		if lhs != rhs {
+			return lhs > rhs
+		}
+		if pa != pb {
+			return pa > pb
+		}
+		return a < b
+	})
 	return s
 }
 
@@ -52,21 +104,27 @@ func (b byTheta) Swap(i, j int) {
 // Len returns the number of in-range customers.
 func (s *Sweep) Len() int { return len(s.ids) }
 
-// ForEach calls fn for every distinct candidate window (start angle =
-// some customer angle, deduplicated within geom.Eps) with the customer
-// indices inside [alpha, alpha+rho]. The ids slice is reused between
-// calls — callers must copy if they retain it. Returning false stops the
-// enumeration early.
-func (s *Sweep) ForEach(fn func(alpha float64, ids []int) bool) {
+// forEachRange is the streaming core of the sweep: it calls fn for every
+// distinct candidate window as a circular position range — the window's
+// members are positions start, start+1, …, start+count−1 (mod Len) in the
+// theta-sorted order — without materializing member lists. Start angles are
+// deduplicated within geom.Eps, including across the 2π seam: the first
+// sorted angle is skipped when it lies within Eps of the last one around
+// the circle, which the plain adjacent-difference check used to miss (the
+// seam pair would otherwise yield two near-identical candidate windows).
+// Returning false stops the enumeration early.
+func (s *Sweep) forEachRange(fn func(start, count int, alpha float64) bool) {
 	n := len(s.ids)
 	if n == 0 {
 		return
 	}
-	buf := make([]int, 0, n)
 	e := 0 // exclusive end pointer in doubled-index space
 	for start := 0; start < n; start++ {
 		if start > 0 && s.thetas[start]-s.thetas[start-1] <= geom.Eps {
 			continue // duplicate candidate angle
+		}
+		if start == 0 && n > 1 && s.thetas[0]+geom.TwoPi-s.thetas[n-1] <= geom.Eps {
+			continue // duplicate of the last angle across the 2π seam
 		}
 		if e < start+1 {
 			e = start + 1 // the window always contains its own start
@@ -79,18 +137,71 @@ func (s *Sweep) ForEach(fn func(alpha float64, ids []int) bool) {
 				break
 			}
 		}
-		buf = buf[:0]
-		for k := start; k < e; k++ {
-			buf = append(buf, s.ids[k%n])
-		}
-		if !fn(s.thetas[start], buf) {
+		if !fn(start, e-start, s.thetas[start]) {
 			return
 		}
 	}
 }
 
+// ForEach calls fn for every distinct candidate window (start angle =
+// some customer angle, deduplicated within geom.Eps, across the 2π seam
+// too) with the customer indices inside [alpha, alpha+rho]. The ids slice
+// is reused between calls — callers must copy if they retain it. Returning
+// false stops the enumeration early.
+func (s *Sweep) ForEach(fn func(alpha float64, ids []int) bool) {
+	n := len(s.ids)
+	if cap(s.buf) < n {
+		s.buf = make([]int, 0, n)
+	}
+	s.forEachRange(func(start, count int, alpha float64) bool {
+		buf := s.buf[:0]
+		for k := start; k < start+count; k++ {
+			buf = append(buf, s.ids[k%n])
+		}
+		return fn(alpha, buf)
+	})
+}
+
+// appendCovered appends to out the sweep positions of customers covered by
+// a window starting at alpha, using the same tolerance semantics as
+// model.Antenna.Covers (geom.AngleBetween: Eps slack on both boundaries).
+// Unlike forEachRange, alpha may be any angle — placed-sector ends, grid
+// points — not just a customer angle. Cost is O(log n + window size).
+func (s *Sweep) appendCovered(alpha float64, out []int32) []int32 {
+	n := len(s.ids)
+	if n == 0 {
+		return out
+	}
+	if s.rho >= geom.TwoPi-geom.Eps {
+		for p := 0; p < n; p++ {
+			out = append(out, int32(p))
+		}
+		return out
+	}
+	// The members form one contiguous circular run of sorted positions.
+	// Over-approximate the run with a slightly widened arc located by
+	// binary search, then filter each position with the exact predicate.
+	lo := geom.NormAngle(alpha - 2*geom.Eps)
+	span := s.rho + 4*geom.Eps
+	idx0 := sort.SearchFloat64s(s.thetas, lo)
+	for k := 0; k < n; k++ {
+		p := idx0 + k
+		if p >= n {
+			p -= n
+		}
+		if geom.AngleDist(lo, s.thetas[p]) > span {
+			break
+		}
+		if geom.AngleBetween(s.thetas[p], alpha, s.rho) {
+			out = append(out, int32(p))
+		}
+	}
+	return out
+}
+
 // windowSets returns every candidate window as (alpha, member ids) pairs
-// with the active mask applied; used by BestWindow.
+// with the active mask applied; kept as the reference materialization for
+// the pruning-equivalence tests (the Engine streams windows instead).
 func (s *Sweep) windowSets(active []bool) (alphas []float64, members [][]int) {
 	s.ForEach(func(alpha float64, ids []int) bool {
 		kept := make([]int, 0, len(ids))

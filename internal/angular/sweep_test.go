@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"sectorpack/internal/geom"
 	"sectorpack/internal/model"
 )
 
@@ -50,6 +51,38 @@ func TestSweepFullCircleWidth(t *testing.T) {
 		}
 		return true
 	})
+}
+
+// TestSweepSeamDedup is the regression test for duplicate-angle
+// deduplication across the 2π seam: a customer just below 2π and one at 0
+// are the same candidate angle within geom.Eps, but the plain
+// adjacent-difference check cannot see it (they sit at opposite ends of the
+// sorted slice) and used to emit two near-identical windows.
+func TestSweepSeamDedup(t *testing.T) {
+	in := instWith(
+		[]model.Customer{
+			{Theta: 0, R: 1, Demand: 1},
+			{Theta: geom.TwoPi - geom.Eps/2, R: 1, Demand: 1},
+			{Theta: 1.0, R: 1, Demand: 1},
+		},
+		[]model.Antenna{{Rho: 1.5, Range: 5, Capacity: 5}},
+		model.Sectors,
+	)
+	var alphas []float64
+	var sizes []int
+	NewSweep(in, 0).ForEach(func(alpha float64, ids []int) bool {
+		alphas = append(alphas, alpha)
+		sizes = append(sizes, len(ids))
+		return true
+	})
+	if len(alphas) != 2 {
+		t.Fatalf("windows at %v, want 2 (seam pair deduplicated)", alphas)
+	}
+	// The surviving seam window starts at the near-2π twin and must cover
+	// all three customers (0 and 1.0 are both within rho of it).
+	if sizes[1] != 3 {
+		t.Fatalf("seam window covers %d customers, want 3", sizes[1])
+	}
 }
 
 func TestSweepRangeFilter(t *testing.T) {

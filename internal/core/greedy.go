@@ -31,6 +31,10 @@ func SolveGreedy(in *model.Instance, opt Options) (model.Solution, error) {
 // SolveGreedyOrdered is SolveGreedy with an explicit antenna processing
 // order (indices into the antenna slice); nil means the default
 // capacity-descending order. Exposed for the order-ablation experiment.
+//
+// All steps share one angular.Engine, so each antenna's sweep is built once
+// per solve rather than once per step, and every best-window search runs
+// with Dantzig-bound pruning.
 func SolveGreedyOrdered(in *model.Instance, opt Options, order []int) (model.Solution, error) {
 	if err := validateForSolve(in); err != nil {
 		return model.Solution{}, err
@@ -57,8 +61,9 @@ func SolveGreedyOrdered(in *model.Instance, opt Options, order []int) (model.Sol
 	}
 	var placed []geom.Interval // serving sectors placed so far (DisjointAngles)
 
+	eng := angular.NewEngine(in)
 	for _, j := range order {
-		win, err := bestWindowConstrained(in, j, active, placed, opt.Knapsack)
+		win, err := bestWindowConstrained(eng, j, active, placed, opt.Knapsack)
 		if err != nil {
 			return model.Solution{}, err
 		}
@@ -81,20 +86,30 @@ func SolveGreedyOrdered(in *model.Instance, opt Options, order []int) (model.Sol
 	return sol, nil
 }
 
-// bestWindowConstrained is angular.BestWindow extended with the
+// bestWindowConstrained is Engine.BestWindow extended with the
 // DisjointAngles placement constraint: the window's sector interior must
 // not intersect any already placed serving sector. The candidate set is
-// augmented with the ends of placed sectors so flush packing is reachable.
-func bestWindowConstrained(in *model.Instance, antenna int, active []bool, placed []geom.Interval, kopt knapsack.Options) (angular.Window, error) {
+// augmented with the ends of placed sectors so flush packing is reachable;
+// ends that coincide (within geom.Eps) with an existing candidate — flush
+// chains anchored at a customer angle do this systematically — are dropped
+// so the same window is never knapsack-solved twice. Evaluation shares
+// BestWindow's pruned, parallel machinery via Engine.BestWindowAt.
+func bestWindowConstrained(eng *angular.Engine, antenna int, active []bool, placed []geom.Interval, kopt knapsack.Options) (angular.Window, error) {
 	if placed == nil {
-		return angular.BestWindow(in, antenna, active, kopt)
+		return eng.BestWindow(antenna, active, kopt)
 	}
+	in := eng.Instance()
 	rho := in.Antennas[antenna].Rho
-	cands := angular.Candidates(in, antenna)
+	base := eng.Candidates(antenna)
+	cands := make([]float64, 0, len(base)+len(placed))
+	cands = append(cands, base...)
 	for _, iv := range placed {
-		cands = append(cands, iv.End())
+		end := iv.End()
+		if !nearAngle(base, cands[len(base):], end) {
+			cands = append(cands, end)
+		}
 	}
-	best := angular.Window{Profit: -1, Exact: true}
+	kept := cands[:0] // filter in place: disjointness against placed sectors
 	for _, alpha := range cands {
 		sector := geom.NewInterval(alpha, rho)
 		ok := true
@@ -104,32 +119,36 @@ func bestWindowConstrained(in *model.Instance, antenna int, active []bool, place
 				break
 			}
 		}
-		if !ok {
-			continue
-		}
-		items, ids := angular.WindowItems(in, antenna, alpha, active)
-		if len(items) == 0 {
-			continue
-		}
-		res, exact, err := knapsack.Solve(items, in.Antennas[antenna].Capacity, kopt)
-		if err != nil {
-			return angular.Window{}, err
-		}
-		if res.Profit > best.Profit {
-			w := angular.Window{Alpha: alpha, Profit: res.Profit, Exact: best.Exact && exact}
-			for k, take := range res.Take {
-				if take {
-					w.Customers = append(w.Customers, ids[k])
-				}
-			}
-			best = w
-		} else {
-			best.Exact = best.Exact && exact
+		if ok {
+			kept = append(kept, alpha)
 		}
 	}
-	if best.Profit < 0 {
-		best.Profit = 0
-		best.Customers = nil
+	return eng.BestWindowAt(antenna, kept, active, kopt)
+}
+
+// nearAngle reports whether alpha lies within geom.Eps of an entry of the
+// sorted slice (searched in O(log n)) or of the extras slice (scanned;
+// callers pass the handful of already-appended sector ends).
+func nearAngle(sorted, extras []float64, alpha float64) bool {
+	k := sort.SearchFloat64s(sorted, alpha)
+	if k < len(sorted) && sorted[k]-alpha <= geom.Eps {
+		return true
 	}
-	return best, nil
+	if k > 0 && alpha-sorted[k-1] <= geom.Eps {
+		return true
+	}
+	// The 2π seam: an end just below 2π can duplicate a candidate at ~0
+	// and vice versa.
+	if len(sorted) > 0 {
+		if geom.TwoPi-alpha+sorted[0] <= geom.Eps || geom.TwoPi-sorted[len(sorted)-1]+alpha <= geom.Eps {
+			return true
+		}
+	}
+	for _, x := range extras {
+		d := geom.AngleDist(x, alpha)
+		if d <= geom.Eps || geom.TwoPi-d <= geom.Eps {
+			return true
+		}
+	}
+	return false
 }

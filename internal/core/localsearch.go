@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sectorpack/internal/angular"
 	"sectorpack/internal/geom"
 	"sectorpack/internal/knapsack"
 	"sectorpack/internal/mkp"
@@ -27,6 +28,10 @@ func SolveLocalSearch(in *model.Instance, opt Options) (model.Solution, error) {
 	if n == 0 || m == 0 {
 		return sol, nil
 	}
+	// One engine for every reorientation of every round: the per-antenna
+	// sweeps depend only on instance geometry, not on the evolving
+	// assignment, so they are built once here and reused throughout.
+	eng := angular.NewEngine(in)
 	for round := 0; round < opt.lsRounds(); round++ {
 		improved := false
 
@@ -46,7 +51,7 @@ func SolveLocalSearch(in *model.Instance, opt Options) (model.Solution, error) {
 				}
 			}
 			placed := placedSectors(in, cur, j)
-			win, err := bestWindowConstrained(in, j, active, placed, opt.Knapsack)
+			win, err := bestWindowConstrained(eng, j, active, placed, opt.Knapsack)
 			if err != nil {
 				return model.Solution{}, err
 			}

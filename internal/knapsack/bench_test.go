@@ -1,0 +1,54 @@
+package knapsack
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchItems(n int) ([]Item, int64) {
+	rng := rand.New(rand.NewSource(42))
+	items := make([]Item, n)
+	var total int64
+	for i := range items {
+		w := 1 + rng.Int63n(10)
+		items[i] = Item{Weight: w, Profit: 1 + rng.Int63n(20)}
+		total += w
+	}
+	return items, total / 2
+}
+
+// BenchmarkKnapsackDP measures the rolling-row DP kernels; both should run
+// allocation-free apart from the returned Take slice.
+func BenchmarkKnapsackDP(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		items, capacity := benchItems(n)
+		b.Run(fmt.Sprintf("byWeight/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DPByWeight(items, capacity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("byProfit/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DPByProfit(items, capacity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFPTAS covers the scaled path the approximation pipeline uses.
+func BenchmarkFPTAS(b *testing.B) {
+	items, capacity := benchItems(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FPTAS(items, capacity, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

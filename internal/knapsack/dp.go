@@ -1,17 +1,51 @@
 package knapsack
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // MaxDPCells bounds the table size (rows × columns) a DP solver will
-// allocate; beyond it the solver refuses and callers should fall back to
-// BranchBound or the FPTAS. At 8 bytes per cell this caps a table at ~2 GB
-// in the worst case, but in practice the experiments stay far below it.
+// accept; beyond it the solver refuses and callers should fall back to
+// BranchBound or the FPTAS. The rolling-row implementation below no longer
+// materializes the full value table — memory is one row plus one decision
+// BIT per cell (64× less than the former int64 table) — but the guard is
+// kept at the historical threshold so the Solve dispatcher selects exactly
+// the same method per input as it always has.
 const MaxDPCells = 1 << 28
 
+// dpScratch is the reusable workspace of the rolling-row DPs: one value row
+// and a packed decision bitset (one bit per item×capacity or item×profit
+// cell, recording whether taking the item improved that cell). Pooling it
+// makes steady-state solver loops — greedy evaluates thousands of candidate
+// windows per solve — allocate nothing beyond the returned Take slice.
+type dpScratch struct {
+	row  []int64
+	bits []uint64
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// grow sizes the workspace for a rowLen-value row and bitCount decision
+// bits, zeroing the bits (the row is initialized by each DP's own fill).
+func (s *dpScratch) grow(rowLen, bitCount int) (row []int64, bits []uint64) {
+	if cap(s.row) < rowLen {
+		s.row = make([]int64, rowLen)
+	}
+	words := (bitCount + 63) / 64
+	if cap(s.bits) < words {
+		s.bits = make([]uint64, words)
+	}
+	s.row, s.bits = s.row[:rowLen], s.bits[:words]
+	clear(s.bits)
+	return s.row, s.bits
+}
+
 // DPByWeight solves 0/1 knapsack exactly by the textbook weight-indexed
-// dynamic program in O(n·C) time and memory (the full table is kept to
-// reconstruct the chosen subset). It returns an error when the table would
-// exceed MaxDPCells.
+// dynamic program in O(n·C) time. Memory is a single rolling row plus a
+// packed decision bitset used to reconstruct the chosen subset; both come
+// from a sync.Pool, so repeated calls allocate only the Take slice. It
+// returns an error when the (virtual) table would exceed MaxDPCells.
 func DPByWeight(items []Item, capacity int64) (Result, error) {
 	if err := validate(items, capacity); err != nil {
 		return Result{}, err
@@ -21,28 +55,35 @@ func DPByWeight(items []Item, capacity int64) (Result, error) {
 		return Result{}, fmt.Errorf("knapsack: DPByWeight table %d×%d exceeds budget", n+1, capacity+1)
 	}
 	w := int(capacity)
-	// dp[i][c] = best profit using items[:i] within capacity c.
-	dp := make([][]int64, n+1)
-	for i := range dp {
-		dp[i] = make([]int64, w+1)
-	}
+	sc := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(sc)
+	row, bits := sc.grow(w+1, n*(w+1))
+	clear(row)
+	// row[c] = best profit within capacity c using the items seen so far.
+	// Iterating c downward makes the in-place update read previous-item
+	// values only; bit (i-1)·(w+1)+c records that taking item i improved
+	// cell c — exactly the dp[i][c] != dp[i-1][c] condition the full-table
+	// reconstruction used, so the chosen subset is bit-identical.
 	for i := 1; i <= n; i++ {
 		it := items[i-1]
-		prev, cur := dp[i-1], dp[i]
-		for c := 0; c <= w; c++ {
-			best := prev[c]
-			if it.Weight <= int64(c) {
-				if cand := prev[c-int(it.Weight)] + it.Profit; cand > best {
-					best = cand
-				}
+		if it.Weight > int64(w) {
+			continue
+		}
+		wi := int(it.Weight)
+		base := (i - 1) * (w + 1)
+		for c := w; c >= wi; c-- {
+			if cand := row[c-wi] + it.Profit; cand > row[c] {
+				row[c] = cand
+				pos := base + c
+				bits[pos>>6] |= 1 << uint(pos&63)
 			}
-			cur[c] = best
 		}
 	}
-	res := Result{Profit: dp[n][w], Take: make([]bool, n)}
+	res := Result{Profit: row[w], Take: make([]bool, n)}
 	c := w
 	for i := n; i >= 1; i-- {
-		if dp[i][c] != dp[i-1][c] {
+		pos := (i-1)*(w+1) + c
+		if bits[pos>>6]&(1<<uint(pos&63)) != 0 {
 			res.Take[i-1] = true
 			c -= int(items[i-1].Weight)
 		}
@@ -51,9 +92,10 @@ func DPByWeight(items []Item, capacity int64) (Result, error) {
 }
 
 // DPByProfit solves 0/1 knapsack exactly by the profit-indexed dynamic
-// program: minWeight[p] is the least weight achieving profit exactly p.
-// Runs in O(n·P) where P is the total profit; it is the engine behind the
-// FPTAS. Returns an error when the table would exceed MaxDPCells.
+// program: row[p] is the least weight achieving profit exactly p. Runs in
+// O(n·P) where P is the total profit; it is the engine behind the FPTAS.
+// Like DPByWeight it keeps one rolling row plus a pooled decision bitset.
+// Returns an error when the (virtual) table would exceed MaxDPCells.
 func DPByProfit(items []Item, capacity int64) (Result, error) {
 	if err := validate(items, capacity); err != nil {
 		return Result{}, err
@@ -64,31 +106,35 @@ func DPByProfit(items []Item, capacity int64) (Result, error) {
 		return Result{}, fmt.Errorf("knapsack: DPByProfit table %d×%d exceeds budget", n+1, P+1)
 	}
 	const inf = int64(1) << 62
-	// minw[i][p] = least weight achieving profit exactly p with items[:i].
-	minw := make([][]int64, n+1)
-	for i := range minw {
-		minw[i] = make([]int64, P+1)
-		for p := range minw[i] {
-			minw[i][p] = inf
-		}
-		minw[i][0] = 0
+	sc := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(sc)
+	row, bits := sc.grow(int(P+1), n*int(P+1))
+	for p := range row {
+		row[p] = inf
 	}
+	row[0] = 0
+	// Iterating p downward keeps row[p-profit] at its previous-item value;
+	// a zero-profit item can never strictly lower row[p] (weights are
+	// non-negative), matching the full-table transition, so it is skipped.
 	for i := 1; i <= n; i++ {
 		it := items[i-1]
-		prev, cur := minw[i-1], minw[i]
-		for p := int64(0); p <= P; p++ {
-			best := prev[p]
-			if it.Profit <= p && prev[p-it.Profit] < inf {
-				if cand := prev[p-it.Profit] + it.Weight; cand < best {
-					best = cand
+		if it.Profit == 0 {
+			continue
+		}
+		base := (i - 1) * int(P+1)
+		for p := P; p >= it.Profit; p-- {
+			if prev := row[p-it.Profit]; prev < inf {
+				if cand := prev + it.Weight; cand < row[p] {
+					row[p] = cand
+					pos := base + int(p)
+					bits[pos>>6] |= 1 << uint(pos&63)
 				}
 			}
-			cur[p] = best
 		}
 	}
 	var bestP int64
 	for p := P; p >= 0; p-- {
-		if minw[n][p] <= capacity {
+		if row[p] <= capacity {
 			bestP = p
 			break
 		}
@@ -96,13 +142,17 @@ func DPByProfit(items []Item, capacity int64) (Result, error) {
 	res := Result{Profit: bestP, Take: make([]bool, n)}
 	p := bestP
 	for i := n; i >= 1; i-- {
-		if minw[i][p] != minw[i-1][p] {
+		pos := (i-1)*int(P+1) + int(p)
+		if bits[pos>>6]&(1<<uint(pos&63)) != 0 {
 			res.Take[i-1] = true
 			p -= items[i-1].Profit
 		}
 	}
 	return res, nil
 }
+
+// scaledPool recycles the FPTAS's scaled-item slice.
+var scaledPool = sync.Pool{New: func() any { return new([]Item) }}
 
 // FPTAS returns a (1−eps)-approximate solution by scaling profits down to
 // make the profit-indexed DP polynomial: classical Ibarra–Kim. eps must lie
@@ -133,7 +183,12 @@ func FPTAS(items []Item, capacity int64, eps float64) (Result, error) {
 	if k < 1 {
 		k = 1 // profits already small: the DP below is exact
 	}
-	scaled := make([]Item, n)
+	sp := scaledPool.Get().(*[]Item)
+	defer scaledPool.Put(sp)
+	if cap(*sp) < n {
+		*sp = make([]Item, n)
+	}
+	scaled := (*sp)[:n]
 	for i, it := range items {
 		scaled[i] = Item{Weight: it.Weight, Profit: int64(float64(it.Profit) / k)}
 		if it.Weight > capacity {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Job is one unit of work; Run must be safe to call concurrently with
@@ -25,6 +26,14 @@ type Options struct {
 // Run executes the jobs on a worker pool and returns their results in the
 // order the jobs were given. The first error cancels the remaining jobs
 // and is returned (wrapped with its job index).
+//
+// Work is dispatched by a chunked atomic counter rather than a feed
+// channel: each worker claims a contiguous block of job indices with one
+// atomic add, so the dispatcher costs a few nanoseconds per chunk instead
+// of a channel handoff (and a blocked feeding goroutine) per job. Chunks
+// keep counter contention negligible for fine-grained jobs while staying
+// small enough — at most 1/(8·workers) of the queue — to load-balance
+// uneven job costs.
 func Run[T any](ctx context.Context, jobs []Job[T], opt Options) ([]T, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -49,34 +58,44 @@ func Run[T any](ctx context.Context, jobs []Job[T], opt Options) ([]T, error) {
 		mu    sync.Mutex
 		first *failure
 	)
-	idxCh := make(chan int)
+	chunk := len(jobs) / (8 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range idxCh {
-				if ctx.Err() != nil {
-					continue // drain remaining indices after cancellation
+			for {
+				base := int(next.Add(int64(chunk))) - chunk
+				if base >= len(jobs) {
+					return
 				}
-				res, err := jobs[idx](ctx)
-				if err != nil {
-					mu.Lock()
-					if first == nil || idx < first.idx {
-						first = &failure{idx: idx, err: err}
+				end := base + chunk
+				if end > len(jobs) {
+					end = len(jobs)
+				}
+				for idx := base; idx < end; idx++ {
+					if ctx.Err() != nil {
+						continue // skip remaining indices after cancellation
 					}
-					mu.Unlock()
-					cancel()
-					continue
+					res, err := jobs[idx](ctx)
+					if err != nil {
+						mu.Lock()
+						if first == nil || idx < first.idx {
+							first = &failure{idx: idx, err: err}
+						}
+						mu.Unlock()
+						cancel()
+						continue
+					}
+					results[idx] = res
 				}
-				results[idx] = res
 			}
 		}()
 	}
-	for idx := range jobs {
-		idxCh <- idx
-	}
-	close(idxCh)
 	wg.Wait()
 
 	if first != nil {
