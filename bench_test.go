@@ -9,6 +9,7 @@
 package sectorpack_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -59,7 +60,7 @@ func benchSolver(b *testing.B, name string, n, m int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := sectorpack.Solve(name, in, sectorpack.Options{Seed: 1, SkipBound: true})
+		sol, err := sectorpack.Solve(context.Background(), name, in, sectorpack.Options{Seed: 1, SkipBound: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkUnitFlow(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sectorpack.SolveUnitFlow(in, sectorpack.Options{SkipBound: true}); err != nil {
+				if _, err := sectorpack.SolveUnitFlow(context.Background(), in, sectorpack.Options{SkipBound: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -115,7 +116,7 @@ func BenchmarkDisjointDP(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sectorpack.SolveDisjointDP(in, sectorpack.Options{}); err != nil {
+				if _, err := sectorpack.SolveDisjointDP(context.Background(), in, sectorpack.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -131,7 +132,7 @@ func BenchmarkExactSmall(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sectorpack.SolveExact(in); err != nil {
+		if _, err := sectorpack.SolveExact(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -50,7 +51,7 @@ func microBenchmarks() []microBench {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := sectorpack.Solve("greedy", in, sectorpack.Options{Seed: 1, SkipBound: true}); err != nil {
+				if _, err := sectorpack.Solve(context.Background(), "greedy", in, sectorpack.Options{Seed: 1, SkipBound: true}); err != nil {
 					b.Fatal(err)
 				}
 			}

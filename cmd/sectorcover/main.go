@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sectorpack/internal/cover"
 	"sectorpack/internal/geom"
@@ -19,13 +22,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sectorcover:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sectorcover", flag.ContinueOnError)
 	fs.SetOutput(out)
 	inPath := fs.String("in", "", "instance JSON file (customers only; required)")
@@ -45,7 +50,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	typ := cover.AntennaType{Rho: *rho, Range: *rng, Capacity: *capacity}
-	g, err := cover.Greedy(in.Customers, typ)
+	g, err := cover.Greedy(ctx, in.Customers, typ)
 	if err != nil {
 		return err
 	}
@@ -58,7 +63,7 @@ func run(args []string, out io.Writer) error {
 			p, geom.Degrees(pl.Alpha), len(pl.Customers))
 	}
 	if *exact {
-		e, err := cover.Exact(in.Customers, typ, 0)
+		e, err := cover.Exact(ctx, in.Customers, typ, 0)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -25,7 +26,7 @@ func writeInstance(t *testing.T) string {
 func TestCoverCLI(t *testing.T) {
 	path := writeInstance(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-rho", "1.5", "-range", "10", "-exact"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-rho", "1.5", "-range", "10", "-exact"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	s := out.String()
@@ -39,15 +40,15 @@ func TestCoverCLI(t *testing.T) {
 
 func TestCoverCLIErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing -in must error")
 	}
-	if err := run([]string{"-in", "/missing.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-in", "/missing.json"}, &out); err == nil {
 		t.Error("missing file must error")
 	}
 	path := writeInstance(t)
 	// range too small: some customer unreachable
-	if err := run([]string{"-in", path, "-rho", "1", "-range", "0.001"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-in", path, "-rho", "1", "-range", "0.001"}, &out); err == nil {
 		t.Error("unreachable customers must error")
 	}
 }

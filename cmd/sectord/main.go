@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sectorpack/internal/core"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sectord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("sectord", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", "localhost:8377", "listen address")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline (0 = none)")
+	maxInflight := fs.Int("max-inflight", DefaultMaxInflight, "concurrent solves before shedding 429")
+	allowed := fs.String("solvers", "", "comma-separated solver allowlist (empty = all: "+strings.Join(core.Names(), ", ")+")")
+	seed := fs.Int64("seed", 1, "default seed when requests omit one")
+	maxTuples := fs.Int64("max-tuples", 200_000, "per-request exact-solver tuple budget (0 = solver default)")
+	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := Config{
+		Timeout:      *timeout,
+		MaxInflight:  *maxInflight,
+		Seed:         *seed,
+		MaxTuples:    *maxTuples,
+		Pprof:        *pprofFlag,
+		DrainTimeout: *drain,
+	}
+	if *allowed != "" {
+		for _, name := range strings.Split(*allowed, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := core.Get(name); err != nil {
+				return err
+			}
+			cfg.Allowed = append(cfg.Allowed, name)
+		}
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger := log.New(logw, "sectord: ", log.LstdFlags)
+	logger.Printf("listening on http://%s (solvers: %s)", ln.Addr(), strings.Join(core.Names(), ", "))
+	err = NewServer(cfg).Serve(ctx, ln)
+	if err == nil {
+		logger.Printf("shut down cleanly")
+	}
+	return err
+}

@@ -1,0 +1,371 @@
+// Command sectord serves sector-packing solves over HTTP: POST an
+// instance envelope to /solve and get the solution back as JSON. It is the
+// repository's serving layer — every solver in the core registry is
+// reachable by name, each request runs under a deadline derived from the
+// request context, and load beyond the configured concurrency cap is shed
+// with 429 instead of queued.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/exact"
+	"sectorpack/internal/model"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Timeout is the per-request solve deadline. Zero means no server-side
+	// deadline (the client's context still applies).
+	Timeout time.Duration
+	// MaxInflight caps concurrent solves; requests beyond it get 429.
+	// Zero means DefaultMaxInflight.
+	MaxInflight int
+	// Allowed restricts which solver names requests may use; empty allows
+	// every registered solver.
+	Allowed []string
+	// Seed is the default Options.Seed when the request omits one.
+	Seed int64
+	// MaxTuples caps the exact solver's orientation-tuple budget per
+	// request (Options.ExactLimits); zero keeps exact.DefaultMaxTuples.
+	MaxTuples int64
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// DrainTimeout bounds graceful shutdown; zero means 5s.
+	DrainTimeout time.Duration
+}
+
+// DefaultMaxInflight is the concurrency cap when Config leaves it zero.
+const DefaultMaxInflight = 4
+
+// maxRequestBytes bounds the request body read (instances are small; this
+// guards the decoder, not memory accounting).
+const maxRequestBytes = 32 << 20
+
+// Server is the sectord HTTP service. Metrics are per-Server (unpublished
+// expvar vars, served by the /debug/vars handler below) so tests can build
+// many Servers in one process without tripping expvar's duplicate-publish
+// panic.
+type Server struct {
+	cfg     Config
+	sem     chan struct{}
+	mux     *http.ServeMux
+	allowed map[string]bool
+
+	requests      expvar.Int // total /solve requests
+	solved        expvar.Int // completed successfully
+	cancellations expvar.Int // ended by deadline or client disconnect
+	shed          expvar.Int // rejected with 429
+	failures      expvar.Int // bad requests and solver errors
+
+	latencyMu sync.Mutex
+	latency   map[string]*latencyHist // per-solver
+}
+
+// NewServer builds a Server from the config.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		mux:     http.NewServeMux(),
+		latency: map[string]*latencyHist{},
+	}
+	if len(cfg.Allowed) > 0 {
+		s.allowed = make(map[string]bool, len(cfg.Allowed))
+		for _, name := range cfg.Allowed {
+			s.allowed[name] = true
+		}
+	}
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree (for httptest and for Serve).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: in-flight solves keep running (their request contexts stay
+// live) until done or until DrainTimeout passes.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// In-flight request contexts are per-connection, not children of ctx:
+	// graceful drain lets running solves finish. If the drain deadline
+	// passes, Close tears the connections down, which cancels the request
+	// contexts and aborts the solves.
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			srv.Close()
+			return err
+		}
+		<-errc // http.ErrServerClosed
+		return nil
+	}
+}
+
+// solveRequest is the /solve body: the model.WriteJSON envelope plus
+// request-level knobs.
+type solveRequest struct {
+	Solver        string          `json:"solver"`
+	Seed          *int64          `json:"seed,omitempty"`
+	TimeoutMillis int64           `json:"timeout_ms,omitempty"`
+	FormatVersion int             `json:"format_version"`
+	Instance      *model.Instance `json:"instance"`
+}
+
+// solveResponse is the /solve reply.
+type solveResponse struct {
+	Solver      string    `json:"solver"`
+	Algorithm   string    `json:"algorithm"`
+	Profit      int64     `json:"profit"`
+	UpperBound  float64   `json:"upper_bound,omitempty"`
+	Orientation []float64 `json:"orientation"`
+	Owner       []int     `json:"owner"`
+	ElapsedMS   float64   `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.failures.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	// Shed before reading the body: a saturated server should refuse work
+	// as cheaply as possible.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity"})
+		return
+	}
+
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode request: " + err.Error()})
+		return
+	}
+	if req.FormatVersion != 1 {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unsupported format_version %d (want 1)", req.FormatVersion)})
+		return
+	}
+	if req.Instance == nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "request missing instance"})
+		return
+	}
+	req.Instance.Normalize()
+	if err := req.Instance.Validate(); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid instance: " + err.Error()})
+		return
+	}
+	name := req.Solver
+	if name == "" {
+		name = "auto"
+	}
+	if s.allowed != nil && !s.allowed[name] {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("solver %q not allowed (allowed: %v)", name, s.cfg.Allowed)})
+		return
+	}
+	solver, err := core.Get(name)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.Timeout
+	if req.TimeoutMillis > 0 {
+		if t := time.Duration(req.TimeoutMillis) * time.Millisecond; timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	opt := core.Options{Seed: s.cfg.Seed, ExactLimits: exact.Limits{MaxTuples: s.cfg.MaxTuples}}
+	if req.Seed != nil {
+		opt.Seed = *req.Seed
+	}
+	start := time.Now()
+	sol, err := solver(ctx, req.Instance, opt)
+	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.cancellations.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "solve aborted: " + err.Error()})
+			return
+		}
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "solve failed: " + err.Error()})
+		return
+	}
+	s.solved.Add(1)
+	s.observeLatency(name, elapsed)
+	writeJSON(w, http.StatusOK, solveResponse{
+		Solver:      name,
+		Algorithm:   sol.Algorithm,
+		Profit:      sol.Profit,
+		UpperBound:  sol.UpperBound,
+		Orientation: sol.Assignment.Orientation,
+		Owner:       sol.Assignment.Owner,
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// --- metrics ---
+
+// latencyHist is a power-of-two millisecond histogram implementing
+// expvar.Var.
+type latencyHist struct {
+	mu      sync.Mutex
+	count   int64
+	totalMS float64
+	// buckets[i] counts solves with latency < 2^i ms; the last bucket is
+	// the overflow.
+	buckets [12]int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(h.buckets)-1 && ms >= float64(int64(1)<<i) {
+		i++
+	}
+	h.mu.Lock()
+	h.count++
+	h.totalMS += ms
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// String renders the histogram as JSON, satisfying expvar.Var.
+func (h *latencyHist) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := map[string]any{"count": h.count, "total_ms": h.totalMS}
+	hist := map[string]int64{}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if i == len(h.buckets)-1 {
+			hist[">="+strconv.Itoa(1<<(i-1))+"ms"] = c
+		} else {
+			hist["<"+strconv.Itoa(1<<i)+"ms"] = c
+		}
+	}
+	b["buckets"] = hist
+	out, _ := json.Marshal(b)
+	return string(out)
+}
+
+func (s *Server) observeLatency(solver string, d time.Duration) {
+	s.latencyMu.Lock()
+	h, ok := s.latency[solver]
+	if !ok {
+		h = &latencyHist{}
+		s.latency[solver] = h
+	}
+	s.latencyMu.Unlock()
+	h.observe(d)
+}
+
+// handleVars serves this Server's expvar counters in the standard
+// /debug/vars wire format. The vars are deliberately not published to the
+// global expvar registry — expvar.Publish panics on duplicate names, which
+// would fire the second time a test (or an embedding program) builds a
+// Server.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	vars := []struct {
+		name string
+		v    expvar.Var
+	}{
+		{"sectord.requests", &s.requests},
+		{"sectord.solved", &s.solved},
+		{"sectord.cancellations", &s.cancellations},
+		{"sectord.shed", &s.shed},
+		{"sectord.failures", &s.failures},
+	}
+	fmt.Fprintf(w, "{\n")
+	first := true
+	for _, kv := range vars {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.name, kv.v.String())
+	}
+	s.latencyMu.Lock()
+	names := make([]string, 0, len(s.latency))
+	for name := range s.latency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, ",\n%q: %s", "sectord.latency."+name, s.latency[name].String())
+	}
+	s.latencyMu.Unlock()
+	fmt.Fprintf(w, "\n}\n")
+}

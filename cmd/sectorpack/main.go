@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sectorpack/internal/core"
 	"sectorpack/internal/geom"
@@ -25,19 +28,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sectorpack:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sectorpack", flag.ContinueOnError)
 	fs.SetOutput(out)
 	inPath := fs.String("in", "", "instance JSON file (required)")
 	solverName := fs.String("solver", "greedy", "solver: "+strings.Join(core.Names(), ", "))
 	seed := fs.Int64("seed", 1, "seed for randomized components")
 	eps := fs.Float64("eps", 0, "force the FPTAS inner knapsack with this epsilon (0 = auto exact/approx)")
+	timeout := fs.Duration("timeout", 0, "abort the solve after this long (0 = no deadline; Ctrl-C always cancels)")
 	verbose := fs.Bool("v", false, "print the per-antenna breakdown")
 	vizFlag := fs.Bool("viz", false, "draw an ASCII polar plot of the solution")
 	if err := fs.Parse(args); err != nil {
@@ -59,7 +65,12 @@ func run(args []string, out io.Writer) error {
 	if *eps > 0 {
 		opt.Knapsack = knapsack.Options{ForceApprox: true, Eps: *eps}
 	}
-	sol, err := solver(in, opt)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sol, err := solver(ctx, in, opt)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -25,7 +26,7 @@ func writeTestInstance(t *testing.T) string {
 func TestRunSolvesInstance(t *testing.T) {
 	path := writeTestInstance(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-solver", "localsearch", "-v"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-solver", "localsearch", "-v"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, want := range []string{"instance", "localsearch", "served", "antenna  0"} {
@@ -38,7 +39,7 @@ func TestRunSolvesInstance(t *testing.T) {
 func TestRunViz(t *testing.T) {
 	path := writeTestInstance(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-viz"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-viz"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "B") || !strings.Contains(out.String(), "[0]") {
@@ -49,7 +50,7 @@ func TestRunViz(t *testing.T) {
 func TestRunEpsForcesFPTAS(t *testing.T) {
 	path := writeTestInstance(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-eps", "0.2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-eps", "0.2"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "greedy") {
@@ -59,17 +60,17 @@ func TestRunEpsForcesFPTAS(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("missing -in must error")
 	}
-	if err := run([]string{"-in", "/nonexistent.json"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-in", "/nonexistent.json"}, &out); err == nil {
 		t.Error("missing file must error")
 	}
 	path := writeTestInstance(t)
-	if err := run([]string{"-in", path, "-solver", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-in", path, "-solver", "bogus"}, &out); err == nil {
 		t.Error("unknown solver must error")
 	}
-	if err := run([]string{"-bogusflag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogusflag"}, &out); err == nil {
 		t.Error("unknown flag must error")
 	}
 }

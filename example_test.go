@@ -1,6 +1,7 @@
 package sectorpack_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,7 +23,7 @@ func Example() {
 		},
 	}
 	in.Normalize()
-	sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	sol, err := sectorpack.SolveGreedy(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		panic(err)
 	}
@@ -43,7 +44,7 @@ func ExampleSolveExact() {
 		Antennas: []sectorpack.Antenna{{Rho: 1, Capacity: 10}},
 	}
 	in.Normalize()
-	exact, _ := sectorpack.SolveExact(in)
+	exact, _ := sectorpack.SolveExact(context.Background(), in)
 	fmt.Printf("optimum %d\n", exact.Profit)
 	// Output: optimum 18
 }
@@ -58,7 +59,7 @@ func ExampleGenerate() {
 	if err != nil {
 		panic(err)
 	}
-	sol, _ := sectorpack.SolveLocalSearch(in, sectorpack.Options{Seed: 1})
+	sol, _ := sectorpack.SolveLocalSearch(context.Background(), in, sectorpack.Options{Seed: 1})
 	fmt.Printf("feasible: %v, within bound: %v\n",
 		sol.Assignment.Check(in) == nil,
 		float64(sol.Profit) <= sectorpack.UpperBound(in))
@@ -74,7 +75,7 @@ func ExampleCoverGreedy() {
 		{ID: 2, Theta: 3.5, R: 1, Demand: 2, Profit: 2},
 	}
 	typ := sectorpack.CoverAntennaType{Rho: 1, Range: 4, Capacity: 6}
-	res, err := sectorpack.CoverGreedy(customers, typ)
+	res, err := sectorpack.CoverGreedy(context.Background(), customers, typ)
 	if err != nil {
 		panic(err)
 	}

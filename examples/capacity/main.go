@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -40,7 +41,7 @@ func main() {
 				N:       n,
 				M:       m,
 			})
-			sol, err := sectorpack.SolveLocalSearch(in, sectorpack.Options{Seed: 5})
+			sol, err := sectorpack.SolveLocalSearch(context.Background(), in, sectorpack.Options{Seed: 5})
 			if err != nil {
 				log.Fatal(err)
 			}

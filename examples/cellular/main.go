@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -37,7 +38,7 @@ func main() {
 			// unitflow needs unit demands; skip it in this mixed-demand plan
 			continue
 		}
-		sol, err := sectorpack.Solve(name, in, sectorpack.Options{Seed: 1})
+		sol, err := sectorpack.Solve(context.Background(), name, in, sectorpack.Options{Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func main() {
 	}
 
 	// Detailed plan from the best heuristic.
-	sol, err := sectorpack.SolveLocalSearch(in, sectorpack.Options{Seed: 1})
+	sol, err := sectorpack.SolveLocalSearch(context.Background(), in, sectorpack.Options{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

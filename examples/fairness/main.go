@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,12 +36,12 @@ func main() {
 	}
 
 	// Profit-first plan (splittable for an apples-to-apples comparison).
-	eff, err := sectorpack.SolveSplittable(in, sectorpack.Options{})
+	eff, err := sectorpack.SolveSplittable(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Fairness-first plan.
-	fair, err := sectorpack.SolveFair(in, classes, sectorpack.Options{})
+	fair, err := sectorpack.SolveFair(context.Background(), in, classes, sectorpack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

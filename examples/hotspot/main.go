@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,11 +29,11 @@ func main() {
 
 	fmt.Printf("event: %d customers in 2 hotspots, 3 disjoint beams of width ~0.9 rad\n\n", in.N())
 
-	dp, err := sectorpack.SolveDisjointDP(in, sectorpack.Options{})
+	dp, err := sectorpack.SolveDisjointDP(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	greedy, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	greedy, err := sectorpack.SolveGreedy(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -42,7 +43,7 @@ func main() {
 	}
 	in.Normalize()
 
-	as, profit, err := sectorpack.SolveMultiGreedy(in, sectorpack.Options{})
+	as, profit, err := sectorpack.SolveMultiGreedy(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -38,11 +39,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	greedy, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	greedy, err := sectorpack.SolveGreedy(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := sectorpack.SolveExact(in)
+	exact, err := sectorpack.SolveExact(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

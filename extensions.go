@@ -1,6 +1,8 @@
 package sectorpack
 
 import (
+	"context"
+
 	"sectorpack/internal/core"
 	"sectorpack/internal/cover"
 	"sectorpack/internal/exact"
@@ -27,14 +29,14 @@ type (
 
 // CoverGreedy covers all customers with greedily placed antennas of the
 // given type (max-coverage steps; H_n-style guarantee for unit demands).
-func CoverGreedy(customers []Customer, typ CoverAntennaType) (CoverResult, error) {
-	return cover.Greedy(customers, typ)
+func CoverGreedy(ctx context.Context, customers []Customer, typ CoverAntennaType) (CoverResult, error) {
+	return cover.Greedy(ctx, customers, typ)
 }
 
 // CoverExact finds the minimum antenna count by iterative deepening; small
 // instances only (see cover.MaxExactCustomers).
-func CoverExact(customers []Customer, typ CoverAntennaType, maxK int) (CoverResult, error) {
-	return cover.Exact(customers, typ, maxK)
+func CoverExact(ctx context.Context, customers []Customer, typ CoverAntennaType, maxK int) (CoverResult, error) {
+	return cover.Exact(ctx, customers, typ, maxK)
 }
 
 // CoverCheck validates a covering solution.
@@ -67,8 +69,8 @@ func OrientUniform(in *Instance) []float64 { return online.OrientUniform(in) }
 
 // OrientFromSample orients antennas by solving offline greedy on a random
 // sample of the customers (a demand forecast).
-func OrientFromSample(in *Instance, frac float64, seed int64) ([]float64, error) {
-	return online.OrientFromSample(in, frac, seed)
+func OrientFromSample(ctx context.Context, in *Instance, frac float64, seed int64) ([]float64, error) {
+	return online.OrientFromSample(ctx, in, frac, seed)
 }
 
 // --- multi-station deployments ---
@@ -90,8 +92,8 @@ type (
 
 // SolveMultiGreedy runs the successive best-window greedy across every
 // (station, antenna) pair of a multi-station instance.
-func SolveMultiGreedy(in *MultiInstance, opt Options) (*MultiAssignment, int64, error) {
-	return multistation.SolveGreedy(in, opt.Knapsack)
+func SolveMultiGreedy(ctx context.Context, in *MultiInstance, opt Options) (*MultiAssignment, int64, error) {
+	return multistation.SolveGreedy(ctx, in, opt.Knapsack)
 }
 
 // ensure the Options knapsack field stays structurally compatible.
@@ -111,8 +113,8 @@ func Reduce(in *Instance) (*Reduction, error) { return reduce.Apply(in) }
 // SolveExactParallel is SolveExact with the orientation search fanned out
 // over a worker pool (workers <= 0 means GOMAXPROCS). Same result, less
 // wall clock on multi-antenna instances.
-func SolveExactParallel(in *Instance, workers int) (Solution, error) {
-	return exact.SolveParallel(in, exact.Limits{}, workers)
+func SolveExactParallel(ctx context.Context, in *Instance, workers int) (Solution, error) {
+	return exact.SolveParallel(ctx, in, exact.Limits{}, workers)
 }
 
 // --- splittable demands ---
@@ -122,14 +124,14 @@ type SplitSolution = core.SplitSolution
 
 // SolveSplittable solves the splittable-demand variant at greedy-chosen
 // orientations (exact LP given the orientations).
-func SolveSplittable(in *Instance, opt Options) (SplitSolution, error) {
-	return core.SolveSplittable(in, opt)
+func SolveSplittable(ctx context.Context, in *Instance, opt Options) (SplitSolution, error) {
+	return core.SolveSplittable(ctx, in, opt)
 }
 
 // SolveSplittableExact computes the true splittable optimum for small
 // instances (candidate-tuple enumeration with an LP per tuple).
-func SolveSplittableExact(in *Instance) (SplitSolution, error) {
-	return core.SolveSplittableExact(in)
+func SolveSplittableExact(ctx context.Context, in *Instance) (SplitSolution, error) {
+	return core.SolveSplittableExact(ctx, in)
 }
 
 // --- fairness across customer classes ---
@@ -140,8 +142,8 @@ type FairSolution = fair.Solution
 // SolveFair maximizes the minimum class service fraction, then total
 // profit subject to that floor. classes[i] is customer i's class id; nil
 // means a single class.
-func SolveFair(in *Instance, classes []int, opt Options) (FairSolution, error) {
-	return fair.Solve(in, classes, opt)
+func SolveFair(ctx context.Context, in *Instance, classes []int, opt Options) (FairSolution, error) {
+	return fair.Solve(ctx, in, classes, opt)
 }
 
 // --- visualization ---

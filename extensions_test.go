@@ -1,6 +1,7 @@
 package sectorpack_test
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -14,14 +15,14 @@ func TestCoverFacade(t *testing.T) {
 		Seed: 8, N: 10, M: 1, Range: 9,
 	})
 	typ := sectorpack.CoverAntennaType{Rho: 1.5, Range: 12, Capacity: 1 << 40}
-	res, err := sectorpack.CoverGreedy(in.Customers, typ)
+	res, err := sectorpack.CoverGreedy(context.Background(), in.Customers, typ)
 	if err != nil {
 		t.Fatalf("CoverGreedy: %v", err)
 	}
 	if err := sectorpack.CoverCheck(in.Customers, typ, res); err != nil {
 		t.Fatalf("CoverCheck: %v", err)
 	}
-	ex, err := sectorpack.CoverExact(in.Customers, typ, 0)
+	ex, err := sectorpack.CoverExact(context.Background(), in.Customers, typ, 0)
 	if err != nil {
 		t.Fatalf("CoverExact: %v", err)
 	}
@@ -35,7 +36,7 @@ func TestOnlineFacade(t *testing.T) {
 		Family: sectorpack.Hotspot, Variant: sectorpack.Sectors,
 		Seed: 9, N: 40, M: 3,
 	})
-	orient, err := sectorpack.OrientFromSample(in, 0.4, 2)
+	orient, err := sectorpack.OrientFromSample(context.Background(), in, 0.4, 2)
 	if err != nil {
 		t.Fatalf("OrientFromSample: %v", err)
 	}
@@ -58,7 +59,7 @@ func TestRenderASCIIFacade(t *testing.T) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 10, N: 15, M: 2,
 	})
-	sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	sol, err := sectorpack.SolveGreedy(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestReduceFacade(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Reduce: %v", err)
 	}
-	sol, err := sectorpack.SolveGreedy(r.Reduced, sectorpack.Options{SkipBound: true})
+	sol, err := sectorpack.SolveGreedy(context.Background(), r.Reduced, sectorpack.Options{SkipBound: true})
 	if err != nil {
 		t.Fatalf("greedy on reduced: %v", err)
 	}
@@ -92,11 +93,11 @@ func TestSolveExactParallelFacade(t *testing.T) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 12, N: 8, M: 2,
 	})
-	seq, err := sectorpack.SolveExact(in)
+	seq, err := sectorpack.SolveExact(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := sectorpack.SolveExactParallel(in, 4)
+	par, err := sectorpack.SolveExactParallel(context.Background(), in, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFacadeWrappersSmoke(t *testing.T) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 13, N: 10, M: 2,
 	})
-	for name, f := range map[string]func(*sectorpack.Instance, sectorpack.Options) (sectorpack.Solution, error){
+	for name, f := range map[string]func(context.Context, *sectorpack.Instance, sectorpack.Options) (sectorpack.Solution, error){
 		"lpround":  sectorpack.SolveLPRound,
 		"unitflow": nil, // needs unit demands; handled below
 		"auto":     sectorpack.SolveAuto,
@@ -120,7 +121,7 @@ func TestFacadeWrappersSmoke(t *testing.T) {
 		if f == nil {
 			continue
 		}
-		sol, err := f(in, sectorpack.Options{Seed: 1})
+		sol, err := f(context.Background(), in, sectorpack.Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -132,20 +133,20 @@ func TestFacadeWrappersSmoke(t *testing.T) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 13, N: 10, M: 2, UnitDemand: true,
 	})
-	if _, err := sectorpack.SolveUnitFlow(unit, sectorpack.Options{}); err != nil {
+	if _, err := sectorpack.SolveUnitFlow(context.Background(), unit, sectorpack.Options{}); err != nil {
 		t.Fatalf("unitflow: %v", err)
 	}
 	dis := sectorpack.MustGenerate(sectorpack.GenConfig{
 		Family: sectorpack.Uniform, Variant: sectorpack.DisjointAngles,
 		Seed: 13, N: 8, M: 2, Rho: 1.0,
 	})
-	if _, err := sectorpack.SolveDisjointDP(dis, sectorpack.Options{}); err != nil {
+	if _, err := sectorpack.SolveDisjointDP(context.Background(), dis, sectorpack.Options{}); err != nil {
 		t.Fatalf("disjoint-dp: %v", err)
 	}
 	if _, err := sectorpack.ConfigLPBound(in); err != nil {
 		t.Fatalf("ConfigLPBound: %v", err)
 	}
-	split, err := sectorpack.SolveSplittable(in, sectorpack.Options{})
+	split, err := sectorpack.SolveSplittable(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		t.Fatalf("splittable: %v", err)
 	}
@@ -156,10 +157,10 @@ func TestFacadeWrappersSmoke(t *testing.T) {
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 		Seed: 14, N: 6, M: 1,
 	})
-	if _, err := sectorpack.SolveSplittableExact(small); err != nil {
+	if _, err := sectorpack.SolveSplittableExact(context.Background(), small); err != nil {
 		t.Fatalf("splittable exact: %v", err)
 	}
-	if _, err := sectorpack.SolveFair(in, nil, sectorpack.Options{}); err != nil {
+	if _, err := sectorpack.SolveFair(context.Background(), in, nil, sectorpack.Options{}); err != nil {
 		t.Fatalf("fair: %v", err)
 	}
 	multi := &sectorpack.MultiInstance{
@@ -169,7 +170,7 @@ func TestFacadeWrappersSmoke(t *testing.T) {
 		}}},
 	}
 	multi.Normalize()
-	if _, _, err := sectorpack.SolveMultiGreedy(multi, sectorpack.Options{}); err != nil {
+	if _, _, err := sectorpack.SolveMultiGreedy(context.Background(), multi, sectorpack.Options{}); err != nil {
 		t.Fatalf("multi: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package angular
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -19,13 +20,13 @@ func BenchmarkBestWindow(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
 			eng := NewEngine(in)
-			if _, err := eng.BestWindow(0, nil, knapsack.Options{}); err != nil {
+			if _, err := eng.BestWindow(context.Background(), 0, nil, knapsack.Options{}); err != nil {
 				b.Fatal(err) // warm the sweep outside the timed loop
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := eng.BestWindow(0, nil, knapsack.Options{}); err != nil {
+				if _, err := eng.BestWindow(context.Background(), 0, nil, knapsack.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -42,7 +43,7 @@ func BenchmarkBestWindowCold(b *testing.B) {
 	})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := BestWindow(in, 0, nil, knapsack.Options{}); err != nil {
+		if _, err := BestWindow(context.Background(), in, 0, nil, knapsack.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

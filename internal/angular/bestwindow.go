@@ -1,6 +1,8 @@
 package angular
 
 import (
+	"context"
+
 	"sectorpack/internal/knapsack"
 	"sectorpack/internal/model"
 )
@@ -28,8 +30,8 @@ type Window struct {
 // With an exact inner solver the result is the true single-antenna optimum
 // (by the candidate-orientation lemma); with the FPTAS it is a (1−ε)
 // approximation of it.
-func BestWindow(in *model.Instance, antenna int, active []bool, opt knapsack.Options) (Window, error) {
-	return NewEngine(in).BestWindow(antenna, active, opt)
+func BestWindow(ctx context.Context, in *model.Instance, antenna int, active []bool, opt knapsack.Options) (Window, error) {
+	return NewEngine(in).BestWindow(ctx, antenna, active, opt)
 }
 
 // better merges two windows: higher profit wins; exactness survives only if

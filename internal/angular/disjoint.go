@@ -1,6 +1,7 @@
 package angular
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -52,11 +53,23 @@ const boundaryNudge = 2 * geom.Eps
 // General position: a customer lying exactly at a chain junction (an
 // anchor angle plus/minus a sum of antenna widths) is credited to exactly
 // one adjacent sector, which can in principle lose optimality in contrived
-// ties; random instances never trigger this. Zero-width antennas are
-// rejected.
+// ties; random instances never trigger this.
+//
+// Zero-width antennas (degenerate rays, Rho ≤ geom.Eps) occupy no arc and
+// are exempt from disjointness, so they take no part in the chain DP.
+// They are served in a per-cut post-pass instead: each ray, in decreasing
+// capacity order, is aimed at the exactly-aligned customer angle whose
+// knapsack over still-unserved customers is most profitable. The combined
+// result is exact when rays and sectors do not compete for the same
+// customers (competition needs a customer exactly aligned with a ray, a
+// measure-zero coincidence the generators never produce); instances
+// without rays keep the DP's full exactness guarantee.
+//
+// Cancellation: ctx is checked once per cut; a cancelled solve discards
+// all partial work and returns ctx.Err().
 //
 // Complexity: O(n²·m²·3^m·K) where K is the per-window knapsack cost.
-func SolveDisjoint(in *model.Instance, opt knapsack.Options) (model.Solution, error) {
+func SolveDisjoint(ctx context.Context, in *model.Instance, opt knapsack.Options) (model.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return model.Solution{}, fmt.Errorf("angular: SolveDisjoint: %w", err)
 	}
@@ -67,9 +80,12 @@ func SolveDisjoint(in *model.Instance, opt knapsack.Options) (model.Solution, er
 	if m > MaxDisjointAntennas {
 		return model.Solution{}, fmt.Errorf("angular: SolveDisjoint limited to %d antennas, got %d", MaxDisjointAntennas, m)
 	}
+	rayMask := 0
+	var rays []int // zero-width antennas, excluded from the chain DP
 	for j, a := range in.Antennas {
 		if a.Rho <= geom.Eps {
-			return model.Solution{}, fmt.Errorf("angular: SolveDisjoint rejects zero-width antenna %d", j)
+			rayMask |= 1 << j
+			rays = append(rays, j)
 		}
 	}
 	n := in.N()
@@ -83,6 +99,9 @@ func SolveDisjoint(in *model.Instance, opt knapsack.Options) (model.Solution, er
 	for _, c := range in.Customers {
 		cutSet = append(cutSet, c.Theta)
 		for _, a := range in.Antennas {
+			if a.Rho <= geom.Eps {
+				continue // rays never head a chain
+			}
 			cutSet = append(cutSet, geom.NormAngle(c.Theta-a.Rho+boundaryNudge))
 		}
 	}
@@ -92,7 +111,11 @@ func SolveDisjoint(in *model.Instance, opt knapsack.Options) (model.Solution, er
 	best := int64(-1)
 	var bestAssign *model.Assignment
 	for _, cut := range cuts {
-		p, as := solveCut(in, cut, opt)
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
+		p, as := solveCut(in, cut, opt, rayMask)
+		p += assignRays(in, rays, as)
 		if p > best {
 			best = p
 			bestAssign = as
@@ -103,6 +126,71 @@ func SolveDisjoint(in *model.Instance, opt knapsack.Options) (model.Solution, er
 		sol.Profit = best
 	}
 	return sol, nil
+}
+
+// assignRays serves still-unserved customers with the zero-width antennas:
+// each ray, in decreasing capacity order (ties by index), tries every
+// distinct unserved-customer angle and keeps the most profitable aligned
+// knapsack (ties broken toward the earlier candidate, so the pass is
+// deterministic). The assignment is mutated in place; the added profit is
+// returned. A ray's empty-interior sector never violates disjointness.
+func assignRays(in *model.Instance, rays []int, as *model.Assignment) int64 {
+	if len(rays) == 0 {
+		return 0
+	}
+	order := append([]int(nil), rays...)
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Antennas[order[a]].Capacity > in.Antennas[order[b]].Capacity
+	})
+	var added int64
+	for _, j := range order {
+		ant := in.Antennas[j]
+		// Candidate aims: the distinct angles of unserved in-range customers.
+		cands := make([]float64, 0, in.N())
+		for i, c := range in.Customers {
+			if as.Owner[i] == model.Unassigned && ant.InRange(c) {
+				cands = append(cands, c.Theta)
+			}
+		}
+		sort.Float64s(cands)
+		cands = dedupAngles(cands)
+		var bestProfit int64 = -1
+		var bestAlpha float64
+		var bestTake []int
+		for _, alpha := range cands {
+			var items []knapsack.Item
+			var ids []int
+			for i, c := range in.Customers {
+				if as.Owner[i] == model.Unassigned && ant.Covers(alpha, c) {
+					items = append(items, knapsack.Item{Weight: c.Demand, Profit: c.Profit})
+					ids = append(ids, i)
+				}
+			}
+			if len(items) == 0 {
+				continue
+			}
+			res, _, err := knapsack.Solve(items, ant.Capacity, knapsack.Options{})
+			if err != nil || res.Profit <= bestProfit {
+				continue
+			}
+			bestProfit = res.Profit
+			bestAlpha = alpha
+			bestTake = bestTake[:0]
+			for k, take := range res.Take {
+				if take {
+					bestTake = append(bestTake, ids[k])
+				}
+			}
+		}
+		if bestProfit > 0 {
+			as.Orientation[j] = bestAlpha
+			for _, i := range bestTake {
+				as.Owner[i] = j
+			}
+			added += bestProfit
+		}
+	}
+	return added
 }
 
 // event is a candidate chain start in cut coordinates.
@@ -141,7 +229,9 @@ type winVal struct {
 }
 
 // solveCut runs the chain DP for one cut and reconstructs the assignment.
-func solveCut(in *model.Instance, cut float64, opt knapsack.Options) (int64, *model.Assignment) {
+// Antennas in rayMask (zero-width rays) are treated as pre-consumed: they
+// never join a chain and are served by the assignRays post-pass instead.
+func solveCut(in *model.Instance, cut float64, opt knapsack.Options, rayMask int) (int64, *model.Assignment) {
 	n, m := in.N(), in.M()
 	dp := &cutDP{in: in, opt: opt, cut: cut, m: m, winCache: make(map[winKey]winVal)}
 	dp.d = make([]float64, n)
@@ -151,6 +241,9 @@ func solveCut(in *model.Instance, cut float64, opt knapsack.Options) (int64, *mo
 	for i := range in.Customers {
 		dp.events = append(dp.events, event{start: dp.d[i], mode: startAnchored})
 		for h := 0; h < m; h++ {
+			if rayMask&(1<<h) != 0 {
+				continue
+			}
 			cs := dp.d[i] - in.Antennas[h].Rho + boundaryNudge
 			if cs >= -geom.Eps {
 				if cs < 0 {
@@ -172,10 +265,10 @@ func solveCut(in *model.Instance, cut float64, opt knapsack.Options) (int64, *mo
 	dp.gVal = make([]int64, nState)
 	dp.gSeen = make([]bool, nState)
 
-	total := dp.g(0, 0)
+	total := dp.g(0, rayMask)
 
 	as := model.NewAssignment(n, m)
-	dp.reconstruct(0, 0, as)
+	dp.reconstruct(0, rayMask, as)
 	return total, as
 }
 

@@ -1,6 +1,7 @@
 package angular
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestSolveDisjointSingleAntennaMatchesBestWindow(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 40; trial++ {
 		in := randDisjointInstance(rng, 1+rng.Intn(10), 1)
-		sol, err := SolveDisjoint(in, knapsack.Options{})
+		sol, err := SolveDisjoint(context.Background(), in, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("SolveDisjoint: %v", err)
 		}
@@ -125,7 +126,7 @@ func TestSolveDisjointSingleAntennaMatchesBestWindow(t *testing.T) {
 		if got := sol.Assignment.Profit(in); got != sol.Profit {
 			t.Fatalf("reported profit %d != assignment profit %d", sol.Profit, got)
 		}
-		win, err := BestWindow(in, 0, nil, knapsack.Options{})
+		win, err := BestWindow(context.Background(), in, 0, nil, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("BestWindow: %v", err)
 		}
@@ -139,7 +140,7 @@ func TestSolveDisjointMatchesOracleTwoAntennas(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 45; trial++ {
 		in := randDisjointInstance(rng, 2+rng.Intn(7), 2)
-		sol, err := SolveDisjoint(in, knapsack.Options{})
+		sol, err := SolveDisjoint(context.Background(), in, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("SolveDisjoint: %v", err)
 		}
@@ -171,7 +172,7 @@ func TestSolveDisjointFlushChainRequired(t *testing.T) {
 		},
 	}
 	in.Normalize()
-	sol, err := SolveDisjoint(in, knapsack.Options{})
+	sol, err := SolveDisjoint(context.Background(), in, knapsack.Options{})
 	if err != nil {
 		t.Fatalf("SolveDisjoint: %v", err)
 	}
@@ -186,13 +187,15 @@ func TestSolveDisjointFlushChainRequired(t *testing.T) {
 func TestSolveDisjointRejections(t *testing.T) {
 	in := randDisjointInstance(rand.New(rand.NewSource(43)), 3, 1)
 	in.Variant = model.Angles
-	if _, err := SolveDisjoint(in, knapsack.Options{}); err == nil {
+	if _, err := SolveDisjoint(context.Background(), in, knapsack.Options{}); err == nil {
 		t.Error("wrong variant must be rejected")
 	}
 	in.Variant = model.DisjointAngles
 	in.Antennas[0].Rho = 0
-	if _, err := SolveDisjoint(in, knapsack.Options{}); err == nil {
-		t.Error("zero-width antenna must be rejected")
+	if sol, err := SolveDisjoint(context.Background(), in, knapsack.Options{}); err != nil {
+		t.Errorf("zero-width antenna must be served as a degenerate ray, got error: %v", err)
+	} else if err := sol.Assignment.Check(in); err != nil {
+		t.Errorf("ray solution infeasible: %v", err)
 	}
 	many := &model.Instance{Variant: model.DisjointAngles}
 	for j := 0; j <= MaxDisjointAntennas; j++ {
@@ -200,14 +203,14 @@ func TestSolveDisjointRejections(t *testing.T) {
 	}
 	many.Customers = []model.Customer{{Theta: 1, R: 1, Demand: 1}}
 	many.Normalize()
-	if _, err := SolveDisjoint(many, knapsack.Options{}); err == nil {
+	if _, err := SolveDisjoint(context.Background(), many, knapsack.Options{}); err == nil {
 		t.Error("too many antennas must be rejected")
 	}
 }
 
 func TestSolveDisjointEmpty(t *testing.T) {
 	in := (&model.Instance{Variant: model.DisjointAngles}).Normalize()
-	sol, err := SolveDisjoint(in, knapsack.Options{})
+	sol, err := SolveDisjoint(context.Background(), in, knapsack.Options{})
 	if err != nil || sol.Profit != 0 {
 		t.Fatalf("empty: profit=%d err=%v", sol.Profit, err)
 	}
@@ -225,7 +228,7 @@ func TestSolveDisjointCapacityBinds(t *testing.T) {
 		Antennas: []model.Antenna{{Rho: 1.0, Capacity: 6}},
 	}
 	in.Normalize()
-	sol, err := SolveDisjoint(in, knapsack.Options{})
+	sol, err := SolveDisjoint(context.Background(), in, knapsack.Options{})
 	if err != nil {
 		t.Fatalf("SolveDisjoint: %v", err)
 	}

@@ -1,6 +1,7 @@
 package angular
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -111,7 +112,11 @@ func (e *Engine) Candidates(antenna int) []float64 {
 // With an exact inner solver the result is the true single-antenna optimum
 // (by the candidate-orientation lemma); with the FPTAS it is a (1−ε)
 // approximation of it.
-func (e *Engine) BestWindow(antenna int, active []bool, opt knapsack.Options) (Window, error) {
+//
+// Cancellation: the evaluation loop checks ctx between candidate windows
+// and returns ctx.Err() promptly, discarding partial work. An uncancelled
+// run is bit-identical to the pre-context behavior.
+func (e *Engine) BestWindow(ctx context.Context, antenna int, active []bool, opt knapsack.Options) (Window, error) {
 	s := e.Sweep(antenna)
 	capacity := e.in.Antennas[antenna].Capacity
 	e.wins = e.wins[:0]
@@ -127,7 +132,7 @@ func (e *Engine) BestWindow(antenna int, active []bool, opt knapsack.Options) (W
 	if len(e.wins) == 0 {
 		return Window{Exact: true}, nil
 	}
-	return e.evaluate(s, capacity, active, opt, false)
+	return e.evaluate(ctx, s, capacity, active, opt, false)
 }
 
 // BestWindowAt evaluates an explicit set of candidate orientations — which
@@ -138,7 +143,7 @@ func (e *Engine) BestWindow(antenna int, active []bool, opt knapsack.Options) (W
 // Candidates whose window has no active member are skipped entirely (they
 // never become the incumbent), mirroring the historical constrained-search
 // behavior; if every candidate is empty the zero Window is returned.
-func (e *Engine) BestWindowAt(antenna int, alphas []float64, active []bool, opt knapsack.Options) (Window, error) {
+func (e *Engine) BestWindowAt(ctx context.Context, antenna int, alphas []float64, active []bool, opt knapsack.Options) (Window, error) {
 	s := e.Sweep(antenna)
 	capacity := e.in.Antennas[antenna].Capacity
 	e.wins = e.wins[:0]
@@ -159,7 +164,7 @@ func (e *Engine) BestWindowAt(antenna int, alphas []float64, active []bool, opt 
 	if len(e.wins) == 0 {
 		return Window{}, nil
 	}
-	return e.evaluate(s, capacity, active, opt, true)
+	return e.evaluate(ctx, s, capacity, active, opt, true)
 }
 
 // parallelThreshold is the candidate count below which the fan-out is not
@@ -171,7 +176,12 @@ const parallelThreshold = 16
 // ignored) versus the unconstrained one (an empty window still proposes
 // its orientation at profit 0, preserving BestWindow's historical
 // all-empty behavior).
-func (e *Engine) evaluate(s *Sweep, capacity int64, active []bool, opt knapsack.Options, skipEmpty bool) (Window, error) {
+//
+// ctx is checked once per candidate in both the serial and the parallel
+// path; on cancellation the partial fold is abandoned and ctx.Err() is
+// returned. With a never-cancelled ctx every branch below behaves exactly
+// as before the context was threaded through.
+func (e *Engine) evaluate(ctx context.Context, s *Sweep, capacity int64, active []bool, opt knapsack.Options, skipEmpty bool) (Window, error) {
 	nc := len(e.wins)
 	if cap(e.order) < nc {
 		e.order = make([]int32, nc)
@@ -208,6 +218,9 @@ func (e *Engine) evaluate(s *Sweep, capacity int64, active []bool, opt knapsack.
 	if nc < parallelThreshold || workers <= 1 {
 		sc := evalPool.Get().(*evalScratch)
 		for _, k := range e.order {
+			if ctx.Err() != nil {
+				break
+			}
 			if e.wins[k].bound < best.Load() {
 				continue
 			}
@@ -227,6 +240,9 @@ func (e *Engine) evaluate(s *Sweep, capacity int64, active []bool, opt knapsack.
 				sc := evalPool.Get().(*evalScratch)
 				defer evalPool.Put(sc)
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= nc {
 						return
@@ -240,6 +256,9 @@ func (e *Engine) evaluate(s *Sweep, capacity int64, active []bool, opt knapsack.
 			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return Window{}, err
 	}
 
 	// Fold in original candidate order, exactly as the unpruned path did.

@@ -1,6 +1,7 @@
 package angular
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestBestWindowPruningInvariance(t *testing.T) {
 						t.Fatalf("%s/%d/n%d reference: %v", fam, seed, n, err)
 					}
 					for rep := 0; rep < 2; rep++ {
-						got, err := eng.BestWindow(0, active, opt)
+						got, err := eng.BestWindow(context.Background(), 0, active, opt)
 						if err != nil {
 							t.Fatalf("%s/%d/n%d engine: %v", fam, seed, n, err)
 						}
@@ -153,7 +154,7 @@ func TestBestWindowAtMatchesScanReference(t *testing.T) {
 		}
 		want = clampEmpty(want)
 
-		got, err := NewEngine(in).BestWindowAt(0, alphas, active, knapsack.Options{})
+		got, err := NewEngine(in).BestWindowAt(context.Background(), 0, alphas, active, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("BestWindowAt: %v", err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -29,8 +30,11 @@ const AnnealSteps = 20_000
 //
 // DisjointAngles: reorientation candidates that would overlap another
 // serving sector are rejected, preserving feasibility throughout.
-func SolveAnneal(in *model.Instance, opt Options) (model.Solution, error) {
-	sol, err := SolveGreedy(in, opt)
+//
+// Cancellation: ctx is checked once per Metropolis step; a cancelled solve
+// returns ctx.Err() and discards the annealing state.
+func SolveAnneal(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
+	sol, err := SolveGreedy(ctx, in, opt)
 	if err != nil {
 		return model.Solution{}, err
 	}
@@ -67,6 +71,9 @@ func SolveAnneal(in *model.Instance, opt Options) (model.Solution, error) {
 	}
 
 	for step := 0; step < AnnealSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
 		temp *= cooling
 		if rng.Intn(3) < 2 { // 2/3 reassign, 1/3 reorient
 			i := rng.Intn(n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,11 +14,11 @@ func TestAnnealFeasibleAndDominatesGreedy(t *testing.T) {
 	variants := []model.Variant{model.Sectors, model.Angles, model.DisjointAngles}
 	for trial := 0; trial < 12; trial++ {
 		in := randInstance(rng, 10+rng.Intn(20), 1+rng.Intn(3), variants[trial%3])
-		g, err := SolveGreedy(in, Options{Seed: 1, SkipBound: true})
+		g, err := SolveGreedy(context.Background(), in, Options{Seed: 1, SkipBound: true})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
-		a, err := SolveAnneal(in, Options{Seed: 1})
+		a, err := SolveAnneal(context.Background(), in, Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("anneal: %v", err)
 		}
@@ -31,11 +32,11 @@ func TestAnnealFeasibleAndDominatesGreedy(t *testing.T) {
 func TestAnnealDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(102))
 	in := randInstance(rng, 18, 2, model.Sectors)
-	a, err := SolveAnneal(in, Options{Seed: 9})
+	a, err := SolveAnneal(context.Background(), in, Options{Seed: 9})
 	if err != nil {
 		t.Fatalf("anneal: %v", err)
 	}
-	b, err := SolveAnneal(in, Options{Seed: 9})
+	b, err := SolveAnneal(context.Background(), in, Options{Seed: 9})
 	if err != nil {
 		t.Fatalf("anneal: %v", err)
 	}
@@ -48,12 +49,12 @@ func TestAnnealNeverExceedsExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(103))
 	for trial := 0; trial < 8; trial++ {
 		in := randInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
-		a, err := SolveAnneal(in, Options{Seed: int64(trial)})
+		a, err := SolveAnneal(context.Background(), in, Options{Seed: int64(trial)})
 		if err != nil {
 			t.Fatalf("anneal: %v", err)
 		}
 		checkSolution(t, in, a)
-		opt, err := exact.Solve(in, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact: %v", err)
 		}
@@ -65,7 +66,7 @@ func TestAnnealNeverExceedsExact(t *testing.T) {
 
 func TestAnnealEmptyInstance(t *testing.T) {
 	in := (&model.Instance{Variant: model.Angles}).Normalize()
-	sol, err := SolveAnneal(in, Options{})
+	sol, err := SolveAnneal(context.Background(), in, Options{})
 	if err != nil || sol.Profit != 0 {
 		t.Fatalf("empty: %d, %v", sol.Profit, err)
 	}

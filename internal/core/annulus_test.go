@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestAnnulusExcludesDeadZone(t *testing.T) {
 	in := annulusInstance()
 	for _, name := range []string{"greedy", "localsearch", "lpround", "anneal", "exact"} {
 		solver, _ := Get(name)
-		sol, err := solver(in, Options{Seed: 1})
+		sol, err := solver(context.Background(), in, Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -52,12 +53,12 @@ func TestAnnulusGreedyMatchesExactRandom(t *testing.T) {
 		for j := range in.Antennas {
 			in.Antennas[j].MinRange = 1 + rng.Float64()*2
 		}
-		g, err := SolveGreedy(in, Options{SkipBound: true})
+		g, err := SolveGreedy(context.Background(), in, Options{SkipBound: true})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
 		checkSolution(t, in, g)
-		ex, err := exact.Solve(in, exact.Limits{})
+		ex, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact: %v", err)
 		}
@@ -81,7 +82,7 @@ func TestAnnulusDisjointDP(t *testing.T) {
 		},
 	}
 	in.Normalize()
-	sol, err := angular.SolveDisjoint(in, knapsack.Options{})
+	sol, err := angular.SolveDisjoint(context.Background(), in, knapsack.Options{})
 	if err != nil {
 		t.Fatalf("SolveDisjoint: %v", err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sectorpack/internal/angular"
 	"sectorpack/internal/exact"
 	"sectorpack/internal/mkp"
@@ -14,17 +16,19 @@ const autoExactLimit = 12
 // SolveAuto picks the strongest affordable solver for the instance:
 //
 //   - tiny instances (n ≤ 12, small orientation space): exhaustive exact;
-//   - DisjointAngles with few antennas: the exact chain DP;
+//   - DisjointAngles with few antennas: the exact chain DP (zero-width
+//     antennas included — the DP serves them as degenerate rays);
 //   - unit demands (Sectors/Angles): the flow solver (exact for m = 1);
 //   - everything else: localsearch (greedy + polish).
 //
 // The chosen strategy is reported in Solution.Algorithm (prefixed with
-// "auto/"), so callers can see what ran.
-func SolveAuto(in *model.Instance, opt Options) (model.Solution, error) {
+// "auto/"), so callers can see what ran. The exact chain inherits
+// Options.ExactLimits, so a caller-imposed tuple budget survives dispatch.
+func SolveAuto(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
 	if err := validateForSolve(in); err != nil {
 		return model.Solution{}, err
 	}
-	sol, err := dispatchAuto(in, opt)
+	sol, err := dispatchAuto(ctx, in, opt)
 	if err != nil {
 		return model.Solution{}, err
 	}
@@ -32,28 +36,19 @@ func SolveAuto(in *model.Instance, opt Options) (model.Solution, error) {
 	return sol, nil
 }
 
-func dispatchAuto(in *model.Instance, opt Options) (model.Solution, error) {
+func dispatchAuto(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
 	n, m := in.N(), in.M()
 	if in.Variant == model.DisjointAngles {
-		if m <= angular.MaxDisjointAntennas && n <= 40 && noZeroWidth(in) {
-			return angular.SolveDisjoint(in, opt.Knapsack)
+		if m <= angular.MaxDisjointAntennas && n <= 40 {
+			return angular.SolveDisjoint(ctx, in, opt.Knapsack)
 		}
-		return SolveLocalSearch(in, opt)
+		return SolveLocalSearch(ctx, in, opt)
 	}
 	if n <= autoExactLimit && n <= mkp.MaxExactItems && m <= 2 {
-		return exact.SolveParallel(in, exact.Limits{}, 0)
+		return exact.SolveParallel(ctx, in, opt.ExactLimits, 0)
 	}
 	if in.UnitDemand() && n > 0 {
-		return SolveUnitFlow(in, opt)
+		return SolveUnitFlow(ctx, in, opt)
 	}
-	return SolveLocalSearch(in, opt)
-}
-
-func noZeroWidth(in *model.Instance) bool {
-	for _, a := range in.Antennas {
-		if a.Rho <= 1e-9 {
-			return false
-		}
-	}
-	return true
+	return SolveLocalSearch(ctx, in, opt)
 }

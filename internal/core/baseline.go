@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"sectorpack/internal/geom"
@@ -17,8 +18,11 @@ import (
 // Under DisjointAngles the antennas are instead packed flush from angle 0
 // (prefix-sum starts), which is interior-disjoint for any widths summing
 // to at most 2π (guaranteed by validation).
-func SolveBaseline(in *model.Instance, opt Options) (model.Solution, error) {
+func SolveBaseline(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
 	if err := validateForSolve(in); err != nil {
+		return model.Solution{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return model.Solution{}, err
 	}
 	n, m := in.N(), in.M()

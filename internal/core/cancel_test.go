@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sectorpack/internal/model"
+)
+
+// TestSolversHonorCancelledContext runs every registered solver under an
+// already-cancelled context: each must return context.Canceled without
+// doing any work or returning a partial assignment.
+func TestSolversHonorCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Names() {
+		variant := model.Sectors
+		if name == "disjoint-dp" {
+			variant = model.DisjointAngles
+		}
+		in := randInstance(rand.New(rand.NewSource(3)), 12, 2, variant)
+		// Unit demands keep the instance inside every solver's domain
+		// (unitflow rejects non-unit demands before it looks at ctx).
+		for i := range in.Customers {
+			in.Customers[i].Demand, in.Customers[i].Profit = 1, 1
+		}
+		solver, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := solver(ctx, in, Options{Seed: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if sol.Assignment != nil {
+			t.Errorf("%s: cancelled solve returned a partial assignment", name)
+		}
+	}
+}
+
+// TestGreedyCancelledMidRun cancels a large greedy solve (n=800) shortly
+// after it starts; the solver must notice at an iteration boundary and
+// return promptly.
+func TestGreedyCancelledMidRun(t *testing.T) {
+	in := randInstance(rand.New(rand.NewSource(4)), 800, 6, model.Sectors)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := SolveGreedy(ctx, in, Options{Seed: 1})
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// nil means the solve beat the cancellation — acceptable, the
+		// point is that it never hangs and never reports a bogus error.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled or nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("greedy did not return promptly after cancellation")
+	}
+}
+
+// TestUncancelledBackgroundUnchanged pins the contract that threading
+// contexts through changed nothing for uncancelled runs: two solves under
+// background contexts are bit-identical.
+func TestUncancelledBackgroundUnchanged(t *testing.T) {
+	in := randInstance(rand.New(rand.NewSource(5)), 40, 3, model.Sectors)
+	a, err := SolveLocalSearch(context.Background(), in, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	b, err := SolveLocalSearch(ctx, in, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profit != b.Profit {
+		t.Fatalf("profit differs under live context: %d vs %d", a.Profit, b.Profit)
+	}
+	for j := range a.Assignment.Orientation {
+		if a.Assignment.Orientation[j] != b.Assignment.Orientation[j] {
+			t.Fatalf("orientation %d differs under live context", j)
+		}
+	}
+}

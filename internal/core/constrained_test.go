@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -82,7 +83,7 @@ func TestBestWindowConstrainedMatchesBruteForce(t *testing.T) {
 			}
 		}
 
-		got, err := bestWindowConstrained(angular.NewEngine(in), 0, active, placed, knapsack.Options{})
+		got, err := bestWindowConstrained(context.Background(), angular.NewEngine(in), 0, active, placed, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("trial %d: bestWindowConstrained: %v", trial, err)
 		}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sectorpack/internal/exact"
 	"sectorpack/internal/knapsack"
 	"sectorpack/internal/model"
 )
@@ -33,6 +34,12 @@ import (
 type Options struct {
 	// Knapsack configures the inner single-knapsack solves.
 	Knapsack knapsack.Options
+	// ExactLimits bounds the exhaustive exact solver when it is reached
+	// through the registry or SolveAuto dispatch; the zero value keeps the
+	// solver's own defaults (exact.DefaultMaxTuples etc.). Callers serving
+	// untrusted instances — the sectord daemon in particular — use it to
+	// cap the orientation-tuple budget per request.
+	ExactLimits exact.Limits
 	// Seed drives all randomized components (LP rounding); solvers are
 	// deterministic functions of (instance, Options).
 	Seed int64

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestAllSolversFeasibleOnRandomInstances(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Get(%s): %v", name, err)
 			}
-			sol, err := solver(in, Options{Seed: int64(trial)})
+			sol, err := solver(context.Background(), in, Options{Seed: int64(trial)})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -70,11 +71,11 @@ func TestGreedyAtLeastHalfOfExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(62))
 	for trial := 0; trial < 15; trial++ {
 		in := randInstance(rng, 3+rng.Intn(7), 1+rng.Intn(2), model.Sectors)
-		opt, err := exact.Solve(in, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact: %v", err)
 		}
-		g, err := SolveGreedy(in, Options{})
+		g, err := SolveGreedy(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
@@ -89,7 +90,7 @@ func TestUpperBoundDominatesExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(63))
 	for trial := 0; trial < 15; trial++ {
 		in := randInstance(rng, 3+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
-		opt, err := exact.Solve(in, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact: %v", err)
 		}
@@ -103,15 +104,15 @@ func TestLocalSearchAndLPRoundDominateGreedy(t *testing.T) {
 	rng := rand.New(rand.NewSource(64))
 	for trial := 0; trial < 15; trial++ {
 		in := randInstance(rng, 8+rng.Intn(15), 1+rng.Intn(3), model.Sectors)
-		g, err := SolveGreedy(in, Options{Seed: 1})
+		g, err := SolveGreedy(context.Background(), in, Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
-		ls, err := SolveLocalSearch(in, Options{Seed: 1})
+		ls, err := SolveLocalSearch(context.Background(), in, Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("localsearch: %v", err)
 		}
-		lr, err := SolveLPRound(in, Options{Seed: 1})
+		lr, err := SolveLPRound(context.Background(), in, Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("lpround: %v", err)
 		}
@@ -131,11 +132,11 @@ func TestSolversDeterministic(t *testing.T) {
 	in := randInstance(rng, 15, 2, model.Sectors)
 	for _, name := range []string{"greedy", "localsearch", "lpround"} {
 		solver, _ := Get(name)
-		a, err := solver(in, Options{Seed: 7})
+		a, err := solver(context.Background(), in, Options{Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		b, err := solver(in, Options{Seed: 7})
+		b, err := solver(context.Background(), in, Options{Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -164,7 +165,7 @@ func TestEmptyInstanceAllSolvers(t *testing.T) {
 	in := (&model.Instance{Variant: model.Angles}).Normalize()
 	for _, name := range []string{"greedy", "localsearch", "lpround", "unitflow"} {
 		solver, _ := Get(name)
-		sol, err := solver(in, Options{})
+		sol, err := solver(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("%s on empty: %v", name, err)
 		}
@@ -177,7 +178,7 @@ func TestEmptyInstanceAllSolvers(t *testing.T) {
 func TestGreedySkipBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(66))
 	in := randInstance(rng, 10, 2, model.Sectors)
-	sol, err := SolveGreedy(in, Options{SkipBound: true})
+	sol, err := SolveGreedy(context.Background(), in, Options{SkipBound: true})
 	if err != nil {
 		t.Fatalf("greedy: %v", err)
 	}
@@ -190,7 +191,7 @@ func TestGreedyDisjointProducesDisjointSectors(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	for trial := 0; trial < 20; trial++ {
 		in := randInstance(rng, 10+rng.Intn(15), 2+rng.Intn(3), model.DisjointAngles)
-		sol, err := SolveGreedy(in, Options{})
+		sol, err := SolveGreedy(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
@@ -203,7 +204,7 @@ func TestBaselineFeasibleAllVariants(t *testing.T) {
 	variants := []model.Variant{model.Sectors, model.Angles, model.DisjointAngles}
 	for trial := 0; trial < 15; trial++ {
 		in := randInstance(rng, 10+rng.Intn(20), 1+rng.Intn(4), variants[trial%3])
-		sol, err := SolveBaseline(in, Options{Seed: 1})
+		sol, err := SolveBaseline(context.Background(), in, Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("baseline: %v", err)
 		}
@@ -216,11 +217,11 @@ func TestGreedyUsuallyBeatsBaseline(t *testing.T) {
 	winsGreedy, winsBaseline := 0, 0
 	for trial := 0; trial < 20; trial++ {
 		in := randInstance(rng, 25, 3, model.Sectors)
-		g, err := SolveGreedy(in, Options{SkipBound: true})
+		g, err := SolveGreedy(context.Background(), in, Options{SkipBound: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := SolveBaseline(in, Options{SkipBound: true})
+		b, err := SolveBaseline(context.Background(), in, Options{SkipBound: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,9 +255,9 @@ func TestSolveAutoPicksStrategies(t *testing.T) {
 		{randInstance(rng, 40, 3, model.Sectors), "auto/localsearch"},
 	}
 	for _, c := range cases {
-		sol, err := SolveAuto(c.in, Options{Seed: 1, SkipBound: true})
+		sol, err := SolveAuto(context.Background(), c.in, Options{Seed: 1, SkipBound: true})
 		if err != nil {
-			t.Fatalf("SolveAuto(%v): %v", c.wantPrefix, err)
+			t.Fatalf("SolveAuto(context.Background(), %v): %v", c.wantPrefix, err)
 		}
 		if sol.Algorithm != c.wantPrefix {
 			t.Errorf("algorithm = %q, want %q", sol.Algorithm, c.wantPrefix)
@@ -271,11 +272,11 @@ func TestSolveAutoExactOnTiny(t *testing.T) {
 	rng := rand.New(rand.NewSource(184))
 	for trial := 0; trial < 6; trial++ {
 		in := randInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
-		auto, err := SolveAuto(in, Options{})
+		auto, err := SolveAuto(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ex, err := exact.Solve(in, exact.Limits{})
+		ex, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,7 +307,7 @@ func TestSolversRejectInvalidInstance(t *testing.T) {
 	}
 	for _, name := range []string{"greedy", "localsearch", "lpround", "anneal", "baseline", "auto", "unitflow"} {
 		solver, _ := Get(name)
-		if _, err := solver(bad, Options{}); err == nil {
+		if _, err := solver(context.Background(), bad, Options{}); err == nil {
 			t.Errorf("%s accepted an invalid instance", name)
 		}
 	}
@@ -315,7 +316,7 @@ func TestSolversRejectInvalidInstance(t *testing.T) {
 func TestLocalSearchCustomRounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(185))
 	in := randInstance(rng, 15, 2, model.Sectors)
-	sol, err := SolveLocalSearch(in, Options{LocalSearchRounds: 1, SkipBound: true})
+	sol, err := SolveLocalSearch(context.Background(), in, Options{LocalSearchRounds: 1, SkipBound: true})
 	if err != nil {
 		t.Fatalf("localsearch: %v", err)
 	}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/model"
+)
+
+// TestRegistryExactHonorsLimits is the regression test for the registry's
+// "exact" entry dropping Options on the floor: a caller-imposed tuple
+// budget must reach the solver. With MaxTuples = 1 any non-trivial
+// instance exceeds the budget, so the solve must fail with the budget
+// error instead of silently running under the 5M-tuple default.
+func TestRegistryExactHonorsLimits(t *testing.T) {
+	in := randInstance(rand.New(rand.NewSource(11)), 6, 2, model.Sectors)
+	solver, err := Get("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{}
+	opt.ExactLimits.MaxTuples = 1
+	_, err = solver(context.Background(), in, opt)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v, want tuple-budget error (limits were dropped)", err)
+	}
+	// Default limits still solve the same instance.
+	if _, err := solver(context.Background(), in, Options{}); err != nil {
+		t.Fatalf("default limits: %v", err)
+	}
+}
+
+// TestAutoInheritsExactLimits checks the dispatch path: SolveAuto routes
+// tiny instances to the exact solver and must forward Options.ExactLimits.
+func TestAutoInheritsExactLimits(t *testing.T) {
+	in := randInstance(rand.New(rand.NewSource(12)), 4, 2, model.Sectors)
+	opt := Options{}
+	opt.ExactLimits.MaxTuples = 1
+	_, err := SolveAuto(context.Background(), in, opt)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v, want tuple-budget error forwarded through auto dispatch", err)
+	}
+	sol, err := SolveAuto(context.Background(), in, Options{})
+	if err != nil {
+		t.Fatalf("default limits: %v", err)
+	}
+	if !strings.HasPrefix(sol.Algorithm, "auto/exact") {
+		t.Fatalf("algorithm %q: expected auto to dispatch to exact on a tiny instance", sol.Algorithm)
+	}
+}

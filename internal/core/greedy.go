@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,8 +25,8 @@ import (
 // to orientations whose sector keeps clear of previously placed serving
 // sectors (and the ends of placed sectors join the candidate set, so the
 // greedy can pack flush chains too).
-func SolveGreedy(in *model.Instance, opt Options) (model.Solution, error) {
-	return SolveGreedyOrdered(in, opt, nil)
+func SolveGreedy(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
+	return SolveGreedyOrdered(ctx, in, opt, nil)
 }
 
 // SolveGreedyOrdered is SolveGreedy with an explicit antenna processing
@@ -35,7 +36,11 @@ func SolveGreedy(in *model.Instance, opt Options) (model.Solution, error) {
 // All steps share one angular.Engine, so each antenna's sweep is built once
 // per solve rather than once per step, and every best-window search runs
 // with Dantzig-bound pruning.
-func SolveGreedyOrdered(in *model.Instance, opt Options, order []int) (model.Solution, error) {
+//
+// Cancellation: ctx is checked before each greedy step and inside each
+// step's candidate-window evaluation; a cancelled solve returns ctx.Err()
+// with no partial assignment.
+func SolveGreedyOrdered(ctx context.Context, in *model.Instance, opt Options, order []int) (model.Solution, error) {
 	if err := validateForSolve(in); err != nil {
 		return model.Solution{}, err
 	}
@@ -63,7 +68,10 @@ func SolveGreedyOrdered(in *model.Instance, opt Options, order []int) (model.Sol
 
 	eng := angular.NewEngine(in)
 	for _, j := range order {
-		win, err := bestWindowConstrained(eng, j, active, placed, opt.Knapsack)
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
+		win, err := bestWindowConstrained(ctx, eng, j, active, placed, opt.Knapsack)
 		if err != nil {
 			return model.Solution{}, err
 		}
@@ -94,9 +102,9 @@ func SolveGreedyOrdered(in *model.Instance, opt Options, order []int) (model.Sol
 // chains anchored at a customer angle do this systematically — are dropped
 // so the same window is never knapsack-solved twice. Evaluation shares
 // BestWindow's pruned, parallel machinery via Engine.BestWindowAt.
-func bestWindowConstrained(eng *angular.Engine, antenna int, active []bool, placed []geom.Interval, kopt knapsack.Options) (angular.Window, error) {
+func bestWindowConstrained(ctx context.Context, eng *angular.Engine, antenna int, active []bool, placed []geom.Interval, kopt knapsack.Options) (angular.Window, error) {
 	if placed == nil {
-		return eng.BestWindow(antenna, active, kopt)
+		return eng.BestWindow(ctx, antenna, active, kopt)
 	}
 	in := eng.Instance()
 	rho := in.Antennas[antenna].Rho
@@ -123,7 +131,7 @@ func bestWindowConstrained(eng *angular.Engine, antenna int, active []bool, plac
 			kept = append(kept, alpha)
 		}
 	}
-	return eng.BestWindowAt(antenna, kept, active, kopt)
+	return eng.BestWindowAt(ctx, antenna, kept, active, kopt)
 }
 
 // nearAngle reports whether alpha lies within geom.Eps of an entry of the

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sectorpack/internal/angular"
 	"sectorpack/internal/geom"
 	"sectorpack/internal/knapsack"
@@ -18,8 +20,12 @@ import (
 //     unserved pool, keeping the change when it strictly improves.
 //
 // The result is never worse than greedy.
-func SolveLocalSearch(in *model.Instance, opt Options) (model.Solution, error) {
-	sol, err := SolveGreedy(in, opt)
+//
+// Cancellation: ctx is checked before every reorientation move and every
+// polish round; a cancelled solve returns ctx.Err(), discarding the
+// partial improvement state.
+func SolveLocalSearch(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
+	sol, err := SolveGreedy(ctx, in, opt)
 	if err != nil {
 		return model.Solution{}, err
 	}
@@ -37,6 +43,9 @@ func SolveLocalSearch(in *model.Instance, opt Options) (model.Solution, error) {
 
 		// Move 2 first: reorientation tends to unlock more.
 		for j := 0; j < m; j++ {
+			if err := ctx.Err(); err != nil {
+				return model.Solution{}, err
+			}
 			cur := sol.Assignment
 			// Customers currently on j plus the unserved pool are up for
 			// grabs; everyone else stays put.
@@ -51,7 +60,7 @@ func SolveLocalSearch(in *model.Instance, opt Options) (model.Solution, error) {
 				}
 			}
 			placed := placedSectors(in, cur, j)
-			win, err := bestWindowConstrained(eng, j, active, placed, opt.Knapsack)
+			win, err := bestWindowConstrained(ctx, eng, j, active, placed, opt.Knapsack)
 			if err != nil {
 				return model.Solution{}, err
 			}
@@ -71,6 +80,9 @@ func SolveLocalSearch(in *model.Instance, opt Options) (model.Solution, error) {
 		}
 
 		// Move 1: global assignment polish at fixed orientations.
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
 		p := assignmentProblem(in, sol.Assignment)
 		start := mkp.Result{Profit: sol.Profit, Bin: make([]int, n)}
 		for i, owner := range sol.Assignment.Owner {

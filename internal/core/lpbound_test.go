@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestConfigLPBoundDominatesExact(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ConfigLPBound: %v", err)
 		}
-		opt, err := exact.Solve(in, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact: %v", err)
 		}

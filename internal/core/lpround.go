@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sectorpack/internal/knapsack"
 	"sectorpack/internal/mkp"
 	"sectorpack/internal/model"
@@ -14,8 +16,11 @@ import (
 // a better global assignment; the returned UpperBound is the instance-wide
 // bound from UpperBound (the per-orientation LP value is NOT a bound on the
 // true optimum, which may orient differently).
-func SolveLPRound(in *model.Instance, opt Options) (model.Solution, error) {
-	greedy, err := SolveGreedy(in, opt)
+// Cancellation: the greedy pass checks ctx per step; ctx is re-checked
+// before the LP relaxation and before rounding, so a cancelled solve
+// returns ctx.Err() without entering the LP machinery.
+func SolveLPRound(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
+	greedy, err := SolveGreedy(ctx, in, opt)
 	if err != nil {
 		return model.Solution{}, err
 	}
@@ -52,8 +57,14 @@ func SolveLPRound(in *model.Instance, opt Options) (model.Solution, error) {
 			p.Eligible[i][j] = covers
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return model.Solution{}, err
+	}
 	_, x, err := mkp.LPRelax(p)
 	if err != nil {
+		return model.Solution{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return model.Solution{}, err
 	}
 	rounded, err := mkp.RoundLP(p, x, opt.rng(), opt.roundTrials())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -42,11 +43,11 @@ func TestRotationInvarianceAllSolvers(t *testing.T) {
 		rot := rotate(in, delta)
 		for _, name := range solvers {
 			solver, _ := Get(name)
-			a, err := solver(in, Options{Seed: 3, SkipBound: true})
+			a, err := solver(context.Background(), in, Options{Seed: 3, SkipBound: true})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			b, err := solver(rot, Options{Seed: 3, SkipBound: true})
+			b, err := solver(context.Background(), rot, Options{Seed: 3, SkipBound: true})
 			if err != nil {
 				t.Fatalf("%s rotated: %v", name, err)
 			}
@@ -75,11 +76,11 @@ func TestRotationInvarianceExact(t *testing.T) {
 		in := randInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
 		delta := rng.Float64() * geom.TwoPi
 		solver, _ := Get("exact")
-		a, err := solver(in, Options{})
+		a, err := solver(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := solver(rotate(in, delta), Options{})
+		b, err := solver(context.Background(), rotate(in, delta), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,11 +95,11 @@ func TestReflectionInvarianceExact(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		in := randInstance(rng, 4+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
 		solver, _ := Get("exact")
-		a, err := solver(in, Options{})
+		a, err := solver(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := solver(reflect(in), Options{})
+		b, err := solver(context.Background(), reflect(in), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,11 +121,11 @@ func TestProfitScalingInvariance(t *testing.T) {
 		}
 		for _, name := range []string{"greedy", "localsearch"} {
 			solver, _ := Get(name)
-			a, err := solver(in, Options{Seed: 5, SkipBound: true})
+			a, err := solver(context.Background(), in, Options{Seed: 5, SkipBound: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := solver(scaled, Options{Seed: 5, SkipBound: true})
+			b, err := solver(context.Background(), scaled, Options{Seed: 5, SkipBound: true})
 			if err != nil {
 				t.Fatal(err)
 			}

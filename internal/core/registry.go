@@ -1,18 +1,28 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"sectorpack/internal/angular"
 	"sectorpack/internal/exact"
 	"sectorpack/internal/model"
 )
 
-// Solver is a named solving strategy.
-type Solver func(*model.Instance, Options) (model.Solution, error)
+// Solver is a named solving strategy. Every solver honors ctx: it checks
+// for cancellation at its iteration boundaries (greedy steps, local-search
+// moves, orientation tuples, anneal steps) and returns ctx.Err() promptly,
+// discarding partial work. An uncancelled run is a deterministic function
+// of (instance, Options) exactly as before contexts were threaded through.
+type Solver func(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error)
 
-// solvers maps CLI/experiment names to strategies.
+// registryMu guards solvers: the sectord daemon resolves solvers from
+// concurrent request handlers while tests may Register instrumented ones.
+var registryMu sync.RWMutex
+
+// solvers maps CLI/experiment/daemon names to strategies.
 var solvers = map[string]Solver{
 	"greedy":      SolveGreedy,
 	"localsearch": SolveLocalSearch,
@@ -21,25 +31,38 @@ var solvers = map[string]Solver{
 	"anneal":      SolveAnneal,
 	"baseline":    SolveBaseline,
 	"auto":        SolveAuto,
-	"disjoint-dp": func(in *model.Instance, opt Options) (model.Solution, error) {
-		return angular.SolveDisjoint(in, opt.Knapsack)
+	"disjoint-dp": func(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
+		return angular.SolveDisjoint(ctx, in, opt.Knapsack)
 	},
-	"exact": func(in *model.Instance, _ Options) (model.Solution, error) {
-		return exact.Solve(in, exact.Limits{})
+	"exact": func(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
+		return exact.Solve(ctx, in, opt.ExactLimits)
 	},
 }
 
 // Get returns the named solver.
 func Get(name string) (Solver, error) {
+	registryMu.RLock()
 	s, ok := solvers[name]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown solver %q (have %v)", name, Names())
 	}
 	return s, nil
 }
 
+// Register adds (or replaces) a named solver. The built-in names are
+// pre-registered; replacing one affects every subsequent Get, so outside of
+// tests callers should stick to fresh names.
+func Register(name string, s Solver) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	solvers[name] = s
+}
+
 // Names lists the registered solver names, sorted.
 func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	out := make([]string, 0, len(solvers))
 	for name := range solvers {
 		out = append(out, name)

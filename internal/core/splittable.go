@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sectorpack/internal/angular"
@@ -97,8 +98,8 @@ func splitAt(in *model.Instance, alphas []float64) (SplitSolution, error) {
 // orientations from the greedy integral pass, then the exact fractional
 // assignment LP at those orientations. Its value always dominates the
 // integral greedy (the greedy assignment is LP-feasible).
-func SolveSplittable(in *model.Instance, opt Options) (SplitSolution, error) {
-	g, err := SolveGreedy(in, opt)
+func SolveSplittable(ctx context.Context, in *model.Instance, opt Options) (SplitSolution, error) {
+	g, err := SolveGreedy(ctx, in, opt)
 	if err != nil {
 		return SplitSolution{}, err
 	}
@@ -115,7 +116,9 @@ const MaxSplittableTuples = 100_000
 // instances by enumerating candidate orientation tuples (the
 // candidate-orientation lemma holds verbatim for fractional service) and
 // solving the LP at each. Sectors/Angles variants only.
-func SolveSplittableExact(in *model.Instance) (SplitSolution, error) {
+//
+// Cancellation: ctx is checked before each tuple's LP solve.
+func SolveSplittableExact(ctx context.Context, in *model.Instance) (SplitSolution, error) {
 	if err := validateForSolve(in); err != nil {
 		return SplitSolution{}, err
 	}
@@ -143,6 +146,9 @@ func SolveSplittableExact(in *model.Instance) (SplitSolution, error) {
 	var rec func(j int) error
 	rec = func(j int) error {
 		if j == m {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			s, err := splitAt(in, alphas)
 			if err != nil {
 				return err

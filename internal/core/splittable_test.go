@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,11 +13,11 @@ func TestSplittableFeasibleAndDominatesGreedy(t *testing.T) {
 	rng := rand.New(rand.NewSource(171))
 	for trial := 0; trial < 15; trial++ {
 		in := randInstance(rng, 8+rng.Intn(20), 1+rng.Intn(3), model.Sectors)
-		g, err := SolveGreedy(in, Options{SkipBound: true})
+		g, err := SolveGreedy(context.Background(), in, Options{SkipBound: true})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
-		s, err := SolveSplittable(in, Options{SkipBound: true})
+		s, err := SolveSplittable(context.Background(), in, Options{SkipBound: true})
 		if err != nil {
 			t.Fatalf("splittable: %v", err)
 		}
@@ -33,11 +34,11 @@ func TestSplittableExactDominatesIntegralExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(172))
 	for trial := 0; trial < 10; trial++ {
 		in := randInstance(rng, 3+rng.Intn(7), 1+rng.Intn(2), model.Sectors)
-		integral, err := exact.Solve(in, exact.Limits{})
+		integral, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact: %v", err)
 		}
-		split, err := SolveSplittableExact(in)
+		split, err := SolveSplittableExact(context.Background(), in)
 		if err != nil {
 			t.Fatalf("splittable exact: %v", err)
 		}
@@ -69,11 +70,11 @@ func TestSplittableStrictGapExists(t *testing.T) {
 		Antennas: []model.Antenna{{Rho: 1, Capacity: 3}},
 	}
 	in.Normalize()
-	integral, err := exact.Solve(in, exact.Limits{})
+	integral, err := exact.Solve(context.Background(), in, exact.Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	split, err := SolveSplittableExact(in)
+	split, err := SolveSplittableExact(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,18 +88,18 @@ func TestSplittableStrictGapExists(t *testing.T) {
 
 func TestSplittableRejectsDisjoint(t *testing.T) {
 	in := randInstance(rand.New(rand.NewSource(173)), 5, 2, model.DisjointAngles)
-	if _, err := SolveSplittableExact(in); err == nil {
+	if _, err := SolveSplittableExact(context.Background(), in); err == nil {
 		t.Error("DisjointAngles must be rejected")
 	}
 }
 
 func TestSplittableEmpty(t *testing.T) {
 	in := (&model.Instance{Variant: model.Angles}).Normalize()
-	s, err := SolveSplittable(in, Options{})
+	s, err := SolveSplittable(context.Background(), in, Options{})
 	if err != nil || s.Value != 0 {
 		t.Fatalf("empty splittable: %v err=%v", s.Value, err)
 	}
-	se, err := SolveSplittableExact(in)
+	se, err := SolveSplittableExact(context.Background(), in)
 	if err != nil || se.Value != 0 {
 		t.Fatalf("empty splittable exact: %v err=%v", se.Value, err)
 	}
@@ -113,7 +114,7 @@ func TestSplitSolutionCheckRejections(t *testing.T) {
 		Antennas: []model.Antenna{{Rho: 1, Capacity: 3}},
 	}
 	in.Normalize()
-	good, err := SolveSplittableExact(in)
+	good, err := SolveSplittableExact(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

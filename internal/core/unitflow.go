@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sectorpack/internal/angular"
@@ -22,7 +23,10 @@ import (
 //
 // The instance must satisfy UnitDemand; Sectors and Angles variants only
 // (disjointness would couple the orientation choices).
-func SolveUnitFlow(in *model.Instance, opt Options) (model.Solution, error) {
+//
+// Cancellation: ctx is checked before each candidate orientation's flow
+// solve (single antenna) and at the greedy/flow phase boundary.
+func SolveUnitFlow(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
 	if err := validateForSolve(in); err != nil {
 		return model.Solution{}, err
 	}
@@ -43,6 +47,9 @@ func SolveUnitFlow(in *model.Instance, opt Options) (model.Solution, error) {
 		best := model.NewAssignment(n, m)
 		var bestProfit int64 = -1
 		for _, alpha := range angular.Candidates(in, 0) {
+			if err := ctx.Err(); err != nil {
+				return model.Solution{}, err
+			}
 			as, p, err := flowAssign(in, []float64{alpha})
 			if err != nil {
 				return model.Solution{}, err
@@ -63,8 +70,11 @@ func SolveUnitFlow(in *model.Instance, opt Options) (model.Solution, error) {
 		return sol, nil
 	}
 
-	greedy, err := SolveGreedy(in, opt)
+	greedy, err := SolveGreedy(ctx, in, opt)
 	if err != nil {
+		return model.Solution{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return model.Solution{}, err
 	}
 	as, p, err := flowAssign(in, greedy.Assignment.Orientation)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,12 +23,12 @@ func TestUnitFlowSingleAntennaExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 20; trial++ {
 		in := randUnitInstance(rng, 3+rng.Intn(8), 1, model.Sectors)
-		sol, err := SolveUnitFlow(in, Options{})
+		sol, err := SolveUnitFlow(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("unitflow: %v", err)
 		}
 		checkSolution(t, in, sol)
-		opt, err := exact.Solve(in, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact: %v", err)
 		}
@@ -41,11 +42,11 @@ func TestUnitFlowMultiAntennaDominatesGreedy(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	for trial := 0; trial < 15; trial++ {
 		in := randUnitInstance(rng, 10+rng.Intn(15), 2+rng.Intn(2), model.Sectors)
-		g, err := SolveGreedy(in, Options{})
+		g, err := SolveGreedy(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}
-		uf, err := SolveUnitFlow(in, Options{})
+		uf, err := SolveUnitFlow(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("unitflow: %v", err)
 		}
@@ -61,11 +62,11 @@ func TestUnitFlowRejections(t *testing.T) {
 	mixed := randInstance(rng, 6, 1, model.Sectors)
 	mixed.Customers[0].Demand = 99
 	mixed.Normalize()
-	if _, err := SolveUnitFlow(mixed, Options{}); err == nil {
+	if _, err := SolveUnitFlow(context.Background(), mixed, Options{}); err == nil {
 		t.Error("non-unit demands must be rejected")
 	}
 	dis := randUnitInstance(rng, 6, 2, model.DisjointAngles)
-	if _, err := SolveUnitFlow(dis, Options{}); err == nil {
+	if _, err := SolveUnitFlow(context.Background(), dis, Options{}); err == nil {
 		t.Error("DisjointAngles must be rejected")
 	}
 }
@@ -82,7 +83,7 @@ func TestUnitFlowCapacityUnits(t *testing.T) {
 		Antennas: []model.Antenna{{Rho: 1, Capacity: 5}},
 	}
 	in.Normalize()
-	sol, err := SolveUnitFlow(in, Options{})
+	sol, err := SolveUnitFlow(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatalf("unitflow: %v", err)
 	}

@@ -13,6 +13,7 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 
 	"sectorpack/internal/angular"
@@ -95,7 +96,7 @@ func feasibilityCheck(customers []model.Customer, typ AntennaType) error {
 // For unit demands with ample capacity this is the classical greedy
 // set-cover with its H_n guarantee; in general it is a heuristic. The
 // number of placements never exceeds the customer count.
-func Greedy(customers []model.Customer, typ AntennaType) (Result, error) {
+func Greedy(ctx context.Context, customers []model.Customer, typ AntennaType) (Result, error) {
 	if err := feasibilityCheck(customers, typ); err != nil {
 		return Result{}, err
 	}
@@ -117,7 +118,7 @@ func Greedy(customers []model.Customer, typ AntennaType) (Result, error) {
 		active[i] = true
 	}
 	for remaining > 0 {
-		win, err := angular.BestWindow(in, 0, active, knapsack.Options{})
+		win, err := angular.BestWindow(ctx, in, 0, active, knapsack.Options{})
 		if err != nil {
 			return Result{}, err
 		}
@@ -142,7 +143,7 @@ const MaxExactCustomers = 12
 // antennas can serve the full demand. The lower bound is
 // ⌈total demand / capacity⌉. maxK caps the search (0 means the customer
 // count).
-func Exact(customers []model.Customer, typ AntennaType, maxK int) (Result, error) {
+func Exact(ctx context.Context, customers []model.Customer, typ AntennaType, maxK int) (Result, error) {
 	if err := feasibilityCheck(customers, typ); err != nil {
 		return Result{}, err
 	}
@@ -177,7 +178,7 @@ func Exact(customers []model.Customer, typ AntennaType, maxK int) (Result, error
 			in.Antennas = append(in.Antennas, model.Antenna{Rho: typ.Rho, Range: typ.Range, Capacity: typ.Capacity})
 		}
 		in.Normalize()
-		sol, err := exact.Solve(in, exact.Limits{})
+		sol, err := exact.Solve(ctx, in, exact.Limits{})
 		if err != nil {
 			return Result{}, fmt.Errorf("cover: packing feasibility at k=%d: %w", k, err)
 		}

@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func TestGreedyCoversEverything(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		customers := randCustomers(rng, 1+rng.Intn(25), 8, 5)
 		typ := AntennaType{Rho: 0.5 + rng.Float64(), Range: 9, Capacity: 8 + rng.Int63n(20)}
-		res, err := Greedy(customers, typ)
+		res, err := Greedy(context.Background(), customers, typ)
 		if err != nil {
 			t.Fatalf("Greedy: %v", err)
 		}
@@ -46,7 +47,7 @@ func TestExactMatchesLowerBoundLogic(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		customers := randCustomers(rng, 1+rng.Intn(7), 6, 4)
 		typ := AntennaType{Rho: 1.0 + rng.Float64(), Range: 7, Capacity: 6 + rng.Int63n(10)}
-		res, err := Exact(customers, typ, 0)
+		res, err := Exact(context.Background(), customers, typ, 0)
 		if err != nil {
 			t.Fatalf("Exact: %v", err)
 		}
@@ -54,7 +55,7 @@ func TestExactMatchesLowerBoundLogic(t *testing.T) {
 			t.Fatalf("invalid exact cover: %v", err)
 		}
 		// Optimality: greedy can never beat it.
-		g, err := Greedy(customers, typ)
+		g, err := Greedy(context.Background(), customers, typ)
 		if err != nil {
 			t.Fatalf("Greedy: %v", err)
 		}
@@ -73,7 +74,7 @@ func TestExactMinimality(t *testing.T) {
 		{ID: 3, Theta: 3.3, R: 1, Demand: 1, Profit: 1},
 	}
 	typ := AntennaType{Rho: 0.5, Range: 2, Capacity: 10}
-	res, err := Exact(customers, typ, 0)
+	res, err := Exact(context.Background(), customers, typ, 0)
 	if err != nil {
 		t.Fatalf("Exact: %v", err)
 	}
@@ -91,14 +92,14 @@ func TestCapacityForcesSplit(t *testing.T) {
 		{ID: 2, Theta: 0.2, R: 1, Demand: 3, Profit: 3},
 	}
 	typ := AntennaType{Rho: 1, Range: 2, Capacity: 3}
-	res, err := Exact(customers, typ, 0)
+	res, err := Exact(context.Background(), customers, typ, 0)
 	if err != nil {
 		t.Fatalf("Exact: %v", err)
 	}
 	if res.K() != 3 {
 		t.Fatalf("K = %d, want 3 (capacity bound)", res.K())
 	}
-	g, err := Greedy(customers, typ)
+	g, err := Greedy(context.Background(), customers, typ)
 	if err != nil {
 		t.Fatalf("Greedy: %v", err)
 	}
@@ -110,11 +111,11 @@ func TestCapacityForcesSplit(t *testing.T) {
 func TestInfeasibleInputs(t *testing.T) {
 	farAway := []model.Customer{{ID: 0, Theta: 1, R: 100, Demand: 1, Profit: 1}}
 	typ := AntennaType{Rho: 1, Range: 5, Capacity: 10}
-	if _, err := Greedy(farAway, typ); err == nil || !strings.Contains(err.Error(), "range") {
+	if _, err := Greedy(context.Background(), farAway, typ); err == nil || !strings.Contains(err.Error(), "range") {
 		t.Errorf("out-of-range customer must fail, got %v", err)
 	}
 	tooBig := []model.Customer{{ID: 0, Theta: 1, R: 1, Demand: 99, Profit: 99}}
-	if _, err := Exact(tooBig, typ, 0); err == nil || !strings.Contains(err.Error(), "capacity") {
+	if _, err := Exact(context.Background(), tooBig, typ, 0); err == nil || !strings.Contains(err.Error(), "capacity") {
 		t.Errorf("oversized demand must fail, got %v", err)
 	}
 }
@@ -123,22 +124,22 @@ func TestExactGuards(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	many := randCustomers(rng, MaxExactCustomers+1, 5, 3)
 	typ := AntennaType{Rho: 1, Range: 6, Capacity: 100}
-	if _, err := Exact(many, typ, 0); err == nil {
+	if _, err := Exact(context.Background(), many, typ, 0); err == nil {
 		t.Error("oversized Exact input must be rejected")
 	}
 	few := randCustomers(rng, 4, 5, 3)
-	if _, err := Exact(few, typ, -1); err != nil {
+	if _, err := Exact(context.Background(), few, typ, -1); err != nil {
 		t.Errorf("maxK<=0 should default: %v", err)
 	}
 }
 
 func TestEmptyCover(t *testing.T) {
 	typ := AntennaType{Rho: 1, Range: 5, Capacity: 10}
-	g, err := Greedy(nil, typ)
+	g, err := Greedy(context.Background(), nil, typ)
 	if err != nil || g.K() != 0 {
 		t.Fatalf("empty greedy: %v, %v", g, err)
 	}
-	e, err := Exact(nil, typ, 0)
+	e, err := Exact(context.Background(), nil, typ, 0)
 	if err != nil || e.K() != 0 {
 		t.Fatalf("empty exact: %v, %v", e, err)
 	}
@@ -150,7 +151,7 @@ func TestUnboundedRangeCover(t *testing.T) {
 		{ID: 1, Theta: 0.6, R: 2, Demand: 1, Profit: 1},
 	}
 	typ := AntennaType{Rho: 1, Range: 0, Capacity: 5} // unbounded
-	res, err := Greedy(customers, typ)
+	res, err := Greedy(context.Background(), customers, typ)
 	if err != nil {
 		t.Fatalf("Greedy: %v", err)
 	}

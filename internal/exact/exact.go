@@ -13,6 +13,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -40,13 +41,17 @@ const DefaultMaxTuples = 5_000_000
 // Solve computes the optimal solution of the instance, or an error when a
 // budget or size guard trips. The returned Solution carries
 // Algorithm = "exact" and UpperBound equal to its own profit.
-func Solve(in *model.Instance, lim Limits) (model.Solution, error) {
-	return solve(in, lim, nil)
+//
+// Cancellation: ctx is checked before every orientation tuple's MKP solve;
+// a cancelled search discards all partial work and returns ctx.Err()
+// promptly rather than finishing the sweep.
+func Solve(ctx context.Context, in *model.Instance, lim Limits) (model.Solution, error) {
+	return solve(ctx, in, lim, nil)
 }
 
 // solve is Solve with an optional restriction of the first antenna's
 // candidate set (used by SolveParallel to partition the search).
-func solve(in *model.Instance, lim Limits, firstOverride []float64) (model.Solution, error) {
+func solve(ctx context.Context, in *model.Instance, lim Limits, firstOverride []float64) (model.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return model.Solution{}, fmt.Errorf("exact: %w", err)
 	}
@@ -99,6 +104,9 @@ func solve(in *model.Instance, lim Limits, firstOverride []float64) (model.Solut
 	var rec func(j int) error
 	rec = func(j int) error {
 		if j == m {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if in.Variant == model.DisjointAngles && !disjointOK(in, alphas) {
 				return nil
 			}

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -103,7 +104,7 @@ func TestSolveMatchesBruteOracleSectors(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	for trial := 0; trial < 20; trial++ {
 		in := randInstance(rng, 1+rng.Intn(6), 1+rng.Intn(2), model.Sectors)
-		sol, err := Solve(in, Limits{})
+		sol, err := Solve(context.Background(), in, Limits{})
 		if err != nil {
 			t.Fatalf("Solve: %v", err)
 		}
@@ -124,11 +125,11 @@ func TestSolveMatchesBestWindowSingleAntenna(t *testing.T) {
 	rng := rand.New(rand.NewSource(52))
 	for trial := 0; trial < 30; trial++ {
 		in := randInstance(rng, 1+rng.Intn(10), 1, model.Sectors)
-		sol, err := Solve(in, Limits{})
+		sol, err := Solve(context.Background(), in, Limits{})
 		if err != nil {
 			t.Fatalf("Solve: %v", err)
 		}
-		win, err := angular.BestWindow(in, 0, nil, knapsack.Options{})
+		win, err := angular.BestWindow(context.Background(), in, 0, nil, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("BestWindow: %v", err)
 		}
@@ -164,14 +165,14 @@ func TestSolveMatchesDisjointDP(t *testing.T) {
 			})
 		}
 		in.Normalize()
-		sol, err := Solve(in, Limits{})
+		sol, err := Solve(context.Background(), in, Limits{})
 		if err != nil {
 			t.Fatalf("Solve: %v", err)
 		}
 		if err := sol.Assignment.Check(in); err != nil {
 			t.Fatalf("infeasible: %v", err)
 		}
-		dp, err := angular.SolveDisjoint(in, knapsack.Options{})
+		dp, err := angular.SolveDisjoint(context.Background(), in, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("SolveDisjoint: %v", err)
 		}
@@ -184,23 +185,23 @@ func TestSolveMatchesDisjointDP(t *testing.T) {
 func TestSolveGuards(t *testing.T) {
 	rng := rand.New(rand.NewSource(54))
 	big := randInstance(rng, 25, 1, model.Sectors) // > mkp.MaxExactItems
-	if _, err := Solve(big, Limits{}); err == nil {
+	if _, err := Solve(context.Background(), big, Limits{}); err == nil {
 		t.Error("oversized customer count must be rejected")
 	}
 	in := randInstance(rng, 10, 3, model.Sectors)
-	if _, err := Solve(in, Limits{MaxTuples: 5}); err == nil {
+	if _, err := Solve(context.Background(), in, Limits{MaxTuples: 5}); err == nil {
 		t.Error("tuple budget must be enforced")
 	}
 }
 
 func TestSolveEmpty(t *testing.T) {
 	in := (&model.Instance{Variant: model.Sectors}).Normalize()
-	sol, err := Solve(in, Limits{})
+	sol, err := Solve(context.Background(), in, Limits{})
 	if err != nil || sol.Profit != 0 {
 		t.Fatalf("empty: %d, %v", sol.Profit, err)
 	}
 	onlyAnt := (&model.Instance{Variant: model.Sectors, Antennas: []model.Antenna{{Rho: 1, Range: 5, Capacity: 3}}}).Normalize()
-	sol, err = Solve(onlyAnt, Limits{})
+	sol, err = Solve(context.Background(), onlyAnt, Limits{})
 	if err != nil || sol.Profit != 0 {
 		t.Fatalf("no customers: %d, %v", sol.Profit, err)
 	}
@@ -230,11 +231,11 @@ func TestSolveParallelMatchesSequential(t *testing.T) {
 			variant = model.Angles
 		}
 		in := randInstance(rng, 3+rng.Intn(8), 1+rng.Intn(2), variant)
-		seq, err := Solve(in, Limits{})
+		seq, err := Solve(context.Background(), in, Limits{})
 		if err != nil {
 			t.Fatalf("Solve: %v", err)
 		}
-		par, err := SolveParallel(in, Limits{}, 4)
+		par, err := SolveParallel(context.Background(), in, Limits{}, 4)
 		if err != nil {
 			t.Fatalf("SolveParallel: %v", err)
 		}
@@ -250,11 +251,11 @@ func TestSolveParallelMatchesSequential(t *testing.T) {
 func TestSolveParallelSingleAntenna(t *testing.T) {
 	rng := rand.New(rand.NewSource(56))
 	in := randInstance(rng, 8, 1, model.Sectors)
-	seq, err := Solve(in, Limits{})
+	seq, err := Solve(context.Background(), in, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := SolveParallel(in, Limits{}, 2)
+	par, err := SolveParallel(context.Background(), in, Limits{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

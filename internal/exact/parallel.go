@@ -13,25 +13,30 @@ import (
 // identical to Solve — ties between equal-profit tuples are broken by the
 // first antenna's candidate order, which the deterministic merge below
 // preserves. workers <= 0 means GOMAXPROCS.
-func SolveParallel(in *model.Instance, lim Limits, workers int) (model.Solution, error) {
+//
+// The caller's ctx governs the whole pool: cancelling it stops every
+// worker at its next tuple boundary and the first ctx.Err() surfaces
+// (wrapped by the sweep, so errors.Is still matches context.Canceled /
+// context.DeadlineExceeded). Partial results are discarded.
+func SolveParallel(ctx context.Context, in *model.Instance, lim Limits, workers int) (model.Solution, error) {
 	if err := in.Validate(); err != nil {
 		return model.Solution{}, fmt.Errorf("exact: %w", err)
 	}
 	if in.M() < 2 || in.N() == 0 {
 		// Nothing to partition: a single antenna's sweep is already the
 		// whole search.
-		return Solve(in, lim)
+		return Solve(ctx, in, lim)
 	}
 	cands := candidateSets(in)
 	first := cands[0]
 	jobs := make([]sweep.Job[model.Solution], len(first))
 	for k := range first {
 		alpha := first[k]
-		jobs[k] = func(context.Context) (model.Solution, error) {
-			return solve(in, lim, []float64{alpha})
+		jobs[k] = func(jctx context.Context) (model.Solution, error) {
+			return solve(jctx, in, lim, []float64{alpha})
 		}
 	}
-	results, err := sweep.Run(context.Background(), jobs, sweep.Options{Workers: workers})
+	results, err := sweep.Run(ctx, jobs, sweep.Options{Workers: workers})
 	if err != nil {
 		return model.Solution{}, err
 	}

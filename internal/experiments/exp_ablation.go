@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sectorpack/internal/angular"
@@ -74,7 +75,7 @@ func runE11(opt Options) (Report, error) {
 		if err != nil {
 			return pair{}, err
 		}
-		win, err := angular.BestWindow(in, 0, nil, knapsack.Options{})
+		win, err := angular.BestWindow(context.Background(), in, 0, nil, knapsack.Options{})
 		if err != nil {
 			return pair{}, err
 		}
@@ -145,7 +146,7 @@ func runE12(opt Options) (Report, error) {
 		if err != nil {
 			return pair{}, err
 		}
-		ascSol, err := core.SolveGreedyOrdered(in, core.Options{SkipBound: true}, []int{0, 1, 2})
+		ascSol, err := core.SolveGreedyOrdered(context.Background(), in, core.Options{SkipBound: true}, []int{0, 1, 2})
 		if err != nil {
 			return pair{}, err
 		}

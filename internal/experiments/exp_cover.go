@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"sectorpack/internal/cover"
@@ -48,14 +49,14 @@ func runE13(opt Options) (Report, error) {
 				customers[i].Profit = customers[i].Demand
 			}
 			typ := cover.AntennaType{Rho: 1.2, Range: 7, Capacity: 12}
-			g, err := cover.Greedy(customers, typ)
+			g, err := cover.Greedy(context.Background(), customers, typ)
 			if err != nil {
 				return pair{}, err
 			}
 			if err := cover.Check(customers, typ, g); err != nil {
 				return pair{}, err
 			}
-			e, err := cover.Exact(customers, typ, 0)
+			e, err := cover.Exact(context.Background(), customers, typ, 0)
 			if err != nil {
 				return pair{}, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sectorpack/internal/angular"
 	"sectorpack/internal/core"
 	"sectorpack/internal/fair"
@@ -54,7 +55,7 @@ func runE18(opt Options) (Report, error) {
 			for i := range active {
 				active[i] = classes[i] == j%numClasses
 			}
-			win, err := angular.BestWindow(in, j, active, knapsack.Options{})
+			win, err := angular.BestWindow(context.Background(), in, j, active, knapsack.Options{})
 			if err != nil {
 				return out{}, err
 			}
@@ -65,7 +66,7 @@ func runE18(opt Options) (Report, error) {
 			return out{}, err
 		}
 		// Efficiency reference: the splittable LP at the same orientations.
-		eff, err := core.SolveSplittable(in, core.Options{SkipBound: true})
+		eff, err := core.SolveSplittable(context.Background(), in, core.Options{SkipBound: true})
 		if err != nil {
 			return out{}, err
 		}

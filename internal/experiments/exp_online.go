@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"sectorpack/internal/core"
@@ -48,13 +49,13 @@ func runE15(opt Options) (Report, error) {
 			if err != nil {
 				return 0, err
 			}
-			offline, err := core.SolveGreedy(in, core.Options{SkipBound: true})
+			offline, err := core.SolveGreedy(context.Background(), in, core.Options{SkipBound: true})
 			if err != nil {
 				return 0, err
 			}
 			orientations := online.OrientUniform(in)
 			if s.sample {
-				orientations, err = online.OrientFromSample(in, 0.3, cfg.Seed+1)
+				orientations, err = online.OrientFromSample(context.Background(), in, 0.3, cfg.Seed+1)
 				if err != nil {
 					return 0, err
 				}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sectorpack/internal/core"
 	"sectorpack/internal/gen"
 	"sectorpack/internal/model"
@@ -51,7 +52,7 @@ func runE17(opt Options) (Report, error) {
 			if err != nil {
 				return 0, err
 			}
-			split, err := core.SolveSplittableExact(in)
+			split, err := core.SolveSplittableExact(context.Background(), in)
 			if err != nil {
 				return 0, err
 			}

@@ -123,13 +123,15 @@ type solveOutcome struct {
 }
 
 // runSolver times one solver on one instance and verifies feasibility.
+// Experiments are batch workloads with no deadline, so the solve runs
+// under context.Background().
 func runSolver(name string, in *model.Instance, opt core.Options) (solveOutcome, error) {
 	solver, err := core.Get(name)
 	if err != nil {
 		return solveOutcome{}, err
 	}
 	start := time.Now()
-	sol, err := solver(in, opt)
+	sol, err := solver(context.Background(), in, opt)
 	elapsed := time.Since(start)
 	if err != nil {
 		return solveOutcome{}, fmt.Errorf("%s on %s: %w", name, in.Name, err)

@@ -18,6 +18,7 @@
 package fair
 
 import (
+	"context"
 	"fmt"
 
 	"sectorpack/internal/core"
@@ -44,11 +45,11 @@ type Solution struct {
 // not the floor — when orientation choice matters for fairness, pick
 // orientations explicitly and call SolveAt (e.g. one antenna aimed at
 // each class's best window).
-func Solve(in *model.Instance, classes []int, opt core.Options) (Solution, error) {
+func Solve(ctx context.Context, in *model.Instance, classes []int, opt core.Options) (Solution, error) {
 	if err := in.Validate(); err != nil {
 		return Solution{}, fmt.Errorf("fair: %w", err)
 	}
-	greedy, err := core.SolveGreedy(in, opt)
+	greedy, err := core.SolveGreedy(ctx, in, opt)
 	if err != nil {
 		return Solution{}, err
 	}

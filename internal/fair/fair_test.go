@@ -1,6 +1,7 @@
 package fair
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func TestFairFeasibleAndFloorsHold(t *testing.T) {
 		for i := range classes {
 			classes[i] = i % 3
 		}
-		sol, err := Solve(in, classes, core.Options{SkipBound: true})
+		sol, err := Solve(context.Background(), in, classes, core.Options{SkipBound: true})
 		if err != nil {
 			t.Fatalf("Solve: %v", err)
 		}
@@ -83,7 +84,7 @@ func TestFairnessRaisesTheFloorVsEfficiency(t *testing.T) {
 	}
 	in.Normalize()
 	classes := []int{0, 0, 1}
-	sol, err := Solve(in, classes, core.Options{SkipBound: true})
+	sol, err := Solve(context.Background(), in, classes, core.Options{SkipBound: true})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -107,7 +108,7 @@ func TestFairSymmetricClassesEqualFractions(t *testing.T) {
 	}
 	in.Normalize()
 	classes := []int{0, 1}
-	sol, err := Solve(in, classes, core.Options{SkipBound: true})
+	sol, err := Solve(context.Background(), in, classes, core.Options{SkipBound: true})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -126,14 +127,14 @@ func TestFairNilClassesIsEfficiency(t *testing.T) {
 		Family: gen.Uniform, Variant: model.Sectors,
 		Seed: rng.Int63(), N: 15, M: 2,
 	})
-	sol, err := Solve(in, nil, core.Options{SkipBound: true})
+	sol, err := Solve(context.Background(), in, nil, core.Options{SkipBound: true})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
 	checkFrac(t, in, sol)
 	// With a single class, step 2's value equals the splittable LP value
 	// at the same orientations.
-	split, err := core.SolveSplittable(in, core.Options{SkipBound: true})
+	split, err := core.SolveSplittable(context.Background(), in, core.Options{SkipBound: true})
 	if err != nil {
 		t.Fatalf("splittable: %v", err)
 	}
@@ -146,10 +147,10 @@ func TestFairErrors(t *testing.T) {
 	in := gen.MustGenerate(gen.Config{
 		Family: gen.Uniform, Variant: model.Sectors, Seed: 1, N: 5, M: 1,
 	})
-	if _, err := Solve(in, []int{0, 1}, core.Options{}); err == nil {
+	if _, err := Solve(context.Background(), in, []int{0, 1}, core.Options{}); err == nil {
 		t.Error("wrong class label count must error")
 	}
-	if _, err := Solve(in, []int{0, 0, 0, 0, -1}, core.Options{}); err == nil {
+	if _, err := Solve(context.Background(), in, []int{0, 0, 0, 0, -1}, core.Options{}); err == nil {
 		t.Error("negative class must error")
 	}
 	_ = geom.TwoPi
@@ -157,7 +158,7 @@ func TestFairErrors(t *testing.T) {
 
 func TestFairEmpty(t *testing.T) {
 	in := (&model.Instance{Variant: model.Angles}).Normalize()
-	sol, err := Solve(in, nil, core.Options{})
+	sol, err := Solve(context.Background(), in, nil, core.Options{})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSaveFileAtomicOnEncodeFailure is the regression test for the torn-
+// write bug: a SaveFile whose serialization fails mid-stream must leave
+// the destination untouched and no temp litter behind. A NaN angle makes
+// the JSON encoder fail after the file is already open.
+func TestSaveFileAtomicOnEncodeFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	good := testInstance()
+	if err := SaveFile(path, good); err != nil {
+		t.Fatalf("initial SaveFile: %v", err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := good.Clone()
+	bad.Customers[0].Theta = math.NaN() // unmarshalable: encoder must fail
+	if err := SaveFile(path, bad); err == nil {
+		t.Fatal("SaveFile of an unencodable instance must fail")
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("destination vanished after failed save: %v", err)
+	}
+	if string(after) != string(before) {
+		t.Error("failed save corrupted the destination file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "inst.json" {
+			t.Errorf("failed save left stray file %q", e.Name())
+		}
+	}
+	// The destination must still load.
+	if _, err := LoadFile(path); err != nil {
+		t.Errorf("destination unreadable after failed save: %v", err)
+	}
+}
+
+// TestSaveFileOverwrites checks the success path over an existing file:
+// the rename replaces the old content completely.
+func TestSaveFileOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	a := testInstance()
+	if err := SaveFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	b.Name = "second-version"
+	if err := SaveFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "second-version" {
+		t.Errorf("loaded name %q, want the overwritten content", got.Name)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after two saves, want 1", len(entries))
+	}
+}
+
+// TestSaveFileBadDirectory checks the error path before any temp file is
+// created.
+func TestSaveFileBadDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "inst.json")
+	if err := SaveFile(path, testInstance()); err == nil {
+		t.Error("SaveFile into a missing directory must fail")
+	}
+}

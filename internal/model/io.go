@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // instanceJSON is the wire form: Range uses 0 to encode "unbounded" so the
@@ -50,17 +51,40 @@ func ReadJSON(r io.Reader) (*Instance, error) {
 	return env.Instance, nil
 }
 
-// SaveFile writes the instance to path.
+// SaveFile writes the instance to path atomically: the JSON is written to
+// a temporary file in the same directory, fsynced, and renamed over the
+// destination. A crash, a full disk, or an encoding error mid-write can
+// therefore never leave a torn, unparseable file at path — the destination
+// either keeps its previous content or holds the complete new instance.
 func SaveFile(path string, in *Instance) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := WriteJSON(f, in); err != nil {
+	tmp := f.Name()
+	// Any failure from here on removes the temp file so no partial write
+	// survives.
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := WriteJSON(f, in); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads an instance from path.

@@ -29,9 +29,15 @@ type Customer struct {
 func (c Customer) Pos() geom.Polar { return geom.Polar{Theta: c.Theta, R: c.R} }
 
 // Antenna is a directional antenna the solver may orient freely.
+//
+// A zero angular width (Rho == 0) is legal and means a degenerate ray: the
+// antenna serves only customers exactly aligned with its orientation
+// (within geom.Eps tolerance, like every other containment test). All
+// registered solvers honor this semantics — in the DisjointAngles variant a
+// ray's empty-interior sector is exempt from disjointness.
 type Antenna struct {
 	ID       int     `json:"id"`
-	Rho      float64 `json:"rho"`      // angular width, radians in [0, 2π]
+	Rho      float64 `json:"rho"`      // angular width, radians in [0, 2π]; 0 = degenerate ray
 	Range    float64 `json:"range"`    // radial reach; +Inf (encoded as <= 0) means unbounded
 	Capacity int64   `json:"capacity"` // total demand it can serve
 	// MinRange is the near-field exclusion radius (annulus-sector

@@ -15,6 +15,7 @@
 package multistation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -170,7 +171,7 @@ func (as *Assignment) Check(in *Instance) error {
 
 // SolveGreedy runs the successive best-window greedy over all
 // (station, antenna) pairs in decreasing capacity order.
-func SolveGreedy(in *Instance, kopt knapsack.Options) (*Assignment, int64, error) {
+func SolveGreedy(ctx context.Context, in *Instance, kopt knapsack.Options) (*Assignment, int64, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -209,7 +210,7 @@ func SolveGreedy(in *Instance, kopt knapsack.Options) (*Assignment, int64, error
 		for v, i := range keep {
 			viewActive[v] = active[i]
 		}
-		win, err := angular.BestWindow(view, pr.j, viewActive, kopt)
+		win, err := angular.BestWindow(ctx, view, pr.j, viewActive, kopt)
 		if err != nil {
 			return nil, 0, err
 		}

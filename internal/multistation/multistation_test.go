@@ -1,6 +1,7 @@
 package multistation
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestGreedyFeasibleOnRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(141))
 	for trial := 0; trial < 15; trial++ {
 		in := randMulti(rng, 10+rng.Intn(30), 1+rng.Intn(3), 1+rng.Intn(2), 20)
-		as, profit, err := SolveGreedy(in, knapsack.Options{})
+		as, profit, err := SolveGreedy(context.Background(), in, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("SolveGreedy: %v", err)
 		}
@@ -76,11 +77,11 @@ func TestSingleStationMatchesCore(t *testing.T) {
 		}
 		single.Normalize()
 		multi.Normalize()
-		want, err := core.SolveGreedy(single, core.Options{SkipBound: true})
+		want, err := core.SolveGreedy(context.Background(), single, core.Options{SkipBound: true})
 		if err != nil {
 			t.Fatalf("core greedy: %v", err)
 		}
-		_, got, err := SolveGreedy(multi, knapsack.Options{})
+		_, got, err := SolveGreedy(context.Background(), multi, knapsack.Options{})
 		if err != nil {
 			t.Fatalf("multi greedy: %v", err)
 		}
@@ -122,15 +123,15 @@ func TestFarApartStationsDecompose(t *testing.T) {
 	merged.Customers = append(merged.Customers, mB.Customers...)
 	merged.Normalize()
 
-	_, got, err := SolveGreedy(merged, knapsack.Options{})
+	_, got, err := SolveGreedy(context.Background(), merged, knapsack.Options{})
 	if err != nil {
 		t.Fatalf("merged: %v", err)
 	}
-	pa, err := core.SolveGreedy(sA, core.Options{SkipBound: true})
+	pa, err := core.SolveGreedy(context.Background(), sA, core.Options{SkipBound: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pb, err := core.SolveGreedy(sB, core.Options{SkipBound: true})
+	pb, err := core.SolveGreedy(context.Background(), sB, core.Options{SkipBound: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestValidateAndCheckErrors(t *testing.T) {
 	}
 	in.Customers[0].Demand = 2
 	in.Normalize()
-	as, _, err := SolveGreedy(in, knapsack.Options{})
+	as, _, err := SolveGreedy(context.Background(), in, knapsack.Options{})
 	if err != nil {
 		t.Fatalf("SolveGreedy: %v", err)
 	}

@@ -15,6 +15,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -160,7 +161,7 @@ func OrientUniform(in *model.Instance) []float64 {
 // random sample of the customers (a demand forecast): the layout the
 // operator would deploy given historical data. frac is the sample
 // fraction in (0, 1]; the sample is drawn with the given seed.
-func OrientFromSample(in *model.Instance, frac float64, seed int64) ([]float64, error) {
+func OrientFromSample(ctx context.Context, in *model.Instance, frac float64, seed int64) ([]float64, error) {
 	if frac <= 0 || frac > 1 {
 		return nil, fmt.Errorf("online: sample fraction %v outside (0, 1]", frac)
 	}
@@ -181,7 +182,7 @@ func OrientFromSample(in *model.Instance, frac float64, seed int64) ([]float64, 
 	}
 	sample.Antennas = append(sample.Antennas, in.Antennas...)
 	sample.Normalize()
-	sol, err := core.SolveGreedy(sample, core.Options{SkipBound: true})
+	sol, err := core.SolveGreedy(ctx, sample, core.Options{SkipBound: true})
 	if err != nil {
 		return nil, err
 	}

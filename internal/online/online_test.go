@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -133,14 +134,14 @@ func TestOrientUniformSpacing(t *testing.T) {
 func TestOrientFromSample(t *testing.T) {
 	rng := rand.New(rand.NewSource(124))
 	in := onlineInstance(rng, 40, 3)
-	or, err := OrientFromSample(in, 0.5, 7)
+	or, err := OrientFromSample(context.Background(), in, 0.5, 7)
 	if err != nil {
 		t.Fatalf("OrientFromSample: %v", err)
 	}
 	if len(or) != in.M() {
 		t.Fatalf("orientation count %d", len(or))
 	}
-	or2, err := OrientFromSample(in, 0.5, 7)
+	or2, err := OrientFromSample(context.Background(), in, 0.5, 7)
 	if err != nil {
 		t.Fatalf("OrientFromSample: %v", err)
 	}
@@ -149,10 +150,10 @@ func TestOrientFromSample(t *testing.T) {
 			t.Fatal("sampling must be deterministic in the seed")
 		}
 	}
-	if _, err := OrientFromSample(in, 0, 1); err == nil {
+	if _, err := OrientFromSample(context.Background(), in, 0, 1); err == nil {
 		t.Error("zero fraction must error")
 	}
-	if _, err := OrientFromSample(in, 1.5, 1); err == nil {
+	if _, err := OrientFromSample(context.Background(), in, 1.5, 1); err == nil {
 		t.Error("fraction above 1 must error")
 	}
 }
@@ -173,7 +174,7 @@ func TestSampleOrientationHelps(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		orient, err := OrientFromSample(in, 0.3, rng.Int63())
+		orient, err := OrientFromSample(context.Background(), in, 0.3, rng.Int63())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,7 +199,7 @@ func TestOnlineNeverBeatsOfflineExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(126))
 	for trial := 0; trial < 10; trial++ {
 		in := onlineInstance(rng, 8, 2)
-		sol, err := core.SolveGreedy(in, core.Options{SkipBound: true})
+		sol, err := core.SolveGreedy(context.Background(), in, core.Options{SkipBound: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestApplyPreservesOptimum(t *testing.T) {
 	rng := rand.New(rand.NewSource(151))
 	for trial := 0; trial < 15; trial++ {
 		in := randInstance(rng, 3+rng.Intn(7), 1+rng.Intn(2))
-		before, err := exact.Solve(in, exact.Limits{})
+		before, err := exact.Solve(context.Background(), in, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact before: %v", err)
 		}
@@ -40,7 +41,7 @@ func TestApplyPreservesOptimum(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Apply: %v", err)
 		}
-		after, err := exact.Solve(r.Reduced, exact.Limits{})
+		after, err := exact.Solve(context.Background(), r.Reduced, exact.Limits{})
 		if err != nil {
 			t.Fatalf("exact after: %v", err)
 		}
@@ -156,7 +157,7 @@ func TestReducedSolveMatchesThroughGreedy(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Apply: %v", err)
 		}
-		sol, err := core.SolveGreedy(r.Reduced, core.Options{SkipBound: true})
+		sol, err := core.SolveGreedy(context.Background(), r.Reduced, core.Options{SkipBound: true})
 		if err != nil {
 			t.Fatalf("greedy: %v", err)
 		}

@@ -16,13 +16,15 @@
 //	    Family: sectorpack.Uniform, Seed: 1, N: 200, M: 4,
 //	    Variant: sectorpack.Sectors,
 //	})
-//	sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+//	sol, err := sectorpack.SolveGreedy(context.Background(), in, sectorpack.Options{})
 //
 // See DESIGN.md for the algorithm inventory and EXPERIMENTS.md for the
 // reproduction results.
 package sectorpack
 
 import (
+	"context"
+
 	"sectorpack/internal/angular"
 	"sectorpack/internal/core"
 	"sectorpack/internal/exact"
@@ -82,44 +84,54 @@ const Unassigned = model.Unassigned
 
 // SolveGreedy runs the successive best-window heuristic (the workhorse
 // approximation; see internal/core.SolveGreedy).
-func SolveGreedy(in *Instance, opt Options) (Solution, error) { return core.SolveGreedy(in, opt) }
+func SolveGreedy(ctx context.Context, in *Instance, opt Options) (Solution, error) {
+	return core.SolveGreedy(ctx, in, opt)
+}
 
 // SolveLocalSearch runs greedy plus reassignment/reorientation polish.
-func SolveLocalSearch(in *Instance, opt Options) (Solution, error) {
-	return core.SolveLocalSearch(in, opt)
+func SolveLocalSearch(ctx context.Context, in *Instance, opt Options) (Solution, error) {
+	return core.SolveLocalSearch(ctx, in, opt)
 }
 
 // SolveLPRound runs greedy, then LP rounding of the assignment at the
 // greedy orientations.
-func SolveLPRound(in *Instance, opt Options) (Solution, error) { return core.SolveLPRound(in, opt) }
+func SolveLPRound(ctx context.Context, in *Instance, opt Options) (Solution, error) {
+	return core.SolveLPRound(ctx, in, opt)
+}
 
 // SolveUnitFlow solves unit-demand instances by max-flow b-matching; exact
 // for a single antenna.
-func SolveUnitFlow(in *Instance, opt Options) (Solution, error) { return core.SolveUnitFlow(in, opt) }
+func SolveUnitFlow(ctx context.Context, in *Instance, opt Options) (Solution, error) {
+	return core.SolveUnitFlow(ctx, in, opt)
+}
 
 // SolveDisjointDP solves the DisjointAngles variant exactly by the
 // chain dynamic program (small antenna counts).
-func SolveDisjointDP(in *Instance, opt Options) (Solution, error) {
-	return angular.SolveDisjoint(in, opt.Knapsack)
+func SolveDisjointDP(ctx context.Context, in *Instance, opt Options) (Solution, error) {
+	return angular.SolveDisjoint(ctx, in, opt.Knapsack)
 }
 
 // SolveAuto picks the strongest affordable solver for the instance (exact
 // methods on small inputs, specialized solvers where they apply, greedy +
 // local search otherwise); the chosen strategy is reported in
 // Solution.Algorithm.
-func SolveAuto(in *Instance, opt Options) (Solution, error) { return core.SolveAuto(in, opt) }
+func SolveAuto(ctx context.Context, in *Instance, opt Options) (Solution, error) {
+	return core.SolveAuto(ctx, in, opt)
+}
 
 // SolveExact computes the optimum of a small instance by exhaustive
 // candidate-orientation enumeration; use only for calibration.
-func SolveExact(in *Instance) (Solution, error) { return exact.Solve(in, exact.Limits{}) }
+func SolveExact(ctx context.Context, in *Instance) (Solution, error) {
+	return exact.Solve(ctx, in, exact.Limits{})
+}
 
 // Solve dispatches to a registered solver by name; see SolverNames.
-func Solve(name string, in *Instance, opt Options) (Solution, error) {
+func Solve(ctx context.Context, name string, in *Instance, opt Options) (Solution, error) {
 	s, err := core.Get(name)
 	if err != nil {
 		return Solution{}, err
 	}
-	return s(in, opt)
+	return s(ctx, in, opt)
 }
 
 // SolverNames lists the registered solver names.

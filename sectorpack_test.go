@@ -1,6 +1,7 @@
 package sectorpack_test
 
 import (
+	"context"
 	"testing"
 
 	"sectorpack"
@@ -15,7 +16,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err := in.Validate(); err != nil {
 		t.Fatalf("generated instance invalid: %v", err)
 	}
-	sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+	sol, err := sectorpack.SolveGreedy(context.Background(), in, sectorpack.Options{})
 	if err != nil {
 		t.Fatalf("SolveGreedy: %v", err)
 	}
@@ -39,14 +40,14 @@ func TestPublicSolveDispatch(t *testing.T) {
 	if len(names) < 5 {
 		t.Fatalf("SolverNames = %v", names)
 	}
-	sol, err := sectorpack.Solve("localsearch", in, sectorpack.Options{Seed: 1})
+	sol, err := sectorpack.Solve(context.Background(), "localsearch", in, sectorpack.Options{Seed: 1})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
 	if err := sol.Assignment.Check(in); err != nil {
 		t.Fatalf("infeasible: %v", err)
 	}
-	if _, err := sectorpack.Solve("bogus", in, sectorpack.Options{}); err == nil {
+	if _, err := sectorpack.Solve(context.Background(), "bogus", in, sectorpack.Options{}); err == nil {
 		t.Error("unknown solver must error")
 	}
 }
@@ -59,7 +60,7 @@ func TestPublicVariantsRoundTrip(t *testing.T) {
 		if in.Variant != v {
 			t.Errorf("variant %v not stamped", v)
 		}
-		sol, err := sectorpack.SolveGreedy(in, sectorpack.Options{})
+		sol, err := sectorpack.SolveGreedy(context.Background(), in, sectorpack.Options{})
 		if err != nil {
 			t.Fatalf("greedy on %v: %v", v, err)
 		}
