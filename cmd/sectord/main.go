@@ -5,7 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -36,9 +36,20 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	maxTuples := fs.Int64("max-tuples", 200_000, "per-request exact-solver tuple budget (0 = solver default)")
 	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(logw, nil)
+	case "json":
+		handler = slog.NewJSONHandler(logw, nil)
+	default:
+		return fmt.Errorf("invalid -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 	cfg := Config{
 		Timeout:      *timeout,
 		MaxInflight:  *maxInflight,
@@ -46,6 +57,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		MaxTuples:    *maxTuples,
 		Pprof:        *pprofFlag,
 		DrainTimeout: *drain,
+		Logger:       logger,
 	}
 	if *allowed != "" {
 		for _, name := range strings.Split(*allowed, ",") {
@@ -60,11 +72,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	logger := log.New(logw, "sectord: ", log.LstdFlags)
-	logger.Printf("listening on http://%s (solvers: %s)", ln.Addr(), strings.Join(core.Names(), ", "))
+	logger.Info("listening",
+		slog.String("url", "http://"+ln.Addr().String()),
+		slog.String("solvers", strings.Join(core.Names(), ",")))
 	err = NewServer(cfg).Serve(ctx, ln)
 	if err == nil {
-		logger.Printf("shut down cleanly")
+		logger.Info("shut down cleanly")
 	}
 	return err
 }

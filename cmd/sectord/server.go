@@ -4,20 +4,33 @@
 // reachable by name, each request runs under a deadline derived from the
 // request context, and load beyond the configured concurrency cap is shed
 // with 429 instead of queued.
+//
+// The pipeline is fail-soft: solver panics are isolated per request (500,
+// daemon stays up), solver output is re-checked by the feasibility gate
+// before it is served (invalid → 500, never an infeasible answer), and a
+// request may opt into degraded mode with ?degraded=allow, where a timed
+// out, panicking, erroring, or invalid primary solver falls back to the
+// hedged greedy safety net (200 with "degraded": true) instead of 503.
 package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sectorpack/internal/core"
@@ -45,6 +58,10 @@ type Config struct {
 	Pprof bool
 	// DrainTimeout bounds graceful shutdown; zero means 5s.
 	DrainTimeout time.Duration
+	// Logger receives one structured record per /solve request (request
+	// ID, solver, duration, outcome, degraded flag) plus panic reports.
+	// Nil discards logs.
+	Logger *slog.Logger
 }
 
 // DefaultMaxInflight is the concurrency cap when Config leaves it zero.
@@ -62,13 +79,22 @@ type Server struct {
 	cfg     Config
 	sem     chan struct{}
 	mux     *http.ServeMux
+	handler http.Handler
 	allowed map[string]bool
+	logger  *slog.Logger
+
+	ridPrefix string        // random per-Server request-ID prefix
+	reqSeq    atomic.Uint64 // request-ID sequence
 
 	requests      expvar.Int // total /solve requests
-	solved        expvar.Int // completed successfully
+	solved        expvar.Int // completed successfully (incl. degraded)
 	cancellations expvar.Int // ended by deadline or client disconnect
 	shed          expvar.Int // rejected with 429
 	failures      expvar.Int // bad requests and solver errors
+	panics        expvar.Int // recovered solver/handler panics
+	fallbacks     expvar.Int // degraded responses served by the safety net
+	hedgeWins     expvar.Int // fallback already done when the primary failed
+	invalid       expvar.Int // solver outputs rejected by the post-solve gate
 
 	latencyMu sync.Mutex
 	latency   map[string]*latencyHist // per-solver
@@ -82,11 +108,21 @@ func NewServer(cfg Config) *Server {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	var rid [4]byte
+	if _, err := rand.Read(rid[:]); err != nil {
+		copy(rid[:], "srvd") // crypto/rand never fails in practice
+	}
 	s := &Server{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		mux:     http.NewServeMux(),
-		latency: map[string]*latencyHist{},
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		mux:       http.NewServeMux(),
+		logger:    logger,
+		ridPrefix: hex.EncodeToString(rid[:]),
+		latency:   map[string]*latencyHist{},
 	}
 	if len(cfg.Allowed) > 0 {
 		s.allowed = make(map[string]bool, len(cfg.Allowed))
@@ -105,11 +141,39 @@ func NewServer(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	s.handler = s.withRecovery(s.mux)
 	return s
 }
 
-// Handler returns the HTTP handler tree (for httptest and for Serve).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler tree (for httptest and for Serve),
+// wrapped in the panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// withRecovery converts a handler panic into a clean 500 instead of the
+// net/http default (killed connection, no response). Registry solvers are
+// already panic-isolated by core.Safe; this is the defense-in-depth layer
+// for everything else on the request path.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.panics.Add(1)
+				s.logger.Error("panic in handler",
+					slog.String("path", r.URL.Path),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())))
+				// Best effort: if the handler already wrote a status this
+				// header write is a no-op, but no handler writes before
+				// its final response.
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal server error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts down
 // gracefully: in-flight solves keep running (their request contexts stay
@@ -119,7 +183,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// graceful drain lets running solves finish. If the drain deadline
 	// passes, Close tears the connections down, which cancels the request
 	// contexts and aborts the solves.
-	srv := &http.Server{Handler: s.mux}
+	srv := &http.Server{Handler: s.handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -156,6 +220,14 @@ type solveResponse struct {
 	Orientation []float64 `json:"orientation"`
 	Owner       []int     `json:"owner"`
 	ElapsedMS   float64   `json:"elapsed_ms"`
+
+	// Degraded-mode provenance (?degraded=allow): set when the requested
+	// solver failed and the hedged fallback answered instead.
+	Degraded       bool   `json:"degraded,omitempty"`
+	SolverUsed     string `json:"solver_used,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	FallbackDetail string `json:"fallback_detail,omitempty"`
+	HedgeWin       bool   `json:"hedge_win,omitempty"`
 }
 
 type errorResponse struct {
@@ -170,12 +242,59 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc.Encode(body)
 }
 
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.ridPrefix, s.reqSeq.Add(1))
+}
+
+// solveOutcome is what one /solve request resolved to, for the structured
+// log line and the per-request counters.
+type solveOutcome struct {
+	solver   string
+	status   int
+	outcome  string // ok, degraded, shed, bad_request, cancelled, panic, invalid, error
+	degraded bool
+	detail   string
+	profit   int64
+}
+
+func (s *Server) logSolve(rid string, start time.Time, o *solveOutcome) {
+	attrs := []slog.Attr{
+		slog.String("request_id", rid),
+		slog.String("solver", o.solver),
+		slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+		slog.String("outcome", o.outcome),
+		slog.Bool("degraded", o.degraded),
+		slog.Int("status", o.status),
+	}
+	if o.outcome == "ok" || o.outcome == "degraded" {
+		attrs = append(attrs, slog.Int64("profit", o.profit))
+	}
+	if o.detail != "" {
+		attrs = append(attrs, slog.String("detail", o.detail))
+	}
+	level := slog.LevelInfo
+	if o.status >= 500 && o.outcome != "degraded" && o.outcome != "cancelled" {
+		level = slog.LevelWarn
+	}
+	s.logger.LogAttrs(context.Background(), level, "solve", attrs...)
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	rid := s.nextRequestID()
+	start := time.Now()
+	o := &solveOutcome{outcome: "error", status: http.StatusInternalServerError}
+	defer func() { s.logSolve(rid, start, o) }()
+
+	fail := func(status int, outcome, msg string) {
+		o.status, o.outcome, o.detail = status, outcome, msg
+		writeJSON(w, status, errorResponse{Error: msg})
+	}
+
 	if r.Method != http.MethodPost {
 		s.failures.Add(1)
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		fail(http.StatusMethodNotAllowed, "bad_request", "POST required")
 		return
 	}
 	// Shed before reading the body: a saturated server should refuse work
@@ -186,7 +305,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server at capacity"})
+		fail(http.StatusTooManyRequests, "shed", "server at capacity")
+		return
+	}
+
+	degradedAllowed := false
+	switch v := r.URL.Query().Get("degraded"); v {
+	case "", "deny":
+	case "allow":
+		degradedAllowed = true
+	default:
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", fmt.Sprintf("invalid degraded=%q (want allow or deny)", v))
 		return
 	}
 
@@ -195,38 +325,39 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode request: " + err.Error()})
+		fail(http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
 		return
 	}
 	if req.FormatVersion != 1 {
 		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unsupported format_version %d (want 1)", req.FormatVersion)})
+		fail(http.StatusBadRequest, "bad_request", fmt.Sprintf("unsupported format_version %d (want 1)", req.FormatVersion))
 		return
 	}
 	if req.Instance == nil {
 		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "request missing instance"})
+		fail(http.StatusBadRequest, "bad_request", "request missing instance")
 		return
 	}
 	req.Instance.Normalize()
 	if err := req.Instance.Validate(); err != nil {
 		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid instance: " + err.Error()})
+		fail(http.StatusBadRequest, "bad_request", "invalid instance: "+err.Error())
 		return
 	}
 	name := req.Solver
 	if name == "" {
 		name = "auto"
 	}
+	o.solver = name
 	if s.allowed != nil && !s.allowed[name] {
 		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("solver %q not allowed (allowed: %v)", name, s.cfg.Allowed)})
+		fail(http.StatusBadRequest, "bad_request", fmt.Sprintf("solver %q not allowed (allowed: %v)", name, s.cfg.Allowed))
 		return
 	}
 	solver, err := core.Get(name)
 	if err != nil {
 		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		fail(http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 
@@ -247,29 +378,82 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != nil {
 		opt.Seed = *req.Seed
 	}
-	start := time.Now()
-	sol, err := solver(ctx, req.Instance, opt)
+	var sol model.Solution
+	if degradedAllowed {
+		// The hedged pipeline races the requested solver against the
+		// greedy safety net; both legs are panic-isolated and gated, so
+		// the answer (primary or fallback) is always feasible.
+		sol, err = core.SolveHedged(ctx, req.Instance, solver, core.HedgeOptions{
+			Options:     opt,
+			PrimaryName: name,
+		})
+	} else {
+		sol, err = solver(ctx, req.Instance, opt)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		var pe *core.PanicError
+		var ie *core.InvalidSolutionError
+		switch {
+		case errors.As(err, &pe):
+			s.panics.Add(1)
+			s.logger.Error("solver panic",
+				slog.String("request_id", rid),
+				slog.String("solver", pe.Solver),
+				slog.String("panic", fmt.Sprint(pe.Value)),
+				slog.String("stack", string(pe.Stack)))
+			fail(http.StatusInternalServerError, "panic", "solve failed: "+pe.Error())
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			s.cancellations.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "solve aborted: " + err.Error()})
+			fail(http.StatusServiceUnavailable, "cancelled", "solve aborted: "+err.Error())
+		case errors.As(err, &ie):
+			s.invalid.Add(1)
+			fail(http.StatusInternalServerError, "invalid", "solve failed: "+ie.Error())
+		default:
+			s.failures.Add(1)
+			fail(http.StatusBadRequest, "error", "solve failed: "+err.Error())
+		}
+		return
+	}
+	if !degradedAllowed {
+		// Post-solve feasibility gate (the hedged path gates both legs
+		// internally): a buggy solver's infeasible answer is a 500, never
+		// a served solution.
+		if verr := core.VerifySolution(name, req.Instance, sol); verr != nil {
+			s.invalid.Add(1)
+			fail(http.StatusInternalServerError, "invalid", "solve failed: "+verr.Error())
 			return
 		}
-		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "solve failed: " + err.Error()})
-		return
+	}
+	if sol.Degraded {
+		s.fallbacks.Add(1)
+		if sol.FallbackReason == core.FallbackPanic {
+			s.panics.Add(1)
+		}
+		if sol.HedgeWin {
+			s.hedgeWins.Add(1)
+		}
 	}
 	s.solved.Add(1)
 	s.observeLatency(name, elapsed)
+	o.status, o.profit = http.StatusOK, sol.Profit
+	o.outcome, o.degraded, o.detail = "ok", sol.Degraded, sol.FallbackDetail
+	if sol.Degraded {
+		o.outcome = "degraded"
+	}
 	writeJSON(w, http.StatusOK, solveResponse{
-		Solver:      name,
-		Algorithm:   sol.Algorithm,
-		Profit:      sol.Profit,
-		UpperBound:  sol.UpperBound,
-		Orientation: sol.Assignment.Orientation,
-		Owner:       sol.Assignment.Owner,
-		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+		Solver:         name,
+		Algorithm:      sol.Algorithm,
+		Profit:         sol.Profit,
+		UpperBound:     sol.UpperBound,
+		Orientation:    sol.Assignment.Orientation,
+		Owner:          sol.Assignment.Owner,
+		ElapsedMS:      float64(elapsed) / float64(time.Millisecond),
+		Degraded:       sol.Degraded,
+		SolverUsed:     sol.SolverUsed,
+		FallbackReason: sol.FallbackReason,
+		FallbackDetail: sol.FallbackDetail,
+		HedgeWin:       sol.HedgeWin,
 	})
 }
 
@@ -347,6 +531,10 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		{"sectord.cancellations", &s.cancellations},
 		{"sectord.shed", &s.shed},
 		{"sectord.failures", &s.failures},
+		{"sectord.panics", &s.panics},
+		{"sectord.fallbacks", &s.fallbacks},
+		{"sectord.hedge_wins", &s.hedgeWins},
+		{"sectord.invalid", &s.invalid},
 	}
 	fmt.Fprintf(w, "{\n")
 	first := true

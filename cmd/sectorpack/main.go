@@ -8,10 +8,15 @@
 // The instance format is the JSON envelope written by cmd/sectorgen (or
 // model.WriteJSON). Solvers: anneal, disjoint-dp, exact, greedy,
 // localsearch, lpround, unitflow.
+//
+// Exit codes: 0 = full solve, 1 = error, 3 = the -timeout deadline
+// expired and a degraded fallback result was served instead (stderr names
+// the fallback solver; disable with -fallback=false to get a hard error).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,11 +32,31 @@ import (
 	"sectorpack/internal/viz"
 )
 
+// exitDegraded is the exit code for a degraded (fallback) solve, distinct
+// from 0 (full solve) and 1 (error) so scripts can tell them apart.
+const exitDegraded = 3
+
+// degradedError signals main to exit with exitDegraded after run has
+// already printed the degraded solution.
+type degradedError struct {
+	solverUsed string
+	reason     string
+	detail     string
+}
+
+func (e *degradedError) Error() string {
+	return fmt.Sprintf("degraded result from fallback solver %q (%s: %s)", e.solverUsed, e.reason, e.detail)
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sectorpack:", err)
+		var de *degradedError
+		if errors.As(err, &de) {
+			os.Exit(exitDegraded)
+		}
 		os.Exit(1)
 	}
 }
@@ -44,6 +69,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for randomized components")
 	eps := fs.Float64("eps", 0, "force the FPTAS inner knapsack with this epsilon (0 = auto exact/approx)")
 	timeout := fs.Duration("timeout", 0, "abort the solve after this long (0 = no deadline; Ctrl-C always cancels)")
+	fallback := fs.Bool("fallback", true, "with -timeout: serve a greedy fallback result when the deadline expires (exit code 3) instead of failing")
 	verbose := fs.Bool("v", false, "print the per-antenna breakdown")
 	vizFlag := fs.Bool("viz", false, "draw an ASCII polar plot of the solution")
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +96,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	sol, err := solver(ctx, in, opt)
+	var sol model.Solution
+	if *timeout > 0 && *fallback {
+		// Hedged: if the requested solver cannot beat the deadline (or
+		// panics, or misbehaves), the greedy safety net's answer is
+		// printed instead and main exits with the degraded code.
+		sol, err = core.SolveHedged(ctx, in, solver, core.HedgeOptions{
+			Options:     opt,
+			PrimaryName: *solverName,
+		})
+	} else {
+		sol, err = solver(ctx, in, opt)
+	}
 	if err != nil {
 		return err
 	}
@@ -80,6 +117,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "instance   %s (%s, n=%d, m=%d, tightness=%.2f)\n",
 		in.Name, in.Variant, in.N(), in.M(), in.Tightness())
 	fmt.Fprintf(out, "solution   %s\n", sol)
+	if sol.Degraded {
+		fmt.Fprintf(out, "degraded   requested %q fell back to %q (%s)\n",
+			*solverName, sol.SolverUsed, sol.FallbackReason)
+	}
 	fmt.Fprintf(out, "served     %d/%d customers, demand %d/%d\n",
 		sol.Assignment.ServedCount(), in.N(), sol.Assignment.ServedDemand(in), in.TotalDemand())
 	if *verbose {
@@ -98,6 +139,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *vizFlag {
 		fmt.Fprint(out, viz.Render(in, sol.Assignment, viz.Options{Rays: true}))
+	}
+	if sol.Degraded {
+		return &degradedError{solverUsed: sol.SolverUsed, reason: sol.FallbackReason, detail: sol.FallbackDetail}
 	}
 	return nil
 }

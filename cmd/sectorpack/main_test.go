@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"sectorpack/internal/core"
 	"sectorpack/internal/gen"
 	"sectorpack/internal/model"
 )
@@ -55,6 +57,63 @@ func TestRunEpsForcesFPTAS(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "greedy") {
 		t.Errorf("output missing solver name:\n%s", out.String())
+	}
+}
+
+func TestRunTimeoutFallbackDegrades(t *testing.T) {
+	core.Register("test-cli-hang", func(ctx context.Context, in *model.Instance, opt core.Options) (model.Solution, error) {
+		<-ctx.Done()
+		return model.Solution{}, ctx.Err()
+	})
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-in", path, "-solver", "test-cli-hang", "-timeout", "50ms"}, &out)
+	if err == nil {
+		t.Fatal("degraded run must return the degraded sentinel error")
+	}
+	var de *degradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T %v, want *degradedError (exit code %d)", err, err, exitDegraded)
+	}
+	if de.solverUsed != "greedy" {
+		t.Errorf("degraded error names fallback %q, want greedy", de.solverUsed)
+	}
+	if !strings.Contains(err.Error(), "greedy") {
+		t.Errorf("stderr note %q does not name the fallback solver", err)
+	}
+	// The degraded solution is still printed in full.
+	for _, want := range []string{"solution", "degraded", "greedy", "served"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("degraded output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunTimeoutNoFallbackErrorsHard(t *testing.T) {
+	core.Register("test-cli-hang2", func(ctx context.Context, in *model.Instance, opt core.Options) (model.Solution, error) {
+		<-ctx.Done()
+		return model.Solution{}, ctx.Err()
+	})
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-in", path, "-solver", "test-cli-hang2", "-timeout", "50ms", "-fallback=false"}, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want context.DeadlineExceeded with -fallback=false", err)
+	}
+	var de *degradedError
+	if errors.As(err, &de) {
+		t.Error("hard-timeout error must not be the degraded sentinel")
+	}
+}
+
+func TestRunTimeoutFastSolverStaysFull(t *testing.T) {
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-solver", "greedy", "-timeout", "30s"}, &out); err != nil {
+		t.Fatalf("fast solve under a generous -timeout must exit clean: %v", err)
+	}
+	if strings.Contains(out.String(), "degraded") {
+		t.Errorf("healthy solve printed a degraded note:\n%s", out.String())
 	}
 }
 

@@ -24,11 +24,14 @@ const autoExactLimit = 12
 // The chosen strategy is reported in Solution.Algorithm (prefixed with
 // "auto/"), so callers can see what ran. The exact chain inherits
 // Options.ExactLimits, so a caller-imposed tuple budget survives dispatch.
+//
+// Dispatch runs under SafeSolve: a panic in the chosen solver surfaces as
+// a *PanicError, never as an unwinding panic in the caller.
 func SolveAuto(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
 	if err := validateForSolve(in); err != nil {
 		return model.Solution{}, err
 	}
-	sol, err := dispatchAuto(ctx, in, opt)
+	sol, err := SafeSolve(ctx, in, opt, dispatchAuto, "auto")
 	if err != nil {
 		return model.Solution{}, err
 	}

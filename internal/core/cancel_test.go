@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -17,6 +18,9 @@ func TestSolversHonorCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for _, name := range Names() {
+		if strings.HasPrefix(name, "test-") {
+			continue // misbehaving solvers injected by the fault harness
+		}
 		variant := model.Sectors
 		if name == "disjoint-dp" {
 			variant = model.DisjointAngles

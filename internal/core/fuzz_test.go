@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+// fuzzSeedInstances mirrors the shapes exercised by examples/ (quickstart
+// uniform, hotspot clusters, cellular rings, capacity-tight zipf, the
+// disjoint multitower layout) plus the degenerate corners the fault
+// injector cares about: zero-width rays, MinRange annuli, and unbounded
+// Angles instances.
+func fuzzSeedInstances() []*model.Instance {
+	seeds := []*model.Instance{
+		gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 1, N: 8, M: 2, Variant: model.Sectors}),
+		gen.MustGenerate(gen.Config{Family: gen.Hotspot, Seed: 2, N: 10, M: 2, Variant: model.Sectors}),
+		gen.MustGenerate(gen.Config{Family: gen.Rings, Seed: 3, N: 9, M: 2, Variant: model.Sectors, MinRange: 1}),
+		gen.MustGenerate(gen.Config{Family: gen.Zipf, Seed: 4, N: 8, M: 2, Variant: model.Angles}),
+		gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 5, N: 8, M: 2, Variant: model.DisjointAngles}),
+		gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 6, N: 6, M: 1, Variant: model.Sectors, UnitDemand: true}),
+	}
+	ray := &model.Instance{
+		Name:    "fuzz-ray",
+		Variant: model.Sectors,
+		Customers: []model.Customer{
+			{Theta: 1.25, R: 2, Demand: 1},
+			{Theta: 1.25, R: 4, Demand: 2},
+			{Theta: 2.5, R: 2, Demand: 1},
+		},
+		Antennas: []model.Antenna{{Rho: 0, Range: 5, Capacity: 3}},
+	}
+	seeds = append(seeds, ray.Normalize())
+	return seeds
+}
+
+// FuzzEnvelopeSolve is the end-to-end fuzz target: arbitrary bytes →
+// model.ReadJSON (the LoadFile envelope) → SolveAuto → VerifySolution.
+// It fails on any solver panic (SafeSolve converts them to *PanicError, so
+// the fuzzer reports the captured stack instead of a raw crash) and on any
+// solve whose output fails the feasibility gate.
+func FuzzEnvelopeSolve(f *testing.F) {
+	for _, in := range fuzzSeedInstances() {
+		var buf bytes.Buffer
+		if err := model.WriteJSON(&buf, in); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := model.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // not a valid envelope; ReadJSON rejecting it is the contract
+		}
+		// Keep each execution cheap: the fuzzer explores shape, not scale.
+		if in.N() > 24 || in.M() > 4 {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		sol, err := SolveAuto(ctx, in, Options{Seed: 1})
+		if err != nil {
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				t.Fatalf("SolveAuto panicked on a valid instance: %v\n%s", pe.Value, pe.Stack)
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				t.Skip("instance too slow for the fuzz budget")
+			}
+			t.Fatalf("SolveAuto failed on a ReadJSON-validated instance: %v", err)
+		}
+		if err := VerifySolution("auto", in, sol); err != nil {
+			t.Fatalf("SolveAuto output failed the feasibility gate: %v", err)
+		}
+	})
+}

@@ -39,7 +39,11 @@ var solvers = map[string]Solver{
 	},
 }
 
-// Get returns the named solver.
+// Get returns the named solver, wrapped in Safe: a panic inside any
+// registry-resolved solver is returned as a *PanicError instead of
+// unwinding into the caller. The wrapper is transparent on non-panicking
+// runs, so registry solves stay bit-identical to calling the solver
+// function directly.
 func Get(name string) (Solver, error) {
 	registryMu.RLock()
 	s, ok := solvers[name]
@@ -47,7 +51,7 @@ func Get(name string) (Solver, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown solver %q (have %v)", name, Names())
 	}
-	return s, nil
+	return Safe(name, s), nil
 }
 
 // Register adds (or replaces) a named solver. The built-in names are
@@ -57,6 +61,15 @@ func Register(name string, s Solver) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
 	solvers[name] = s
+}
+
+// Unregister removes a named solver. The fault-injection harness registers
+// deliberately misbehaving solvers and must be able to take them back out
+// so registry-iterating tests see only well-behaved entries.
+func Unregister(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(solvers, name)
 }
 
 // Names lists the registered solver names, sorted.

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"sectorpack/internal/model"
+)
+
+// PanicError is a solver panic converted into an error by SafeSolve: the
+// serving layer must degrade, not die, so a crashing solver surfaces as a
+// value the pipeline can route (500, fallback, counter) while the captured
+// stack keeps the bug debuggable.
+type PanicError struct {
+	// Solver is the registry name of the panicking solver, when known.
+	Solver string
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the goroutine stack captured at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Solver != "" {
+		return fmt.Sprintf("core: solver %q panicked: %v", e.Solver, e.Value)
+	}
+	return fmt.Sprintf("core: solver panicked: %v", e.Value)
+}
+
+// InvalidSolutionError is a solver output rejected by the post-solve
+// feasibility gate (VerifySolution): the assignment fails
+// (*model.Assignment).Check or the reported profit does not match it.
+type InvalidSolutionError struct {
+	Solver string
+	Err    error
+}
+
+func (e *InvalidSolutionError) Error() string {
+	return fmt.Sprintf("core: solver %q returned an invalid solution: %v", e.Solver, e.Err)
+}
+
+func (e *InvalidSolutionError) Unwrap() error { return e.Err }
+
+// SafeSolve runs s with panic isolation: a panic inside the solver is
+// recovered and returned as a *PanicError carrying the stack, instead of
+// unwinding into the caller. Non-panicking runs are byte-identical to
+// calling s directly — the wrapper adds only a deferred recover.
+func SafeSolve(ctx context.Context, in *model.Instance, opt Options, s Solver, name string) (sol model.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol = model.Solution{}
+			err = &PanicError{Solver: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return s(ctx, in, opt)
+}
+
+// Safe wraps a solver in SafeSolve under the given name. The registry
+// applies it to every solver it hands out, so no Get-resolved solver can
+// take down its caller by panicking.
+func Safe(name string, s Solver) Solver {
+	return func(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
+		return SafeSolve(ctx, in, opt, s, name)
+	}
+}
+
+// VerifySolution is the post-solve feasibility gate: it rejects a solution
+// whose assignment is missing, fails (*model.Assignment).Check against the
+// instance, or whose reported profit disagrees with the assignment. The
+// serving layer runs it on every solver output before serving, so a buggy
+// solver yields an *InvalidSolutionError rather than an infeasible answer.
+func VerifySolution(solver string, in *model.Instance, sol model.Solution) error {
+	if sol.Assignment == nil {
+		return &InvalidSolutionError{Solver: solver, Err: fmt.Errorf("solution has no assignment")}
+	}
+	if err := sol.Assignment.Check(in); err != nil {
+		return &InvalidSolutionError{Solver: solver, Err: err}
+	}
+	if got := sol.Assignment.Profit(in); got != sol.Profit {
+		return &InvalidSolutionError{Solver: solver, Err: fmt.Errorf("reported profit %d but assignment recomputes to %d", sol.Profit, got)}
+	}
+	return nil
+}

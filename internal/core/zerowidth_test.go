@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"sectorpack/internal/model"
@@ -41,6 +42,9 @@ func rayInstance(variant model.Variant) *model.Instance {
 // to dispatch.
 func TestZeroWidthRayAllSolvers(t *testing.T) {
 	for _, name := range Names() {
+		if strings.HasPrefix(name, "test-") {
+			continue // misbehaving solvers injected by the fault harness
+		}
 		solver, err := Get(name)
 		if err != nil {
 			t.Fatal(err)

@@ -154,6 +154,25 @@ type Solution struct {
 	// UpperBound, when positive, is a certified upper bound on the optimum
 	// produced alongside the solution (e.g. an LP relaxation value).
 	UpperBound float64
+
+	// Degraded reports that the requested solver did not produce this
+	// solution: it timed out, panicked, errored, or returned an invalid
+	// assignment, and a hedged fallback answered instead (core.SolveHedged).
+	Degraded bool
+	// SolverUsed names the registry solver that actually produced the
+	// assignment when the solve went through a hedged pipeline; empty for
+	// plain solves.
+	SolverUsed string
+	// FallbackReason is the machine-readable cause of degradation when
+	// Degraded is set: one of core.FallbackDeadline, core.FallbackPanic,
+	// core.FallbackError, core.FallbackInvalid.
+	FallbackReason string
+	// FallbackDetail is the primary solver's error text when Degraded is
+	// set, for logs and diagnostics.
+	FallbackDetail string
+	// HedgeWin reports that the fallback leg had already finished when the
+	// primary failed, so the degraded answer added no latency.
+	HedgeWin bool
 }
 
 // Ratio returns Profit / UpperBound when an upper bound is available, else 0.

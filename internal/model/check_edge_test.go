@@ -1,0 +1,169 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the Check edge cases the fault-injection harness leans
+// on: a buggy solver's output must be rejected for exactly these reasons,
+// never served. Each case builds the smallest instance that isolates one
+// rule.
+
+// rayInstance: one zero-width antenna, one aligned and one off-axis
+// customer.
+func rayInstance() *Instance {
+	in := &Instance{
+		Variant: Sectors,
+		Customers: []Customer{
+			{Theta: 1.25, R: 2, Demand: 1},
+			{Theta: 2.5, R: 2, Demand: 1},
+		},
+		Antennas: []Antenna{{Rho: 0, Range: 5, Capacity: 5}},
+	}
+	return in.Normalize()
+}
+
+func TestCheckZeroWidthRay(t *testing.T) {
+	in := rayInstance()
+
+	as := NewAssignment(2, 1)
+	as.Orientation[0] = 1.25
+	as.Owner[0] = 0
+	if err := as.Check(in); err != nil {
+		t.Errorf("aligned customer on a ray rejected: %v", err)
+	}
+
+	// The off-axis customer is not coverable by the degenerate ray at this
+	// orientation, no matter the capacity headroom.
+	as.Owner[1] = 0
+	err := as.Check(in)
+	if err == nil {
+		t.Fatal("off-axis customer accepted on a zero-width ray")
+	}
+	if !strings.Contains(err.Error(), "not covered") {
+		t.Errorf("error %q, want a coverage violation", err)
+	}
+
+	// Reorienting to the off-axis customer flips which assignment is legal.
+	as.Owner[0] = Unassigned
+	as.Orientation[0] = 2.5
+	if err := as.Check(in); err != nil {
+		t.Errorf("ray reoriented to the second customer rejected: %v", err)
+	}
+}
+
+func TestCheckMinRangeAnnulus(t *testing.T) {
+	in := &Instance{
+		Variant: Sectors,
+		Customers: []Customer{
+			{Theta: 0.5, R: 0.5, Demand: 1}, // inside the exclusion disk
+			{Theta: 0.5, R: 1.0, Demand: 1}, // exactly on the inner boundary
+			{Theta: 0.5, R: 3.0, Demand: 1}, // inside the annulus
+		},
+		Antennas: []Antenna{{Rho: 1, Range: 5, MinRange: 1, Capacity: 5}},
+	}
+	in.Normalize()
+
+	as := NewAssignment(3, 1)
+	as.Orientation[0] = 0.2
+	as.Owner[1] = 0
+	as.Owner[2] = 0
+	if err := as.Check(in); err != nil {
+		t.Errorf("boundary and interior annulus customers rejected: %v", err)
+	}
+
+	as.Owner[0] = 0
+	err := as.Check(in)
+	if err == nil {
+		t.Fatal("customer inside the MinRange exclusion accepted")
+	}
+	if !strings.Contains(err.Error(), "not covered") {
+		t.Errorf("error %q, want a coverage violation", err)
+	}
+}
+
+func TestCheckOverCapacityByOneUnit(t *testing.T) {
+	in := &Instance{
+		Variant: Sectors,
+		Customers: []Customer{
+			{Theta: 0.1, R: 1, Demand: 4},
+			{Theta: 0.2, R: 1, Demand: 3},
+		},
+		Antennas: []Antenna{{Rho: 1, Range: 5, Capacity: 7}},
+	}
+	in.Normalize()
+
+	as := NewAssignment(2, 1)
+	as.Owner[0], as.Owner[1] = 0, 0
+	if err := as.Check(in); err != nil {
+		t.Errorf("load exactly at capacity rejected: %v", err)
+	}
+
+	// One extra demand unit must tip it over: 4+4 = 8 > 7.
+	in.Customers[0].Demand = 5
+	err := as.Check(in)
+	if err == nil {
+		t.Fatal("load one unit over capacity accepted")
+	}
+	if !strings.Contains(err.Error(), "overloaded") {
+		t.Errorf("error %q, want an overload violation", err)
+	}
+}
+
+// TestCheckDuplicateOwnerEntries covers the fault injector's
+// duplicate-assignment shape: an Owner slice padded with repeated entries
+// no longer matches the customer count and must be rejected before any
+// per-customer check runs (a duplicated owner row would otherwise
+// double-count demand silently).
+func TestCheckDuplicateOwnerEntries(t *testing.T) {
+	in := rayInstance()
+	as := NewAssignment(2, 1)
+	as.Orientation[0] = 1.25
+	as.Owner[0] = 0
+	as.Owner = append(as.Owner, 0) // duplicate row for customer 0
+	err := as.Check(in)
+	if err == nil {
+		t.Fatal("Owner slice with a duplicated entry accepted")
+	}
+	if !strings.Contains(err.Error(), "owners for") {
+		t.Errorf("error %q, want the shape-mismatch violation", err)
+	}
+}
+
+// TestCheckSameCustomerCountedOnce pins the complementary rule: a single
+// customer can only be owned once (Owner is indexed by customer), so
+// serving it "twice" is unrepresentable — but two distinct co-located
+// customers do stack demand on the shared antenna.
+func TestCheckSameCustomerCountedOnce(t *testing.T) {
+	in := &Instance{
+		Variant: Sectors,
+		Customers: []Customer{
+			{Theta: 0.3, R: 1, Demand: 3},
+			{Theta: 0.3, R: 1, Demand: 3}, // co-located twin
+		},
+		Antennas: []Antenna{{Rho: 1, Range: 5, Capacity: 5}},
+	}
+	in.Normalize()
+	as := NewAssignment(2, 1)
+	as.Orientation[0] = 0.1
+	as.Owner[0] = 0
+	if err := as.Check(in); err != nil {
+		t.Errorf("single twin rejected: %v", err)
+	}
+	as.Owner[1] = 0
+	if err := as.Check(in); err == nil {
+		t.Error("both co-located twins accepted at 6 > capacity 5")
+	}
+}
+
+func TestCheckOwnerOutOfRange(t *testing.T) {
+	in := rayInstance()
+	as := NewAssignment(2, 1)
+	for _, bad := range []int{1, -2, 99} {
+		as.Owner[0] = bad
+		if err := as.Check(in); err == nil {
+			t.Errorf("owner %d accepted for a 1-antenna instance", bad)
+		}
+	}
+}

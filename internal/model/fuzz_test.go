@@ -1,0 +1,47 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON hammers the instance envelope decoder with arbitrary
+// bytes: it must never panic, and anything it accepts must Validate,
+// survive a Write/Read round trip unchanged, and keep its feasibility
+// machinery (Check on an empty assignment, the aggregate accessors) total.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"format_version":1,"instance":{"variant":0,"customers":[{"id":0,"theta":0.5,"r":2,"demand":3}],"antennas":[{"id":0,"rho":1,"range":5,"capacity":4}]}}`))
+	f.Add([]byte(`{"format_version":1,"instance":{"variant":2,"customers":[],"antennas":[{"id":0,"rho":0,"capacity":1}]}}`))
+	f.Add([]byte(`{"format_version":1,"instance":{"variant":0,"customers":[{"id":0,"theta":1.25,"r":3,"demand":1}],"antennas":[{"id":0,"rho":0,"range":5,"min_range":1,"capacity":1}]}}`))
+	f.Add([]byte(`{"format_version":9,"instance":null}`))
+	f.Add([]byte(`{not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an instance that fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, in); err != nil {
+			t.Fatalf("WriteJSON on a just-decoded instance: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to decode: %v", err)
+		}
+		if back.N() != in.N() || back.M() != in.M() || back.Variant != in.Variant {
+			t.Fatalf("round trip changed shape: n %d→%d m %d→%d variant %v→%v",
+				in.N(), back.N(), in.M(), back.M(), in.Variant, back.Variant)
+		}
+		// The aggregate accessors and an empty-assignment Check must be
+		// total on any accepted instance.
+		_ = in.TotalDemand()
+		_ = in.TotalProfit()
+		_ = in.Tightness()
+		if err := NewAssignment(in.N(), in.M()).Check(in); err != nil {
+			t.Fatalf("empty assignment rejected: %v", err)
+		}
+	})
+}

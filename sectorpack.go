@@ -137,6 +137,31 @@ func Solve(ctx context.Context, name string, in *Instance, opt Options) (Solutio
 // SolverNames lists the registered solver names.
 func SolverNames() []string { return core.Names() }
 
+// Fail-soft pipeline errors (aliases into internal/core).
+type (
+	// PanicError is a solver panic converted into an error by the fail-soft
+	// pipeline; it carries the panic value and the captured stack.
+	PanicError = core.PanicError
+	// InvalidSolutionError reports solver output rejected by the post-solve
+	// feasibility gate (missing assignment, Check failure, or a profit that
+	// does not recompute).
+	InvalidSolutionError = core.InvalidSolutionError
+)
+
+// SolveHedged dispatches to the named solver hedged by the greedy safety
+// net: when the primary times out, errors, panics, or returns an invalid
+// assignment, the greedy solution is returned instead, annotated with
+// Degraded/SolverUsed/FallbackReason provenance. A healthy primary's
+// solution is bit-identical to Solve. See internal/core.SolveHedged for
+// the full contract (custom fallbacks, grace tuning).
+func SolveHedged(ctx context.Context, name string, in *Instance, opt Options) (Solution, error) {
+	s, err := core.Get(name)
+	if err != nil {
+		return Solution{}, err
+	}
+	return core.SolveHedged(ctx, in, s, core.HedgeOptions{Options: opt, PrimaryName: name})
+}
+
 // UpperBound returns a certified upper bound on the optimal profit (the
 // cheap per-antenna Dantzig bound, clipped by the total profit).
 func UpperBound(in *Instance) float64 { return core.UpperBound(in) }

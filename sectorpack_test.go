@@ -3,6 +3,7 @@ package sectorpack_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"sectorpack"
 )
@@ -48,6 +49,44 @@ func TestPublicSolveDispatch(t *testing.T) {
 		t.Fatalf("infeasible: %v", err)
 	}
 	if _, err := sectorpack.Solve(context.Background(), "bogus", in, sectorpack.Options{}); err == nil {
+		t.Error("unknown solver must error")
+	}
+}
+
+func TestPublicSolveHedged(t *testing.T) {
+	in := sectorpack.MustGenerate(sectorpack.GenConfig{
+		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+		Seed: 6, N: 20, M: 2,
+	})
+	// Healthy primary: bit-identical to the direct dispatch.
+	direct, err := sectorpack.Solve(context.Background(), "greedy", in, sectorpack.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	hedged, err := sectorpack.SolveHedged(context.Background(), "greedy", in, sectorpack.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("SolveHedged: %v", err)
+	}
+	if hedged.Degraded || hedged.SolverUsed != "greedy" {
+		t.Fatalf("healthy hedge mislabelled: degraded=%v used=%q", hedged.Degraded, hedged.SolverUsed)
+	}
+	if hedged.Profit != direct.Profit {
+		t.Fatalf("hedged profit %d != direct %d", hedged.Profit, direct.Profit)
+	}
+	// Expired deadline: the detached greedy fallback still answers.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	deg, err := sectorpack.SolveHedged(ctx, "exact", in, sectorpack.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("SolveHedged degraded: %v", err)
+	}
+	if !deg.Degraded || deg.SolverUsed != "greedy" {
+		t.Fatalf("degraded hedge mislabelled: degraded=%v used=%q", deg.Degraded, deg.SolverUsed)
+	}
+	if err := deg.Assignment.Check(in); err != nil {
+		t.Fatalf("degraded solution infeasible: %v", err)
+	}
+	if _, err := sectorpack.SolveHedged(context.Background(), "bogus", in, sectorpack.Options{}); err == nil {
 		t.Error("unknown solver must error")
 	}
 }
