@@ -4,13 +4,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"sectorpack"
+	"sectorpack/internal/cache"
 )
 
 // benchReport is the machine-readable summary written by -json: the wall
@@ -40,30 +44,149 @@ type microBench struct {
 
 // microBenchmarks measures the greedy solver at the bench_test.go sizes via
 // testing.Benchmark, so the JSON numbers are directly comparable to
-// `go test -bench=BenchmarkGreedy -benchmem`.
+// `go test -bench=BenchmarkGreedy -benchmem`, plus the solve-cache hit path
+// at n=200 (fingerprint + lookup on a warm cache) — read it against
+// greedy/n200 for what a repeated solve saves.
 func microBenchmarks() []microBench {
-	var out []microBench
-	for _, n := range []int{50, 200, 800} {
-		in := sectorpack.MustGenerate(sectorpack.GenConfig{
+	record := func(name string, r testing.BenchmarkResult) microBench {
+		return microBench{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	benchInstance := func(n int) *sectorpack.Instance {
+		return sectorpack.MustGenerate(sectorpack.GenConfig{
 			Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
 			Seed: 42, N: n, M: 3,
 		})
+	}
+	opt := sectorpack.Options{Seed: 1, SkipBound: true}
+
+	var out []microBench
+	for _, n := range []int{50, 200, 800} {
+		in := benchInstance(n)
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := sectorpack.Solve(context.Background(), "greedy", in, sectorpack.Options{Seed: 1, SkipBound: true}); err != nil {
+				if _, err := sectorpack.Solve(context.Background(), "greedy", in, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
-		out = append(out, microBench{
-			Name:        fmt.Sprintf("greedy/n%d", n),
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+		out = append(out, record(fmt.Sprintf("greedy/n%d", n), r))
 	}
-	return out
+
+	in := benchInstance(200)
+	c := cache.New(0)
+	fp, err := cache.NewFingerprint(in, opt, "greedy")
+	if err != nil {
+		panic(err) // static inputs; cannot fail
+	}
+	sol, err := sectorpack.Solve(context.Background(), "greedy", in, opt)
+	if err != nil {
+		panic(err)
+	}
+	c.Put(fp, sol)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fp, err := cache.NewFingerprint(in, opt, "greedy")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := c.Get(fp); !ok {
+				b.Fatal("warm cache missed")
+			}
+		}
+	})
+	return append(out, record("cachehit/n200", r))
+}
+
+// loadBenchReport reads a BENCH_<date>.json written by writeBenchJSON.
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareTolerance gates -compare: a micro benchmark more than 25% worse
+// than its baseline fails the run.
+const compareTolerance = 1.25
+
+// benchRatio is current/baseline, treating a zero baseline as regressed
+// only when the current value is nonzero.
+func benchRatio(cur, old float64) float64 {
+	if old <= 0 {
+		if cur <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return cur / old
+}
+
+// compareBenchmarks re-runs the micro benchmarks and gates them against a
+// committed baseline report, returning an error (→ non-zero exit) when any
+// gated measurement regressed past compareTolerance. metric picks which
+// measurements gate: allocs/op is deterministic and comparable across
+// machines (the CI setting), ns/op only means something on the machine that
+// recorded the baseline, both gates on either. Benchmarks without a
+// baseline entry are reported but never fail — that is how a new benchmark
+// lands before its baseline is regenerated.
+func compareBenchmarks(out io.Writer, baselinePath, metric string) error {
+	switch metric {
+	case "allocs", "ns", "both":
+	default:
+		return fmt.Errorf("invalid -compare-metric %q (want allocs, ns, or both)", metric)
+	}
+	base, err := loadBenchReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "comparing micro benchmarks against %s (%s, %s), metric=%s, tolerance=%.0f%%\n",
+		baselinePath, base.Date, base.GoVersion, metric, (compareTolerance-1)*100)
+	return compareMicro(out, base, microBenchmarks(), metric)
+}
+
+// compareMicro is the gate itself, split from compareBenchmarks so the
+// pass/fail logic is testable without re-running real benchmarks.
+func compareMicro(out io.Writer, base *benchReport, current []microBench, metric string) error {
+	baseline := make(map[string]microBench, len(base.Micro))
+	for _, m := range base.Micro {
+		baseline[m.Name] = m
+	}
+	var regressions []string
+	for _, cur := range current {
+		old, ok := baseline[cur.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-16s ns/op %10.0f  allocs/op %6d  (no baseline entry, not gated)\n",
+				cur.Name, cur.NsPerOp, cur.AllocsPerOp)
+			continue
+		}
+		nsRatio := benchRatio(cur.NsPerOp, old.NsPerOp)
+		allocRatio := benchRatio(float64(cur.AllocsPerOp), float64(old.AllocsPerOp))
+		fmt.Fprintf(out, "%-16s ns/op %10.0f -> %10.0f (%.2fx)  allocs/op %6d -> %6d (%.2fx)\n",
+			cur.Name, old.NsPerOp, cur.NsPerOp, nsRatio, old.AllocsPerOp, cur.AllocsPerOp, allocRatio)
+		if (metric == "ns" || metric == "both") && nsRatio > compareTolerance {
+			regressions = append(regressions, fmt.Sprintf("%s ns/op %.2fx", cur.Name, nsRatio))
+		}
+		if (metric == "allocs" || metric == "both") && allocRatio > compareTolerance {
+			regressions = append(regressions, fmt.Sprintf("%s allocs/op %.2fx", cur.Name, allocRatio))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regression past %.0f%%: %s", (compareTolerance-1)*100, strings.Join(regressions, "; "))
+	}
+	fmt.Fprintln(out, "benchmark compare passed")
+	return nil
 }
 
 // writeBenchJSON writes BENCH_<date>.json into dir and returns its path.

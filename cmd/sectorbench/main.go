@@ -6,9 +6,13 @@
 //
 //	sectorbench               # run everything at full size
 //	sectorbench -exp E1,E7    # a subset
+//	sectorbench -exp none     # skip experiments (with -json or -compare)
 //	sectorbench -quick        # reduced sizes (the test configuration)
 //	sectorbench -list         # list experiments and the claims they test
 //	sectorbench -json .       # also write a BENCH_<date>.json summary
+//	sectorbench -exp none -compare BENCH_2026-08-06.json -compare-metric allocs
+//	                          # gate micro benchmarks against a baseline;
+//	                          # exits non-zero on a >25% regression
 package main
 
 import (
@@ -40,6 +44,8 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	jsonDir := fs.String("json", "", "write a BENCH_<date>.json benchmark summary into this directory")
+	comparePath := fs.String("compare", "", "gate the micro benchmarks against this BENCH_<date>.json baseline (>25% regression exits non-zero)")
+	compareMetric := fs.String("compare-metric", "both", "which -compare measurements gate: allocs (deterministic, for CI), ns, or both")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,7 +56,9 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 	ids := experiments.IDs()
-	if *expFlag != "" {
+	if *expFlag == "none" {
+		ids = nil // benchmark-only runs: -json or -compare without experiments
+	} else if *expFlag != "" {
 		ids = strings.Split(*expFlag, ",")
 	}
 	opt := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
@@ -84,6 +92,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "benchmark summary written to %s\n", path)
+	}
+	if *comparePath != "" {
+		if err := compareBenchmarks(out, *comparePath, *compareMetric); err != nil {
+			return err
+		}
 	}
 	return nil
 }

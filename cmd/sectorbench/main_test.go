@@ -71,12 +71,111 @@ func TestJSONExport(t *testing.T) {
 	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "E1" || rep.Experiments[0].WallMS <= 0 {
 		t.Errorf("experiment timings = %+v", rep.Experiments)
 	}
-	if len(rep.Micro) != 3 {
-		t.Fatalf("micro benches = %+v, want 3", rep.Micro)
+	if len(rep.Micro) != 4 {
+		t.Fatalf("micro benches = %+v, want 4 (greedy n50/n200/n800 + cachehit/n200)", rep.Micro)
 	}
+	byName := map[string]microBench{}
 	for _, m := range rep.Micro {
 		if m.NsPerOp <= 0 || m.AllocsPerOp <= 0 {
 			t.Errorf("degenerate micro bench %+v", m)
+		}
+		byName[m.Name] = m
+	}
+	// The cached lookup must beat the fresh solve it short-circuits.
+	hit, fresh := byName["cachehit/n200"], byName["greedy/n200"]
+	if hit.Name == "" || fresh.Name == "" {
+		t.Fatalf("missing cachehit/n200 or greedy/n200 in %+v", rep.Micro)
+	}
+	if hit.NsPerOp >= fresh.NsPerOp {
+		t.Errorf("cache hit %.0f ns/op not faster than fresh greedy %.0f ns/op", hit.NsPerOp, fresh.NsPerOp)
+	}
+}
+
+// TestCompareAgainstFreshBaseline: a report compared against itself passes,
+// and re-running -exp none -compare against the just-written file exercises
+// the full CLI path end to end.
+func TestCompareAgainstFreshBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real micro-benchmarks")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "none", "-json", dir}, &out); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	if strings.Contains(out.String(), "Table") {
+		t.Errorf("-exp none still ran experiments:\n%s", out.String())
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("expected one baseline, got %v", matches)
+	}
+	out.Reset()
+	if err := run([]string{"-exp", "none", "-compare", matches[0], "-compare-metric", "allocs"}, &out); err != nil {
+		t.Fatalf("compare against own baseline failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "benchmark compare passed") {
+		t.Errorf("missing pass confirmation:\n%s", out.String())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	var out bytes.Buffer
+	// Both checks happen before any benchmark runs, so these stay fast.
+	if err := run([]string{"-exp", "none", "-compare", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing baseline file must error")
+	}
+	if err := run([]string{"-exp", "none", "-compare", "x.json", "-compare-metric", "bogus"}, &out); err == nil {
+		t.Error("invalid -compare-metric must error")
+	}
+}
+
+// TestCompareMicroGate drives the gate logic directly with synthetic
+// measurements: regressions past 25% on the gated metric fail, improvements
+// and new benchmarks never do.
+func TestCompareMicroGate(t *testing.T) {
+	base := &benchReport{Micro: []microBench{
+		{Name: "greedy/n200", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
+	}}
+	cases := []struct {
+		name    string
+		current []microBench
+		metric  string
+		wantErr bool
+	}{
+		{"identical passes", base.Micro, "both", false},
+		{"within tolerance passes", []microBench{
+			{Name: "greedy/n200", NsPerOp: 1200, AllocsPerOp: 120},
+			{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
+		}, "both", false},
+		{"ns regression fails on both", []microBench{
+			{Name: "greedy/n200", NsPerOp: 1300, AllocsPerOp: 100},
+			{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
+		}, "both", true},
+		{"ns regression ignored under allocs", []microBench{
+			{Name: "greedy/n200", NsPerOp: 9000, AllocsPerOp: 100},
+			{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
+		}, "allocs", false},
+		{"alloc regression fails under allocs", []microBench{
+			{Name: "greedy/n200", NsPerOp: 1000, AllocsPerOp: 200},
+			{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
+		}, "allocs", true},
+		{"new benchmark not gated", []microBench{
+			{Name: "greedy/n200", NsPerOp: 1000, AllocsPerOp: 100},
+			{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
+			{Name: "brandnew/n1", NsPerOp: 1e9, AllocsPerOp: 1 << 30},
+		}, "both", false},
+		{"improvement passes", []microBench{
+			{Name: "greedy/n200", NsPerOp: 10, AllocsPerOp: 1},
+			{Name: "cachehit/n200", NsPerOp: 10, AllocsPerOp: 1},
+		}, "both", false},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := compareMicro(&out, base, tc.current, tc.metric)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v\n%s", tc.name, err, tc.wantErr, out.String())
 		}
 	}
 }

@@ -34,6 +34,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	allowed := fs.String("solvers", "", "comma-separated solver allowlist (empty = all: "+strings.Join(core.Names(), ", ")+")")
 	seed := fs.Int64("seed", 1, "default seed when requests omit one")
 	maxTuples := fs.Int64("max-tuples", 200_000, "per-request exact-solver tuple budget (0 = solver default)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "solve-cache budget in bytes (0 = 64 MiB default, negative = disable caching)")
 	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
@@ -55,6 +56,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		MaxInflight:  *maxInflight,
 		Seed:         *seed,
 		MaxTuples:    *maxTuples,
+		CacheBytes:   *cacheBytes,
 		Pprof:        *pprofFlag,
 		DrainTimeout: *drain,
 		Logger:       logger,

@@ -11,6 +11,15 @@
 // request may opt into degraded mode with ?degraded=allow, where a timed
 // out, panicking, erroring, or invalid primary solver falls back to the
 // hedged greedy safety net (200 with "degraded": true) instead of 503.
+//
+// Repeated solves are served from a content-addressed cache: requests are
+// fingerprinted over (instance, options, solver), identical concurrent
+// requests collapse to one underlying solve (singleflight), and every hit
+// is re-gated through the feasibility check before it is served. The
+// X-Sectord-Cache response header reports hit/miss/collapsed/bypass, and
+// ?cache=bypass opts a request out entirely. POST /solve/batch solves a
+// whole envelope of instances on a bounded worker pool through the same
+// cache, returning per-item results instead of failing the batch.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sectorpack/internal/cache"
 	"sectorpack/internal/core"
 	"sectorpack/internal/exact"
 	"sectorpack/internal/model"
@@ -58,6 +68,9 @@ type Config struct {
 	Pprof bool
 	// DrainTimeout bounds graceful shutdown; zero means 5s.
 	DrainTimeout time.Duration
+	// CacheBytes bounds the solve cache: zero means cache.DefaultMaxBytes,
+	// negative disables caching entirely.
+	CacheBytes int64
 	// Logger receives one structured record per /solve request (request
 	// ID, solver, duration, outcome, degraded flag) plus panic reports.
 	// Nil discards logs.
@@ -66,6 +79,9 @@ type Config struct {
 
 // DefaultMaxInflight is the concurrency cap when Config leaves it zero.
 const DefaultMaxInflight = 4
+
+// maxBatchItems caps the /solve/batch envelope size.
+const maxBatchItems = 256
 
 // maxRequestBytes bounds the request body read (instances are small; this
 // guards the decoder, not memory accounting).
@@ -82,6 +98,7 @@ type Server struct {
 	handler http.Handler
 	allowed map[string]bool
 	logger  *slog.Logger
+	cache   *cache.Cache // nil when caching is disabled
 
 	ridPrefix string        // random per-Server request-ID prefix
 	reqSeq    atomic.Uint64 // request-ID sequence
@@ -95,6 +112,8 @@ type Server struct {
 	fallbacks     expvar.Int // degraded responses served by the safety net
 	hedgeWins     expvar.Int // fallback already done when the primary failed
 	invalid       expvar.Int // solver outputs rejected by the post-solve gate
+	batches       expvar.Int // /solve/batch requests
+	batchItems    expvar.Int // instances received across all batches
 
 	latencyMu sync.Mutex
 	latency   map[string]*latencyHist // per-solver
@@ -124,6 +143,9 @@ func NewServer(cfg Config) *Server {
 		ridPrefix: hex.EncodeToString(rid[:]),
 		latency:   map[string]*latencyHist{},
 	}
+	if cfg.CacheBytes >= 0 {
+		s.cache = cache.New(cfg.CacheBytes)
+	}
 	if len(cfg.Allowed) > 0 {
 		s.allowed = make(map[string]bool, len(cfg.Allowed))
 		for _, name := range cfg.Allowed {
@@ -131,6 +153,7 @@ func NewServer(cfg Config) *Server {
 		}
 	}
 	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -230,6 +253,38 @@ type solveResponse struct {
 	HedgeWin       bool   `json:"hedge_win,omitempty"`
 }
 
+// batchRequest is the /solve/batch body: shared solver/seed/deadline knobs
+// plus the model.WriteBatchJSON instance envelope. TimeoutMillis is a
+// per-item deadline, not a whole-batch one.
+type batchRequest struct {
+	Solver        string            `json:"solver"`
+	Seed          *int64            `json:"seed,omitempty"`
+	TimeoutMillis int64             `json:"timeout_ms,omitempty"`
+	FormatVersion int               `json:"format_version"`
+	Instances     []*model.Instance `json:"instances"`
+}
+
+// batchItemResponse is one item of the /solve/batch reply: either the
+// embedded solve response (with cache provenance) or an error, never both.
+type batchItemResponse struct {
+	Index int    `json:"index"`
+	Cache string `json:"cache,omitempty"`
+	Error string `json:"error,omitempty"`
+	*solveResponse
+}
+
+// batchResponse is the /solve/batch reply. The batch itself always
+// succeeds with 200 once it decodes; per-item failures live in Items.
+type batchResponse struct {
+	Solver    string              `json:"solver"`
+	Count     int                 `json:"count"`
+	OK        int                 `json:"ok"`
+	Failed    int                 `json:"failed"`
+	Degraded  int                 `json:"degraded"`
+	ElapsedMS float64             `json:"elapsed_ms"`
+	Items     []batchItemResponse `json:"items"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -309,14 +364,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	degradedAllowed := false
-	switch v := r.URL.Query().Get("degraded"); v {
-	case "", "deny":
-	case "allow":
-		degradedAllowed = true
-	default:
+	degradedAllowed, err := parseDegradedParam(r)
+	if err != nil {
 		s.failures.Add(1)
-		fail(http.StatusBadRequest, "bad_request", fmt.Sprintf("invalid degraded=%q (want allow or deny)", v))
+		fail(http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	bypass, err := parseCacheParam(r)
+	if err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 
@@ -344,17 +401,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, "bad_request", "invalid instance: "+err.Error())
 		return
 	}
-	name := req.Solver
-	if name == "" {
-		name = "auto"
-	}
+	name, solver, err := s.resolveSolver(req.Solver)
 	o.solver = name
-	if s.allowed != nil && !s.allowed[name] {
-		s.failures.Add(1)
-		fail(http.StatusBadRequest, "bad_request", fmt.Sprintf("solver %q not allowed (allowed: %v)", name, s.cfg.Allowed))
-		return
-	}
-	solver, err := core.Get(name)
 	if err != nil {
 		s.failures.Add(1)
 		fail(http.StatusBadRequest, "bad_request", err.Error())
@@ -362,33 +410,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
-	timeout := s.cfg.Timeout
-	if req.TimeoutMillis > 0 {
-		if t := time.Duration(req.TimeoutMillis) * time.Millisecond; timeout <= 0 || t < timeout {
-			timeout = t
-		}
-	}
-	if timeout > 0 {
+	if timeout := s.solveTimeout(req.TimeoutMillis); timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 
-	opt := core.Options{Seed: s.cfg.Seed, ExactLimits: exact.Limits{MaxTuples: s.cfg.MaxTuples}}
-	if req.Seed != nil {
-		opt.Seed = *req.Seed
-	}
+	opt := s.solveOptions(req.Seed)
 	var sol model.Solution
+	var cacheOutcome string
 	if degradedAllowed {
-		// The hedged pipeline races the requested solver against the
-		// greedy safety net; both legs are panic-isolated and gated, so
-		// the answer (primary or fallback) is always feasible.
-		sol, err = core.SolveHedged(ctx, req.Instance, solver, core.HedgeOptions{
+		// The hedged pipeline races the cache-fronted requested solver
+		// against the greedy safety net; both legs are panic-isolated and
+		// gated, so the answer (primary or fallback) is always feasible.
+		// The fallback leg never touches the cache, so a degraded answer
+		// is always reported as a bypass.
+		var pmu sync.Mutex
+		pout := cacheBypass
+		primary := func(ctx context.Context, in *model.Instance, o core.Options) (model.Solution, error) {
+			psol, out, perr := s.solveThroughCache(ctx, name, solver, in, o, bypass)
+			pmu.Lock()
+			pout = out
+			pmu.Unlock()
+			return psol, perr
+		}
+		sol, err = core.SolveHedged(ctx, req.Instance, primary, core.HedgeOptions{
 			Options:     opt,
 			PrimaryName: name,
 		})
+		cacheOutcome = cacheBypass
+		if err == nil && !sol.Degraded {
+			pmu.Lock()
+			cacheOutcome = pout
+			pmu.Unlock()
+		}
 	} else {
-		sol, err = solver(ctx, req.Instance, opt)
+		sol, cacheOutcome, err = s.solveThroughCache(ctx, name, solver, req.Instance, opt, bypass)
 	}
 	elapsed := time.Since(start)
 	if err != nil {
@@ -415,16 +472,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if !degradedAllowed {
-		// Post-solve feasibility gate (the hedged path gates both legs
-		// internally): a buggy solver's infeasible answer is a 500, never
-		// a served solution.
-		if verr := core.VerifySolution(name, req.Instance, sol); verr != nil {
-			s.invalid.Add(1)
-			fail(http.StatusInternalServerError, "invalid", "solve failed: "+verr.Error())
-			return
-		}
-	}
 	if sol.Degraded {
 		s.fallbacks.Add(1)
 		if sol.FallbackReason == core.FallbackPanic {
@@ -441,7 +488,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if sol.Degraded {
 		o.outcome = "degraded"
 	}
-	writeJSON(w, http.StatusOK, solveResponse{
+	w.Header().Set(cacheHeader, cacheOutcome)
+	writeJSON(w, http.StatusOK, newSolveResponse(name, sol, elapsed))
+}
+
+// cacheHeader reports how the cache treated a request: hit, miss,
+// collapsed (waited on an identical in-flight solve), bypass (?cache=bypass
+// or a degraded answer), or off (caching disabled).
+const cacheHeader = "X-Sectord-Cache"
+
+const (
+	cacheBypass = "bypass"
+	cacheOff    = "off"
+)
+
+func newSolveResponse(name string, sol model.Solution, elapsed time.Duration) *solveResponse {
+	return &solveResponse{
 		Solver:         name,
 		Algorithm:      sol.Algorithm,
 		Profit:         sol.Profit,
@@ -454,7 +516,313 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		FallbackReason: sol.FallbackReason,
 		FallbackDetail: sol.FallbackDetail,
 		HedgeWin:       sol.HedgeWin,
+	}
+}
+
+func parseDegradedParam(r *http.Request) (bool, error) {
+	switch v := r.URL.Query().Get("degraded"); v {
+	case "", "deny":
+		return false, nil
+	case "allow":
+		return true, nil
+	default:
+		return false, fmt.Errorf("invalid degraded=%q (want allow or deny)", v)
+	}
+}
+
+func parseCacheParam(r *http.Request) (bool, error) {
+	switch v := r.URL.Query().Get("cache"); v {
+	case "", "use":
+		return false, nil
+	case "bypass":
+		return true, nil
+	default:
+		return false, fmt.Errorf("invalid cache=%q (want use or bypass)", v)
+	}
+}
+
+// resolveSolver applies the empty-name default and the allowlist, then
+// resolves through the registry (whose solvers are panic-isolated).
+func (s *Server) resolveSolver(name string) (string, core.Solver, error) {
+	if name == "" {
+		name = "auto"
+	}
+	if s.allowed != nil && !s.allowed[name] {
+		return name, nil, fmt.Errorf("solver %q not allowed (allowed: %v)", name, s.cfg.Allowed)
+	}
+	solver, err := core.Get(name)
+	if err != nil {
+		return name, nil, err
+	}
+	return name, solver, nil
+}
+
+// solveTimeout combines the server deadline with a request's timeout_ms:
+// the request may tighten the server deadline, never loosen it.
+func (s *Server) solveTimeout(requestMillis int64) time.Duration {
+	timeout := s.cfg.Timeout
+	if requestMillis > 0 {
+		if t := time.Duration(requestMillis) * time.Millisecond; timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+	return timeout
+}
+
+func (s *Server) solveOptions(seed *int64) core.Options {
+	opt := core.Options{Seed: s.cfg.Seed, ExactLimits: exact.Limits{MaxTuples: s.cfg.MaxTuples}}
+	if seed != nil {
+		opt.Seed = *seed
+	}
+	return opt
+}
+
+// solveFresh is one uncached solve behind the post-solve feasibility gate:
+// a buggy solver's infeasible answer becomes an *InvalidSolutionError,
+// never a served solution.
+func (s *Server) solveFresh(ctx context.Context, name string, solver core.Solver, in *model.Instance, opt core.Options) (model.Solution, error) {
+	sol, err := solver(ctx, in, opt)
+	if err != nil {
+		return model.Solution{}, err
+	}
+	if err := core.VerifySolution(name, in, sol); err != nil {
+		return model.Solution{}, err
+	}
+	return sol, nil
+}
+
+// solveThroughCache routes one solve through the content-addressed cache:
+// a fingerprint hit is re-verified against this request's instance before
+// being served (a failure drops the entry and solves fresh), a miss solves
+// and populates, and concurrent identical requests collapse onto one
+// in-flight solve. The returned string is the cacheHeader value.
+func (s *Server) solveThroughCache(ctx context.Context, name string, solver core.Solver, in *model.Instance, opt core.Options, bypass bool) (model.Solution, string, error) {
+	if s.cache == nil {
+		sol, err := s.solveFresh(ctx, name, solver, in, opt)
+		return sol, cacheOff, err
+	}
+	if bypass {
+		sol, err := s.solveFresh(ctx, name, solver, in, opt)
+		return sol, cacheBypass, err
+	}
+	fp, err := cache.NewFingerprint(in, opt, name)
+	if err != nil {
+		sol, err := s.solveFresh(ctx, name, solver, in, opt)
+		return sol, cacheBypass, err
+	}
+	sol, outcome, err := s.cache.GetOrSolve(ctx, fp, func(ctx context.Context) (model.Solution, error) {
+		return s.solveFresh(ctx, name, solver, in, opt)
 	})
+	if err != nil {
+		return model.Solution{}, outcome.String(), err
+	}
+	if outcome != cache.Miss {
+		// Re-gate every cached answer against this request's instance. A
+		// failure means a poisoned or colliding entry — count it, drop it,
+		// and fall back to a fresh solve rather than serving it.
+		if verr := core.VerifySolution(name, in, sol); verr != nil {
+			s.invalid.Add(1)
+			s.cache.Delete(fp.Key())
+			s.logger.Warn("cache entry failed re-verification",
+				slog.String("solver", name),
+				slog.String("key", fp.Key()),
+				slog.String("error", verr.Error()))
+			fresh, ferr := s.solveFresh(ctx, name, solver, in, opt)
+			return fresh, cache.Miss.String(), ferr
+		}
+	}
+	return sol, outcome.String(), nil
+}
+
+// handleSolveBatch solves a whole envelope of instances through the cache
+// on a bounded worker pool (core.SolveBatch). The batch is fail-soft:
+// per-item failures (invalid instance, solver error, deadline) land in
+// that item's slot while the rest proceed, and the response is 200 once
+// the envelope decodes. The whole batch occupies one inflight-semaphore
+// slot; its workers are bounded by the MaxInflight config so one batch
+// cannot exceed the server's configured solve concurrency.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.batches.Add(1)
+	rid := s.nextRequestID()
+	start := time.Now()
+	o := &solveOutcome{outcome: "error", status: http.StatusInternalServerError}
+	defer func() { s.logSolve(rid, start, o) }()
+
+	fail := func(status int, outcome, msg string) {
+		o.status, o.outcome, o.detail = status, outcome, msg
+		writeJSON(w, status, errorResponse{Error: msg})
+	}
+
+	if r.Method != http.MethodPost {
+		s.failures.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		fail(http.StatusMethodNotAllowed, "bad_request", "POST required")
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusTooManyRequests, "shed", "server at capacity")
+		return
+	}
+
+	degradedAllowed, err := parseDegradedParam(r)
+	if err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	bypass, err := parseCacheParam(r)
+	if err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", "decode request: "+err.Error())
+		return
+	}
+	if req.FormatVersion != 1 {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", fmt.Sprintf("unsupported format_version %d (want 1)", req.FormatVersion))
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", "batch has no instances")
+		return
+	}
+	if len(req.Instances) > maxBatchItems {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", fmt.Sprintf("batch has %d instances (max %d)", len(req.Instances), maxBatchItems))
+		return
+	}
+	s.batchItems.Add(int64(len(req.Instances)))
+	name, solver, err := s.resolveSolver(req.Solver)
+	o.solver = name
+	if err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	// Per-item validation is fail-soft: an invalid instance errors in its
+	// own slot (the instance is nilled out so the pool skips it) instead
+	// of rejecting the batch.
+	itemErr := make([]string, len(req.Instances))
+	for i, in := range req.Instances {
+		if in == nil {
+			itemErr[i] = "missing instance"
+			continue
+		}
+		in.Normalize()
+		if err := in.Validate(); err != nil {
+			itemErr[i] = "invalid instance: " + err.Error()
+			req.Instances[i] = nil
+		}
+	}
+
+	opt := s.solveOptions(req.Seed)
+	// outcomes records each item's cache provenance, keyed by its decoded
+	// *Instance (unique per item even for identical payloads). Workers
+	// store concurrently; reads happen after SolveBatch returns.
+	var outcomes sync.Map
+	cached := func(ctx context.Context, in *model.Instance, o core.Options) (model.Solution, error) {
+		sol, out, err := s.solveThroughCache(ctx, name, solver, in, o, bypass)
+		outcomes.Store(in, out)
+		return sol, err
+	}
+	results := core.SolveBatch(r.Context(), req.Instances, cached, core.BatchOptions{
+		Options:     opt,
+		SolverName:  name,
+		Workers:     s.cfg.MaxInflight,
+		ItemTimeout: s.solveTimeout(req.TimeoutMillis),
+		Hedged:      degradedAllowed,
+	})
+
+	resp := batchResponse{Solver: name, Count: len(req.Instances), Items: make([]batchItemResponse, len(req.Instances))}
+	for i := range results {
+		item := batchItemResponse{Index: i}
+		switch {
+		case itemErr[i] != "":
+			s.failures.Add(1)
+			item.Error = itemErr[i]
+			resp.Failed++
+		case results[i].Err != nil:
+			s.countSolveError(rid, name, results[i].Err)
+			item.Error = results[i].Err.Error()
+			resp.Failed++
+		default:
+			sol := results[i].Solution
+			item.solveResponse = newSolveResponse(name, sol, results[i].Elapsed)
+			item.Cache = cacheBypass
+			if !sol.Degraded {
+				if out, ok := outcomes.Load(req.Instances[i]); ok {
+					item.Cache = out.(string)
+				}
+			}
+			s.solved.Add(1)
+			s.observeLatency(name, results[i].Elapsed)
+			resp.OK++
+			if sol.Degraded {
+				s.fallbacks.Add(1)
+				if sol.HedgeWin {
+					s.hedgeWins.Add(1)
+				}
+				resp.Degraded++
+			}
+		}
+		resp.Items[i] = item
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	o.status, o.outcome = http.StatusOK, "batch"
+	o.detail = fmt.Sprintf("count=%d ok=%d failed=%d degraded=%d", resp.Count, resp.OK, resp.Failed, resp.Degraded)
+	w.Header().Set(cacheHeader, s.batchCacheSummary(resp.Items))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// countSolveError bumps the counter matching a per-item solve error and
+// logs panics with their captured stacks.
+func (s *Server) countSolveError(rid, name string, err error) {
+	var pe *core.PanicError
+	var ie *core.InvalidSolutionError
+	switch {
+	case errors.As(err, &pe):
+		s.panics.Add(1)
+		s.logger.Error("solver panic",
+			slog.String("request_id", rid),
+			slog.String("solver", pe.Solver),
+			slog.String("panic", fmt.Sprint(pe.Value)),
+			slog.String("stack", string(pe.Stack)))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.cancellations.Add(1)
+	case errors.As(err, &ie):
+		s.invalid.Add(1)
+	default:
+		s.failures.Add(1)
+	}
+}
+
+// batchCacheSummary renders the per-item cache outcomes as a compact
+// header value, e.g. "hits=3,misses=1,collapsed=0,bypass=0".
+func (s *Server) batchCacheSummary(items []batchItemResponse) string {
+	counts := map[string]int{}
+	for _, it := range items {
+		if it.Cache != "" {
+			counts[it.Cache]++
+		}
+	}
+	return fmt.Sprintf("hits=%d,misses=%d,collapsed=%d,bypass=%d",
+		counts["hit"], counts["miss"], counts["collapsed"], counts[cacheBypass]+counts[cacheOff])
 }
 
 // --- metrics ---
@@ -535,6 +903,16 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		{"sectord.fallbacks", &s.fallbacks},
 		{"sectord.hedge_wins", &s.hedgeWins},
 		{"sectord.invalid", &s.invalid},
+		{"sectord.batches", &s.batches},
+		{"sectord.batch_items", &s.batchItems},
+	}
+	if s.cache != nil {
+		for _, nv := range s.cache.Vars() {
+			vars = append(vars, struct {
+				name string
+				v    expvar.Var
+			}{"sectord.cache." + nv.Name, nv.Var})
+		}
 	}
 	fmt.Fprintf(w, "{\n")
 	first := true

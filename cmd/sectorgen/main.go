@@ -3,9 +3,12 @@
 // Usage:
 //
 //	sectorgen -family hotspot -n 200 -m 4 -seed 7 -out instance.json
+//	sectorgen -count 16 -out batch.json   # multi-instance batch envelope
 //
 // Families: uniform, hotspot, rings, zipf, adversarial. Variants: sectors,
-// angles, disjoint.
+// angles, disjoint. With -count > 1 the output is the batch envelope
+// consumed by `sectorpack -batch` and the sectord /solve/batch endpoint;
+// instance k uses seed+k.
 package main
 
 import (
@@ -36,9 +39,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rho := fs.Float64("rho", 0, "antenna width in radians (0 = default π/3)")
 	tight := fs.Float64("tightness", 0, "total demand / total capacity (0 = default 1.5)")
 	unit := fs.Bool("unit", false, "force unit demands")
+	count := fs.Int("count", 1, "number of instances; > 1 writes a batch envelope (instance k uses seed+k)")
 	outPath := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *count < 1 {
+		return fmt.Errorf("-count must be >= 1, got %d", *count)
 	}
 	var v model.Variant
 	switch *variant {
@@ -51,25 +58,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown variant %q", *variant)
 	}
-	in, err := gen.Generate(gen.Config{
-		Family:     gen.Family(*family),
-		Variant:    v,
-		N:          *n,
-		M:          *m,
-		Seed:       *seed,
-		Rho:        *rho,
-		Tightness:  *tight,
-		UnitDemand: *unit,
-	})
-	if err != nil {
-		return err
+	ins := make([]*model.Instance, *count)
+	for k := range ins {
+		in, err := gen.Generate(gen.Config{
+			Family:     gen.Family(*family),
+			Variant:    v,
+			N:          *n,
+			M:          *m,
+			Seed:       *seed + int64(k),
+			Rho:        *rho,
+			Tightness:  *tight,
+			UnitDemand: *unit,
+		})
+		if err != nil {
+			return err
+		}
+		ins[k] = in
+	}
+	if *count == 1 {
+		in := ins[0]
+		if *outPath == "" {
+			return model.WriteJSON(stdout, in)
+		}
+		if err := model.SaveFile(*outPath, in); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s: %s (n=%d, m=%d)\n", *outPath, in.Name, in.N(), in.M())
+		return nil
 	}
 	if *outPath == "" {
-		return model.WriteJSON(stdout, in)
+		return model.WriteBatchJSON(stdout, ins)
 	}
-	if err := model.SaveFile(*outPath, in); err != nil {
+	if err := model.SaveBatchFile(*outPath, ins); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "wrote %s: %s (n=%d, m=%d)\n", *outPath, in.Name, in.N(), in.M())
+	fmt.Fprintf(stderr, "wrote %s: %d instances (n=%d, m=%d each)\n", *outPath, len(ins), *n, *m)
 	return nil
 }

@@ -54,6 +54,54 @@ func TestGenerateVariants(t *testing.T) {
 	}
 }
 
+func TestGenerateCountWritesBatchEnvelope(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-count", "3", "-n", "8", "-m", "2", "-seed", "5"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ins, err := model.ReadBatchJSON(&stdout)
+	if err != nil {
+		t.Fatalf("output is not a batch envelope: %v", err)
+	}
+	if len(ins) != 3 {
+		t.Fatalf("envelope holds %d instances, want 3", len(ins))
+	}
+	names := map[string]bool{}
+	for _, in := range ins {
+		if in.N() != 8 || in.M() != 2 {
+			t.Errorf("instance %s shape %dx%d, want 8x2", in.Name, in.N(), in.M())
+		}
+		names[in.Name] = true
+	}
+	// Instance k uses seed+k, so the three instances must be distinct.
+	if len(names) != 3 {
+		t.Errorf("batch instances share names %v — seeds not varied?", names)
+	}
+
+	path := filepath.Join(t.TempDir(), "batch.json")
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-count", "2", "-n", "6", "-m", "2", "-out", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -out: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "2 instances") {
+		t.Errorf("confirmation %q does not report the count", stderr.String())
+	}
+	if ins, err := model.LoadBatchFile(path); err != nil || len(ins) != 2 {
+		t.Errorf("LoadBatchFile: %d instances, err %v", len(ins), err)
+	}
+}
+
+func TestGenerateCountOneKeepsSingleEnvelope(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-count", "1", "-n", "5", "-m", "2"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := model.ReadJSON(&stdout); err != nil {
+		t.Fatalf("-count 1 output is not a single-instance envelope: %v", err)
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"-variant", "bogus"}, &stdout, &stderr); err == nil {
@@ -64,5 +112,8 @@ func TestGenerateErrors(t *testing.T) {
 	}
 	if err := run([]string{"-nope"}, &stdout, &stderr); err == nil {
 		t.Error("unknown flag must error")
+	}
+	if err := run([]string{"-count", "0"}, &stdout, &stderr); err == nil {
+		t.Error("-count 0 must error")
 	}
 }

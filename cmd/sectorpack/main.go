@@ -4,14 +4,19 @@
 // Usage:
 //
 //	sectorpack -in instance.json [-solver greedy] [-seed 1] [-eps 0.05] [-v] [-viz]
+//	sectorpack -batch -in batch.json [-workers 4] [-timeout 5s]
 //
 // The instance format is the JSON envelope written by cmd/sectorgen (or
-// model.WriteJSON). Solvers: anneal, disjoint-dp, exact, greedy,
-// localsearch, lpround, unitflow.
+// model.WriteJSON). With -batch, -in names a multi-instance envelope
+// (sectorgen -count, or model.WriteBatchJSON) solved concurrently on a
+// bounded worker pool; each item succeeds or fails on its own. Solvers:
+// anneal, disjoint-dp, exact, greedy, localsearch, lpround, unitflow.
 //
-// Exit codes: 0 = full solve, 1 = error, 3 = the -timeout deadline
-// expired and a degraded fallback result was served instead (stderr names
-// the fallback solver; disable with -fallback=false to get a hard error).
+// Exit codes: 0 = full solve, 1 = error (in batch mode: any item failed),
+// 3 = the -timeout deadline expired and a degraded fallback result was
+// served instead (stderr names the fallback solver; disable with
+// -fallback=false to get a hard error). A batch where every item solved
+// but some degraded also exits 3.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"sectorpack/internal/core"
 	"sectorpack/internal/geom"
@@ -72,12 +78,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fallback := fs.Bool("fallback", true, "with -timeout: serve a greedy fallback result when the deadline expires (exit code 3) instead of failing")
 	verbose := fs.Bool("v", false, "print the per-antenna breakdown")
 	vizFlag := fs.Bool("viz", false, "draw an ASCII polar plot of the solution")
+	batch := fs.Bool("batch", false, "treat -in as a multi-instance batch envelope (sectorgen -count)")
+	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *inPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
+	}
+	if *batch {
+		if *vizFlag {
+			return fmt.Errorf("-viz is not supported with -batch")
+		}
+		return runBatch(ctx, out, batchConfig{
+			inPath:   *inPath,
+			solver:   *solverName,
+			seed:     *seed,
+			eps:      *eps,
+			timeout:  *timeout,
+			fallback: *fallback,
+			workers:  *workers,
+			verbose:  *verbose,
+		})
 	}
 	in, err := model.LoadFile(*inPath)
 	if err != nil {
@@ -142,6 +165,87 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if sol.Degraded {
 		return &degradedError{solverUsed: sol.SolverUsed, reason: sol.FallbackReason, detail: sol.FallbackDetail}
+	}
+	return nil
+}
+
+// batchConfig carries the flag values into runBatch.
+type batchConfig struct {
+	inPath   string
+	solver   string
+	seed     int64
+	eps      float64
+	timeout  time.Duration
+	fallback bool
+	workers  int
+	verbose  bool
+}
+
+// runBatch solves a multi-instance envelope on core.SolveBatch's worker
+// pool and prints one line per item. Items fail (or, with -timeout and
+// -fallback, degrade) independently; the batch always runs to completion.
+func runBatch(ctx context.Context, out io.Writer, cfg batchConfig) error {
+	ins, err := model.LoadBatchFile(cfg.inPath)
+	if err != nil {
+		return err
+	}
+	solver, err := core.Get(cfg.solver)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{Seed: cfg.seed}
+	if cfg.eps > 0 {
+		opt.Knapsack = knapsack.Options{ForceApprox: true, Eps: cfg.eps}
+	}
+	start := time.Now()
+	results := core.SolveBatch(ctx, ins, solver, core.BatchOptions{
+		Options:     opt,
+		SolverName:  cfg.solver,
+		Workers:     cfg.workers,
+		ItemTimeout: cfg.timeout,
+		Hedged:      cfg.timeout > 0 && cfg.fallback,
+	})
+	fmt.Fprintf(out, "batch      %s: %d instances, solver %s\n", cfg.inPath, len(ins), cfg.solver)
+	var ok, failed, degraded int
+	var total int64
+	for i, res := range results {
+		in := ins[i]
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(out, "[%d] %-20s ERROR: %v\n", i, in.Name, res.Err)
+			continue
+		}
+		ok++
+		sol := res.Solution
+		total += sol.Profit
+		status := ""
+		if sol.Degraded {
+			degraded++
+			status = fmt.Sprintf(" DEGRADED(%s→%s)", sol.FallbackReason, sol.SolverUsed)
+		}
+		fmt.Fprintf(out, "[%d] %-20s profit=%-8d served=%d/%d in %v%s\n",
+			i, in.Name, sol.Profit, sol.Assignment.ServedCount(), in.N(),
+			res.Elapsed.Round(time.Microsecond), status)
+		if cfg.verbose {
+			load := sol.Assignment.Load(in)
+			for j, a := range in.Antennas {
+				fmt.Fprintf(out, "    antenna %2d  α=%7.2f° ρ=%6.2f° load %d/%d\n",
+					j, geom.Degrees(sol.Assignment.Orientation[j]), geom.Degrees(a.Rho),
+					load[j], a.Capacity)
+			}
+		}
+	}
+	fmt.Fprintf(out, "total      profit=%d ok=%d failed=%d degraded=%d in %v\n",
+		total, ok, failed, degraded, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("%d of %d batch items failed", failed, len(ins))
+	}
+	if degraded > 0 {
+		return &degradedError{
+			solverUsed: "greedy",
+			reason:     "batch",
+			detail:     fmt.Sprintf("%d of %d batch items served by the fallback", degraded, len(ins)),
+		}
 	}
 	return nil
 }

@@ -117,6 +117,99 @@ func TestRunTimeoutFastSolverStaysFull(t *testing.T) {
 	}
 }
 
+// writeTestBatch saves a batch envelope of small named instances.
+func writeTestBatch(t *testing.T, names ...string) string {
+	t.Helper()
+	ins := make([]*model.Instance, len(names))
+	for k, name := range names {
+		in := gen.MustGenerate(gen.Config{
+			Family: gen.Uniform, Variant: model.Sectors, Seed: int64(20 + k), N: 12, M: 2,
+		})
+		in.Name = name
+		ins[k] = in
+	}
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := model.SaveBatchFile(path, ins); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBatchSolvesEnvelope(t *testing.T) {
+	path := writeTestBatch(t, "alpha", "beta", "gamma")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-batch", "-in", path, "-workers", "2", "-v"}, &out); err != nil {
+		t.Fatalf("run -batch: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"[0] alpha", "[1] beta", "[2] gamma", "profit=", "total", "ok=3 failed=0", "antenna"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("batch output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunBatchFailedItemExitsNonzero: one failing item fails the run (exit
+// 1 in main) while the other items still print their solutions.
+func TestRunBatchFailedItemExitsNonzero(t *testing.T) {
+	core.Register("test-batch-cli-fail", func(ctx context.Context, in *model.Instance, opt core.Options) (model.Solution, error) {
+		if in.Name == "bad" {
+			return model.Solution{}, errors.New("injected item failure")
+		}
+		return core.SolveGreedy(ctx, in, opt)
+	})
+	defer core.Unregister("test-batch-cli-fail")
+	path := writeTestBatch(t, "good", "bad")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-batch", "-in", path, "-solver", "test-batch-cli-fail"}, &out)
+	if err == nil {
+		t.Fatal("batch with a failed item must error")
+	}
+	var de *degradedError
+	if errors.As(err, &de) {
+		t.Error("a hard item failure must not exit with the degraded code")
+	}
+	if !strings.Contains(out.String(), "ERROR") || !strings.Contains(out.String(), "[0] good") {
+		t.Errorf("batch output missing the failure line or the healthy item:\n%s", out.String())
+	}
+}
+
+// TestRunBatchTimeoutFallbackDegrades: per-item deadlines with the default
+// -fallback route failing items to the safety net and exit with the
+// degraded sentinel, mirroring the single-solve contract.
+func TestRunBatchTimeoutFallbackDegrades(t *testing.T) {
+	core.Register("test-batch-cli-hang", func(ctx context.Context, in *model.Instance, opt core.Options) (model.Solution, error) {
+		<-ctx.Done()
+		return model.Solution{}, ctx.Err()
+	})
+	defer core.Unregister("test-batch-cli-hang")
+	path := writeTestBatch(t, "one", "two")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-batch", "-in", path, "-solver", "test-batch-cli-hang", "-timeout", "50ms"}, &out)
+	var de *degradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T %v, want *degradedError", err, err)
+	}
+	if !strings.Contains(out.String(), "DEGRADED") || !strings.Contains(out.String(), "degraded=2") {
+		t.Errorf("batch output missing degraded markers:\n%s", out.String())
+	}
+}
+
+func TestRunBatchRejectsViz(t *testing.T) {
+	path := writeTestBatch(t, "only")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-batch", "-viz", "-in", path}, &out); err == nil {
+		t.Error("-batch with -viz must error")
+	}
+}
+
+func TestRunBatchRejectsSingleEnvelope(t *testing.T) {
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-batch", "-in", path}, &out); err == nil {
+		t.Error("-batch on a single-instance envelope must error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{}, &out); err == nil {

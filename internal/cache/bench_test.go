@@ -1,0 +1,80 @@
+package cache
+
+import (
+	"context"
+	"testing"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+func benchInstance() *model.Instance {
+	return gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 42, N: 200, M: 3, Variant: model.Sectors})
+}
+
+// BenchmarkCacheHit measures the full hit path — fingerprint the instance,
+// look up, remap into request coordinates — against BenchmarkFreshGreedy
+// below on the identical instance. The hit must be far cheaper than even
+// the fastest solver; the `sectorbench -compare` gate tracks both.
+func BenchmarkCacheHit(b *testing.B) {
+	in := benchInstance()
+	opt := core.Options{Seed: 1, SkipBound: true}
+	solver, err := core.Get("greedy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := New(0)
+	fp, err := NewFingerprint(in, opt, "greedy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, out, err := c.GetOrSolve(context.Background(), fp, func(ctx context.Context) (model.Solution, error) {
+		return solver(ctx, in, opt)
+	}); err != nil || out != Miss {
+		b.Fatalf("warm-up: outcome %v err %v", out, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp, err := NewFingerprint(in, opt, "greedy")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := c.Get(fp); !ok {
+			b.Fatal("warm cache missed")
+		}
+	}
+}
+
+// BenchmarkFreshGreedy is the uncached baseline for BenchmarkCacheHit:
+// same instance, same options, no cache.
+func BenchmarkFreshGreedy(b *testing.B) {
+	in := benchInstance()
+	opt := core.Options{Seed: 1, SkipBound: true}
+	solver, err := core.Get("greedy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver(context.Background(), in, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFingerprint isolates the canonicalization + SHA-256 cost, the
+// fixed overhead every cached request pays.
+func BenchmarkFingerprint(b *testing.B) {
+	in := benchInstance()
+	opt := core.Options{Seed: 1, SkipBound: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewFingerprint(in, opt, "greedy"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"container/list"
+	"context"
+	"expvar"
+	"sync"
+
+	"sectorpack/internal/model"
+)
+
+// DefaultMaxBytes is the cache budget when New is given zero.
+const DefaultMaxBytes = 64 << 20
+
+// Outcome reports how GetOrSolve produced its result.
+type Outcome int
+
+const (
+	// Miss: no cached entry and no in-flight solve; the caller's solve
+	// function ran and (on success) populated the cache.
+	Miss Outcome = iota
+	// Hit: served from the stored entry without solving.
+	Hit
+	// Collapsed: an identical solve was already in flight; this call
+	// waited for it instead of solving (the singleflight path).
+	Collapsed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Collapsed:
+		return "collapsed"
+	default:
+		return "unknown"
+	}
+}
+
+// flight is one in-progress solve that concurrent identical requests
+// attach to. sol is stored in canonical coordinates so followers with a
+// permuted (but fingerprint-identical) instance can remap it; the fields
+// are written exactly once before done is closed.
+type flight struct {
+	done chan struct{}
+	sol  model.Solution
+	ok   bool // sol is valid (solve succeeded)
+	err  error
+}
+
+// entry is one stored solution, in canonical coordinates.
+type entry struct {
+	key  string
+	sol  model.Solution
+	size int64
+}
+
+// entrySize approximates an entry's memory footprint for the byte budget.
+func entrySize(key string, sol model.Solution) int64 {
+	size := int64(len(key)) + 128 // struct, map, and list overhead
+	if sol.Assignment != nil {
+		size += int64(len(sol.Assignment.Orientation))*8 + int64(len(sol.Assignment.Owner))*8
+	}
+	size += int64(len(sol.Algorithm) + len(sol.SolverUsed) + len(sol.FallbackReason) + len(sol.FallbackDetail))
+	return size
+}
+
+// Cache is a byte-bounded LRU of verified solutions keyed by Fingerprint,
+// with singleflight collapse of concurrent identical solves. All methods
+// are safe for concurrent use.
+type Cache struct {
+	// mu guards everything below. Solves themselves run outside the lock;
+	// only map/list bookkeeping happens under it.
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	flights  map[string]*flight
+
+	hits      expvar.Int
+	misses    expvar.Int
+	evictions expvar.Int
+	collapsed expvar.Int
+	stores    expvar.Int
+}
+
+// New returns a cache bounded to maxBytes of stored solutions; zero means
+// DefaultMaxBytes.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		flights:  map[string]*flight{},
+	}
+}
+
+func (c *Cache) lock()   { c.mu.Lock() }
+func (c *Cache) unlock() { c.mu.Unlock() }
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Collapsed int64 `json:"collapsed"`
+	Stores    int64 `json:"stores"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int64 `json:"entries"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	c.lock()
+	defer c.unlock()
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Collapsed: c.collapsed.Value(),
+		Stores:    c.stores.Value(),
+		Bytes:     c.bytes,
+		Entries:   int64(c.ll.Len()),
+	}
+}
+
+// NamedVar pairs an expvar with its metric name, for /debug/vars-style
+// rendering by an embedding server.
+type NamedVar struct {
+	Name string
+	Var  expvar.Var
+}
+
+// Vars returns the cache metrics as (name, expvar) pairs. The vars are not
+// published to the global expvar registry (publishing panics on duplicate
+// names, and tests build many caches per process).
+func (c *Cache) Vars() []NamedVar {
+	return []NamedVar{
+		{"hits", &c.hits},
+		{"misses", &c.misses},
+		{"evictions", &c.evictions},
+		{"collapsed", &c.collapsed},
+		{"stores", &c.stores},
+		{"bytes", expvar.Func(func() any { c.lock(); defer c.unlock(); return c.bytes })},
+		{"entries", expvar.Func(func() any { c.lock(); defer c.unlock(); return c.ll.Len() })},
+	}
+}
+
+// Get returns the cached solution for fp, remapped into fp's instance
+// coordinates, without solving. The returned assignment is freshly
+// allocated — callers may mutate it freely.
+func (c *Cache) Get(fp *Fingerprint) (model.Solution, bool) {
+	c.lock()
+	e, ok := c.entries[fp.key]
+	if !ok {
+		c.misses.Add(1)
+		c.unlock()
+		return model.Solution{}, false
+	}
+	c.ll.MoveToFront(e)
+	sol := e.Value.(*entry).sol
+	c.hits.Add(1)
+	c.unlock()
+	return fp.fromCanonical(sol), true
+}
+
+// Put stores a solution for fp, converting it to canonical coordinates.
+// Degraded solutions are rejected: they are artifacts of one request's
+// failure, not properties of the instance, and must never be replayed.
+func (c *Cache) Put(fp *Fingerprint, sol model.Solution) {
+	if sol.Degraded || sol.Assignment == nil {
+		return
+	}
+	canon := fp.toCanonical(sol)
+	c.lock()
+	c.putLocked(fp.key, canon)
+	c.unlock()
+}
+
+// Delete removes the entry for key, if present. The serving layer uses it
+// to drop an entry that failed the re-verification gate.
+func (c *Cache) Delete(key string) {
+	c.lock()
+	if e, ok := c.entries[key]; ok {
+		c.removeLocked(e)
+	}
+	c.unlock()
+}
+
+// putLocked inserts or refreshes an entry and evicts from the LRU tail
+// until the byte budget holds. An entry larger than the whole budget is
+// not stored at all.
+func (c *Cache) putLocked(key string, canon model.Solution) {
+	size := entrySize(key, canon)
+	if size > c.maxBytes {
+		return
+	}
+	if e, ok := c.entries[key]; ok {
+		c.removeLocked(e) // replacement, not eviction pressure
+	}
+	e := c.ll.PushFront(&entry{key: key, sol: canon, size: size})
+	c.entries[key] = e
+	c.bytes += size
+	c.stores.Add(1)
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *Cache) removeLocked(e *list.Element) {
+	ent := e.Value.(*entry)
+	c.ll.Remove(e)
+	delete(c.entries, ent.key)
+	c.bytes -= ent.size
+}
+
+// GetOrSolve returns the cached solution for fp, or runs solve exactly
+// once per key across concurrent callers (singleflight) and caches its
+// verified result. The solve function receives the caller's ctx and must
+// return a solution already gated by the caller's verification; the cache
+// stores whatever a successful solve returns (except degraded solutions).
+//
+// On a Miss the returned solution is the solve function's result,
+// untouched — bit-identical to an uncached call. On a Hit or Collapsed
+// outcome the stored canonical solution is remapped into fp's coordinates.
+// A follower whose ctx expires before the leader finishes returns its own
+// ctx error without waiting further.
+func (c *Cache) GetOrSolve(ctx context.Context, fp *Fingerprint, solve func(ctx context.Context) (model.Solution, error)) (model.Solution, Outcome, error) {
+	c.lock()
+	if e, ok := c.entries[fp.key]; ok {
+		c.ll.MoveToFront(e)
+		sol := e.Value.(*entry).sol
+		c.hits.Add(1)
+		c.unlock()
+		return fp.fromCanonical(sol), Hit, nil
+	}
+	if fl, ok := c.flights[fp.key]; ok {
+		c.collapsed.Add(1)
+		c.unlock()
+		select {
+		case <-fl.done:
+			if !fl.ok {
+				return model.Solution{}, Collapsed, fl.err
+			}
+			return fp.fromCanonical(fl.sol), Collapsed, nil
+		case <-ctx.Done():
+			return model.Solution{}, Collapsed, ctx.Err()
+		}
+	}
+	c.misses.Add(1)
+	fl := &flight{done: make(chan struct{})}
+	c.flights[fp.key] = fl
+	c.unlock()
+
+	sol, err := solve(ctx)
+	store := err == nil && !sol.Degraded && sol.Assignment != nil
+	var canon model.Solution
+	if store {
+		canon = fp.toCanonical(sol)
+	}
+	c.lock()
+	delete(c.flights, fp.key)
+	if store {
+		c.putLocked(fp.key, canon)
+	}
+	c.unlock()
+	if store {
+		fl.sol, fl.ok = canon, true
+	} else {
+		fl.err = err
+		if err == nil {
+			// Success that is not cacheable (degraded): followers still
+			// deserve the answer.
+			fl.sol, fl.ok = fp.toCanonical(sol), true
+		}
+	}
+	close(fl.done)
+	return sol, Miss, err
+}

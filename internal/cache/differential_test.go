@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+// differentialInstance picks an instance every registered solver accepts:
+// disjoint-dp needs the DisjointAngles variant, everything else gets the
+// same unit-demand Sectors instance the core determinism goldens use.
+func differentialInstance(solver string) *model.Instance {
+	if solver == "disjoint-dp" {
+		return gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 11, N: 10, M: 2, Variant: model.DisjointAngles})
+	}
+	return gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 7, N: 10, M: 2, Variant: model.Sectors, UnitDemand: true})
+}
+
+// TestDifferentialCachedEqualsFreshAllSolvers is the cache's central
+// correctness claim, checked for every registered solver: the solve served
+// from a cache hit is bit-identical (profit, algorithm, full-precision
+// orientations, owners) to the fresh solve that populated it, and to a
+// bypassing solve that never touched the cache. It also pins the hit/miss
+// accounting: one miss to populate, then only hits.
+func TestDifferentialCachedEqualsFreshAllSolvers(t *testing.T) {
+	for _, name := range core.Names() {
+		if strings.HasPrefix(name, "test-") {
+			continue // solvers injected by other tests in this package tree
+		}
+		t.Run(name, func(t *testing.T) {
+			in := differentialInstance(name)
+			opt := core.Options{Seed: 1}
+			solver, err := core.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solve := func(ctx context.Context) (model.Solution, error) {
+				sol, err := solver(ctx, in, opt)
+				if err != nil {
+					return model.Solution{}, err
+				}
+				if err := core.VerifySolution(name, in, sol); err != nil {
+					return model.Solution{}, err
+				}
+				return sol, nil
+			}
+
+			// Fresh: the reference answer, no cache anywhere near it.
+			fresh, err := solve(context.Background())
+			if err != nil {
+				t.Fatalf("fresh solve: %v", err)
+			}
+			want := solutionString(fresh)
+
+			c := New(0)
+			fp := mustFingerprint(t, in, opt, name)
+
+			// Miss: populates the cache; must be the fresh bytes untouched.
+			miss, out, err := c.GetOrSolve(context.Background(), fp, solve)
+			if err != nil || out != Miss {
+				t.Fatalf("populate: outcome %v err %v", out, err)
+			}
+			if got := solutionString(miss); got != want {
+				t.Fatalf("miss path drifted from fresh:\n got  %s\n want %s", got, want)
+			}
+
+			// Hit: served from the stored entry; must re-verify and match.
+			for trial := 0; trial < 3; trial++ {
+				hit, out, err := c.GetOrSolve(context.Background(), fp, solve)
+				if err != nil || out != Hit {
+					t.Fatalf("hit trial %d: outcome %v err %v", trial, out, err)
+				}
+				if err := core.VerifySolution(name, in, hit); err != nil {
+					t.Fatalf("hit trial %d failed the feasibility gate: %v", trial, err)
+				}
+				if got := solutionString(hit); got != want {
+					t.Fatalf("hit trial %d drifted from fresh:\n got  %s\n want %s", trial, got, want)
+				}
+			}
+
+			// Bypass: a fresh solve next to a warm cache; must still match
+			// (the cache cannot perturb an uncached solve).
+			bypass, err := solve(context.Background())
+			if err != nil {
+				t.Fatalf("bypass solve: %v", err)
+			}
+			if got := solutionString(bypass); got != want {
+				t.Fatalf("bypass path drifted from fresh:\n got  %s\n want %s", got, want)
+			}
+
+			st := c.Stats()
+			if st.Misses != 1 || st.Hits != 3 {
+				t.Fatalf("stats %+v, want exactly 1 miss and 3 hits", st)
+			}
+		})
+	}
+}
+
+// TestDifferentialSeedSeparation: the same instance under two seeds must
+// occupy two cache entries — a hit for one seed can never answer for the
+// other (lpround's rounding depends on the seed).
+func TestDifferentialSeedSeparation(t *testing.T) {
+	in := differentialInstance("lpround")
+	solver, err := core.Get("lpround")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(0)
+	for _, seed := range []int64{1, 2} {
+		opt := core.Options{Seed: seed}
+		fp := mustFingerprint(t, in, opt, "lpround")
+		_, out, err := c.GetOrSolve(context.Background(), fp, func(ctx context.Context) (model.Solution, error) {
+			return solver(ctx, in, opt)
+		})
+		if err != nil || out != Miss {
+			t.Fatalf("seed %d: outcome %v err %v, want a distinct miss", seed, out, err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("two seeds share an entry: %+v", st)
+	}
+}

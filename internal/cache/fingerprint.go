@@ -1,0 +1,246 @@
+// Package cache provides the solve cache for repeated sector-packing
+// instances: a canonical, order-insensitive fingerprint of
+// (Instance, Options, solver) and a byte-bounded LRU of verified Solutions
+// with singleflight collapse, so N concurrent identical requests cost one
+// underlying solve.
+//
+// The fingerprint is computed over a *canonical form* of the instance:
+// customers and antennas are sorted by their semantic fields (IDs and the
+// cosmetic Name are excluded, and the encodings of "unbounded range" all
+// hash identically), and the sorted fields are streamed into SHA-256 as a
+// length-prefixed, fixed-order binary serialization with floats spelled as
+// their IEEE-754 bit patterns — canonical like sorted-key JSON, but
+// allocation-free, because the fingerprint is paid on every cached request
+// and must stay far cheaper than the cheapest solver. Two instances that
+// differ only by a permutation of their customer or antenna slices share a
+// key, while flipping any Options field, any demand unit, or the solver
+// name changes it.
+//
+// Because solutions are expressed in slice coordinates, the cache stores
+// them in canonical coordinates and each Fingerprint carries the
+// permutation that maps its own instance onto the canonical form. A solve
+// cached from one ordering is served to a permuted duplicate by remapping
+// through both permutations; for the *same* ordering the round trip is the
+// identity, so a cache hit is bit-identical to the fresh solve that
+// populated it (the differential tests in this package enforce exactly
+// that).
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"sort"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/model"
+)
+
+// fingerprintVersion is bumped whenever the canonical document changes
+// shape, so stale keys from older builds can never alias new ones.
+const fingerprintVersion = 1
+
+// Fingerprint identifies one (instance, options, solver) solve and carries
+// the canonicalization permutations needed to move solutions between the
+// instance's coordinates and the cache's canonical coordinates.
+type Fingerprint struct {
+	key string
+	// cust[k] is the original index of the k-th customer in canonical
+	// order; ant likewise for antennas.
+	cust []int
+	ant  []int
+}
+
+// Key returns the hex SHA-256 cache key.
+func (f *Fingerprint) Key() string { return f.key }
+
+// hasher streams the canonical document into SHA-256 through a reused
+// 8-byte buffer: every field is written in a fixed order, strings are
+// length-prefixed, so the encoding is injective and stable across runs and
+// builds without materializing an intermediate document.
+type hasher struct {
+	sum hash.Hash
+	buf [8]byte
+}
+
+func newHasher() *hasher {
+	return &hasher{sum: sha256.New()}
+}
+
+func (w *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.sum.Write(w.buf[:])
+}
+
+func (w *hasher) i64(v int64) { w.u64(uint64(v)) }
+
+// float spells a float as its IEEE-754 bit pattern: exact, total, and
+// immune to formatting round trips. Instances are validated NaN-free, so
+// bit equality coincides with semantic equality here.
+func (w *hasher) float(x float64) { w.u64(math.Float64bits(x)) }
+
+func (w *hasher) bool(b bool) {
+	if b {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func (w *hasher) str(s string) {
+	w.u64(uint64(len(s)))
+	w.sum.Write([]byte(s))
+}
+
+func (w *hasher) key() string {
+	var digest [sha256.Size]byte
+	return hex.EncodeToString(w.sum.Sum(digest[:0]))
+}
+
+// options hashes every core.Options field. A new field added to
+// core.Options (or its nested structs) MUST be added here, or identical
+// keys would alias solves with different semantics;
+// TestFingerprintSensitiveToEveryOptionsField walks core.Options by
+// reflection and fails when a field does not move the key.
+func (w *hasher) options(opt core.Options) {
+	w.float(opt.Knapsack.Eps)
+	w.i64(opt.Knapsack.MaxBBNodes)
+	w.bool(opt.Knapsack.ForceApprox)
+	w.i64(opt.ExactLimits.MaxTuples)
+	w.i64(opt.ExactLimits.MKPNodes)
+	w.i64(opt.Seed)
+	w.i64(int64(opt.RoundTrials))
+	w.i64(int64(opt.LocalSearchRounds))
+	w.bool(opt.SkipBound)
+}
+
+// NewFingerprint canonicalizes and hashes one solve. The instance must be
+// normalized and valid (the callers — daemon, CLI, tests — validate before
+// solving); the error return is reserved for future canonicalization
+// failures and is currently always nil.
+func NewFingerprint(in *model.Instance, opt core.Options, solver string) (*Fingerprint, error) {
+	f := &Fingerprint{
+		cust: make([]int, in.N()),
+		ant:  make([]int, in.M()),
+	}
+	for i := range f.cust {
+		f.cust[i] = i
+	}
+	for j := range f.ant {
+		f.ant[j] = j
+	}
+	cs := in.Customers
+	sort.SliceStable(f.cust, func(a, b int) bool {
+		x, y := cs[f.cust[a]], cs[f.cust[b]]
+		if x.Theta != y.Theta {
+			return x.Theta < y.Theta
+		}
+		if x.R != y.R {
+			return x.R < y.R
+		}
+		if x.Demand != y.Demand {
+			return x.Demand < y.Demand
+		}
+		return x.Profit < y.Profit
+	})
+	as := in.Antennas
+	sort.SliceStable(f.ant, func(a, b int) bool {
+		x, y := as[f.ant[a]], as[f.ant[b]]
+		if x.Rho != y.Rho {
+			return x.Rho < y.Rho
+		}
+		// EffRange folds the two unbounded encodings (<= 0 and +Inf)
+		// together so semantically identical antennas sort and hash alike.
+		if x.EffRange() != y.EffRange() {
+			return x.EffRange() < y.EffRange()
+		}
+		if x.Capacity != y.Capacity {
+			return x.Capacity < y.Capacity
+		}
+		return x.MinRange < y.MinRange
+	})
+
+	w := newHasher()
+	w.i64(fingerprintVersion)
+	w.str(solver)
+	w.options(opt)
+	w.i64(int64(in.Variant))
+	w.i64(int64(in.N()))
+	for _, i := range f.cust {
+		c := &cs[i]
+		w.float(c.Theta)
+		w.float(c.R)
+		w.i64(c.Demand)
+		w.i64(c.Profit)
+	}
+	w.i64(int64(in.M()))
+	for _, j := range f.ant {
+		a := &as[j]
+		w.float(a.Rho)
+		w.float(a.EffRange())
+		w.i64(a.Capacity)
+		w.float(a.MinRange)
+	}
+	f.key = w.key()
+	return f, nil
+}
+
+// toCanonical re-expresses a solution produced in this fingerprint's
+// instance coordinates in canonical coordinates. The assignment slices are
+// freshly allocated; the input is not modified.
+func (f *Fingerprint) toCanonical(sol model.Solution) model.Solution {
+	if sol.Assignment == nil {
+		return sol
+	}
+	antToCanon := make([]int, len(f.ant))
+	for k, j := range f.ant {
+		antToCanon[j] = k
+	}
+	as := &model.Assignment{
+		Orientation: make([]float64, len(f.ant)),
+		Owner:       make([]int, len(f.cust)),
+	}
+	for k, j := range f.ant {
+		as.Orientation[k] = sol.Assignment.Orientation[j]
+	}
+	for k, i := range f.cust {
+		owner := sol.Assignment.Owner[i]
+		if owner == model.Unassigned {
+			as.Owner[k] = model.Unassigned
+		} else {
+			as.Owner[k] = antToCanon[owner]
+		}
+	}
+	sol.Assignment = as
+	return sol
+}
+
+// fromCanonical re-expresses a canonical-coordinate solution in this
+// fingerprint's instance coordinates. For the ordering that produced the
+// cached entry this inverts toCanonical exactly, so a hit reproduces the
+// original solve bit for bit; for a permuted duplicate it yields the
+// equivalent permuted assignment (same profit, same served multiset).
+func (f *Fingerprint) fromCanonical(sol model.Solution) model.Solution {
+	if sol.Assignment == nil {
+		return sol
+	}
+	as := &model.Assignment{
+		Orientation: make([]float64, len(f.ant)),
+		Owner:       make([]int, len(f.cust)),
+	}
+	for k, j := range f.ant {
+		as.Orientation[j] = sol.Assignment.Orientation[k]
+	}
+	for k, i := range f.cust {
+		owner := sol.Assignment.Owner[k]
+		if owner == model.Unassigned {
+			as.Owner[i] = model.Unassigned
+		} else {
+			as.Owner[i] = f.ant[owner]
+		}
+	}
+	sol.Assignment = as
+	return sol
+}

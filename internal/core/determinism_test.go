@@ -93,6 +93,37 @@ func TestGoldensCoverAllBuiltins(t *testing.T) {
 	}
 }
 
+// TestSolveBatchMatchesGoldens extends the determinism guard through the
+// batching layer: every registered solver, run over a batch of identical
+// instances on the worker pool, must put the exact golden bytes in every
+// slot — batching may change scheduling, never answers.
+func TestSolveBatchMatchesGoldens(t *testing.T) {
+	for name, want := range goldenSolves {
+		mk := goldenSectorsInstance
+		if name == "disjoint-dp" {
+			mk = goldenDisjointInstance
+		}
+		solver, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		ins := []*model.Instance{mk(), mk(), mk()}
+		results := SolveBatch(context.Background(), ins, solver, BatchOptions{
+			Options:    Options{Seed: 1},
+			SolverName: name,
+		})
+		for i, r := range results {
+			if r.Err != nil {
+				t.Errorf("%s item %d: %v", name, i, r.Err)
+				continue
+			}
+			if got := solveFingerprint(r.Solution); got != want {
+				t.Errorf("%s item %d drifted from golden through the batch path:\n got  %s\n want %s", name, i, got, want)
+			}
+		}
+	}
+}
+
 // TestHedgedSolveMatchesGoldensWhenHealthy extends the guard through the
 // hedged pipeline: with a healthy primary and no deadline, SolveHedged
 // must return the same bytes as the plain registry solve.

@@ -57,20 +57,25 @@ func ReadJSON(r io.Reader) (*Instance, error) {
 // therefore never leave a torn, unparseable file at path — the destination
 // either keeps its previous content or holds the complete new instance.
 func SaveFile(path string, in *Instance) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return WriteJSON(w, in) })
+}
+
+// writeFileAtomic runs write against a temp file in path's directory,
+// fsyncs, and renames over the destination; any failure removes the temp
+// file so no partial write survives.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	// Any failure from here on removes the temp file so no partial write
-	// survives.
 	cleanup := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
-	if err := WriteJSON(f, in); err != nil {
+	if err := write(f); err != nil {
 		return cleanup(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -95,4 +100,63 @@ func LoadFile(path string) (*Instance, error) {
 	}
 	defer f.Close()
 	return ReadJSON(f)
+}
+
+// batchJSON is the multi-instance wire form used by `sectorpack -batch`,
+// `sectorgen -count`, and the sectord /solve/batch endpoint.
+type batchJSON struct {
+	FormatVersion int         `json:"format_version"`
+	Instances     []*Instance `json:"instances"`
+}
+
+// WriteBatchJSON serializes a batch of instances to w with indentation,
+// wrapped in the versioned envelope.
+func WriteBatchJSON(w io.Writer, ins []*Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(batchJSON{FormatVersion: formatVersion, Instances: ins})
+}
+
+// ReadBatchJSON parses a batch envelope written by WriteBatchJSON,
+// normalizing and validating every instance. Item errors name the failing
+// index.
+func ReadBatchJSON(r io.Reader) ([]*Instance, error) {
+	var env batchJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("decode batch: %w", err)
+	}
+	if env.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("unsupported batch format version %d (want %d)", env.FormatVersion, formatVersion)
+	}
+	if len(env.Instances) == 0 {
+		return nil, fmt.Errorf("batch envelope has no instances")
+	}
+	for i, in := range env.Instances {
+		if in == nil {
+			return nil, fmt.Errorf("batch instance %d is null", i)
+		}
+		in.Normalize()
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("invalid batch instance %d: %w", i, err)
+		}
+	}
+	return env.Instances, nil
+}
+
+// SaveBatchFile writes a batch of instances to path with the same
+// atomicity guarantee as SaveFile.
+func SaveBatchFile(path string, ins []*Instance) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return WriteBatchJSON(w, ins) })
+}
+
+// LoadBatchFile reads a batch of instances from path.
+func LoadBatchFile(path string) ([]*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBatchJSON(f)
 }

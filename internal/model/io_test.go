@@ -49,6 +49,72 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestBatchJSONRoundTrip(t *testing.T) {
+	ins := []*Instance{testInstance(), testInstance(), testInstance()}
+	ins[1].Name = "second"
+	var buf bytes.Buffer
+	if err := WriteBatchJSON(&buf, ins); err != nil {
+		t.Fatalf("WriteBatchJSON: %v", err)
+	}
+	out, err := ReadBatchJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadBatchJSON: %v", err)
+	}
+	if len(out) != len(ins) {
+		t.Fatalf("round trip changed batch size: %d vs %d", len(out), len(ins))
+	}
+	for k, in := range ins {
+		if out[k].N() != in.N() || out[k].M() != in.M() || out[k].Name != in.Name {
+			t.Errorf("batch item %d changed shape: %+v", k, out[k])
+		}
+		for i := range in.Customers {
+			if out[k].Customers[i] != in.Customers[i] {
+				t.Errorf("item %d customer %d changed: %+v vs %+v", k, i, out[k].Customers[i], in.Customers[i])
+			}
+		}
+	}
+}
+
+func TestReadBatchJSONRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"format_version": 99, "instances": [{"variant":0,"customers":[],"antennas":[]}]}`,
+		"no instances":  `{"format_version": 1, "instances": []}`,
+		"null item":     `{"format_version": 1, "instances": [null]}`,
+		"unknown field": `{"format_version":1,"bogus":3,"instances":[{"variant":0,"customers":[],"antennas":[]}]}`,
+		"invalid item":  `{"format_version":1,"instances":[{"variant":0,"customers":[],"antennas":[]},{"variant":0,"customers":[{"id":0,"theta":0,"r":1,"demand":-5}],"antennas":[]}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadBatchJSON(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: ReadBatchJSON accepted it", name)
+		}
+	}
+	// An item error names the failing index so a 200-instance envelope is
+	// debuggable.
+	_, err := ReadBatchJSON(strings.NewReader(cases["invalid item"]))
+	if err == nil || !strings.Contains(err.Error(), "instance 1") {
+		t.Errorf("item error %v does not name the failing index", err)
+	}
+}
+
+func TestSaveLoadBatchFile(t *testing.T) {
+	ins := []*Instance{testInstance(), testInstance()}
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := SaveBatchFile(path, ins); err != nil {
+		t.Fatalf("SaveBatchFile: %v", err)
+	}
+	out, err := LoadBatchFile(path)
+	if err != nil {
+		t.Fatalf("LoadBatchFile: %v", err)
+	}
+	if len(out) != 2 || out[0].N() != ins[0].N() {
+		t.Fatalf("batch file round trip changed shape")
+	}
+	if _, err := LoadBatchFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
 func TestSaveLoadFile(t *testing.T) {
 	in := testInstance()
 	path := filepath.Join(t.TempDir(), "inst.json")

@@ -137,6 +137,22 @@ func Solve(ctx context.Context, name string, in *Instance, opt Options) (Solutio
 // SolverNames lists the registered solver names.
 func SolverNames() []string { return core.Names() }
 
+// BatchResult is one SolveBatch item's outcome: a verified solution or a
+// typed error, never both.
+type BatchResult = core.BatchResult
+
+// SolveBatch solves every instance concurrently on a bounded worker pool
+// with the named solver, returning per-item results aligned with the
+// input; a failing item errors in its own slot while the rest proceed.
+// See internal/core.SolveBatch for per-item deadlines and hedged batches.
+func SolveBatch(ctx context.Context, name string, ins []*Instance, opt Options) ([]BatchResult, error) {
+	s, err := core.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.SolveBatch(ctx, ins, s, core.BatchOptions{Options: opt, SolverName: name}), nil
+}
+
 // Fail-soft pipeline errors (aliases into internal/core).
 type (
 	// PanicError is a solver panic converted into an error by the fail-soft

@@ -53,6 +53,43 @@ func TestPublicSolveDispatch(t *testing.T) {
 	}
 }
 
+// TestPublicSolveBatch: the façade batch call solves every item and each
+// result matches the corresponding single solve exactly.
+func TestPublicSolveBatch(t *testing.T) {
+	ins := make([]*sectorpack.Instance, 4)
+	for k := range ins {
+		ins[k] = sectorpack.MustGenerate(sectorpack.GenConfig{
+			Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
+			Seed: int64(30 + k), N: 15, M: 2,
+		})
+	}
+	results, err := sectorpack.SolveBatch(context.Background(), "greedy", ins, sectorpack.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(results) != len(ins) {
+		t.Fatalf("got %d results for %d instances", len(results), len(ins))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		single, err := sectorpack.Solve(context.Background(), "greedy", ins[i], sectorpack.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Solution.Profit != single.Profit {
+			t.Errorf("item %d: batch profit %d != single profit %d", i, r.Solution.Profit, single.Profit)
+		}
+		if err := r.Solution.Assignment.Check(ins[i]); err != nil {
+			t.Errorf("item %d infeasible: %v", i, err)
+		}
+	}
+	if _, err := sectorpack.SolveBatch(context.Background(), "bogus", ins, sectorpack.Options{}); err == nil {
+		t.Error("unknown solver must error")
+	}
+}
+
 func TestPublicSolveHedged(t *testing.T) {
 	in := sectorpack.MustGenerate(sectorpack.GenConfig{
 		Family: sectorpack.Uniform, Variant: sectorpack.Sectors,
