@@ -88,6 +88,7 @@ func microBenchmarks() []microBench {
 	if err != nil {
 		panic(err)
 	}
+	//sectorlint:ignore provenance sol comes from a plain non-hedged Solve above, which can never return a degraded solution
 	c.Put(fp, sol)
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()

@@ -1,0 +1,25 @@
+// Command sectorlint runs the repository's solver-invariant analyzers —
+// ctxloop, anglenorm, floateq, optcover, provenance — over the module.
+//
+// Usage:
+//
+//	go run ./cmd/sectorlint ./...
+//	go run ./cmd/sectorlint -list
+//	go run ./cmd/sectorlint -only ctxloop,provenance ./internal/core/...
+//
+// Findings are suppressed per line with a mandatory reason:
+//
+//	x := seam() //sectorlint:ignore anglenorm canonical-order sort needs the raw value
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+package main
+
+import (
+	"os"
+
+	"sectorpack/internal/analysis/sectorlint"
+)
+
+func main() {
+	os.Exit(sectorlint.Main(os.Stdout, os.Stderr, os.Args[1:]))
+}

@@ -1,0 +1,7 @@
+// Package demo is the harness's own fixture: one function the stub
+// analyzer flags, one it leaves alone.
+package demo
+
+func flagged() int { return 1 } // want `stub finding on flagged`
+
+func clean() int { return 2 }

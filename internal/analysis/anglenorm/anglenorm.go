@@ -1,0 +1,120 @@
+// Package anglenorm enforces the repository's angle-normalization
+// contract: all 2π-seam arithmetic lives in internal/geom.
+//
+// Invariant (internal/geom package doc): angles are radians normalized to
+// [0, 2π), and every wrap-around computation flows through the canonical
+// helpers — geom.NormAngle, geom.AngleDist, geom.WrapGap,
+// geom.AnglesClose. PR 1 and PR 2 both fixed seam bugs born of hand-rolled
+// fixups (candidate dedup at the 2π seam in the sweep, end-angle dedup in
+// the constrained greedy) where ad-hoc `x + 2π` spellings diverged from
+// geom's treatment of the boundary.
+//
+// Outside internal/geom the analyzer flags:
+//
+//   - additive seam fixups: `x + 2π`, `2π - x`, `x -= 2π`, ... where the
+//     non-2π operand is not a constant. Constant folding recognizes every
+//     spelling of 2π (geom.TwoPi, 2*math.Pi, a literal). Pure constant
+//     thresholds such as `geom.TwoPi + geom.Eps` stay legal: they define
+//     tolerances, not seam arithmetic.
+//   - hand-rolled normalization: math.Mod(x, 2π), which re-implements
+//     geom.NormAngle without its negative-remainder and boundary folds.
+package anglenorm
+
+import (
+	"go/ast"
+	"go/token"
+	"math"
+	"strings"
+
+	"sectorpack/internal/analysis/astx"
+	"sectorpack/internal/analysis/framework"
+)
+
+// Analyzer is the anglenorm checker.
+var Analyzer = &framework.Analyzer{
+	Name: "anglenorm",
+	Doc: "2π-seam arithmetic outside internal/geom must use the geom helpers " +
+		"(NormAngle, AngleDist, WrapGap, AnglesClose); raw `x ± 2π` fixups and " +
+		"math.Mod(x, 2π) re-derive seam handling and drift from the canonical " +
+		"treatment (the sweep/greedy dedup bugs fixed in PRs 1–2)",
+	Run: run,
+}
+
+// twoPiTol is the recognition tolerance for 2π constants; anything a few
+// ulps off the canonical value still encodes the seam.
+const twoPiTol = 1e-9
+
+func run(pass *framework.Pass) error {
+	if isGeom(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, e)
+			case *ast.AssignStmt:
+				checkAssign(pass, e)
+			case *ast.CallExpr:
+				checkMod(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isGeom reports whether the analyzed package is internal/geom itself (by
+// path suffix, so fixture packages named like the real one match too).
+func isGeom(pass *framework.Pass) bool {
+	return pass.Pkg.Name() == "geom" || strings.HasSuffix(pass.Pkg.Path(), "/geom")
+}
+
+func isTwoPi(pass *framework.Pass, e ast.Expr) bool {
+	return astx.ConstFloatNear(pass.TypesInfo, e, 2*math.Pi, twoPiTol)
+}
+
+func checkBinary(pass *framework.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.ADD && e.Op != token.SUB {
+		return
+	}
+	var other ast.Expr
+	switch {
+	case isTwoPi(pass, e.X):
+		other = e.Y
+	case isTwoPi(pass, e.Y):
+		other = e.X
+	default:
+		return
+	}
+	// A constant partner means a threshold (2π ± Eps), not seam math.
+	if astx.IsConst(pass.TypesInfo, other) {
+		return
+	}
+	pass.Reportf(e.Pos(), "raw 2π seam arithmetic; use the geom helpers (NormAngle/AngleDist/WrapGap/AnglesClose) so wrap-around handling stays canonical")
+}
+
+func checkAssign(pass *framework.Pass, s *ast.AssignStmt) {
+	if s.Tok != token.ADD_ASSIGN && s.Tok != token.SUB_ASSIGN {
+		return
+	}
+	for _, rhs := range s.Rhs {
+		if isTwoPi(pass, rhs) {
+			pass.Reportf(s.Pos(), "raw 2π seam fixup; use geom.NormAngle instead of manually wrapping the angle")
+		}
+	}
+}
+
+func checkMod(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Mod" || len(call.Args) != 2 {
+		return
+	}
+	pkg, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pkg.Name != "math" {
+		return
+	}
+	if isTwoPi(pass, call.Args[1]) {
+		pass.Reportf(call.Pos(), "math.Mod(x, 2π) re-implements angle normalization; use geom.NormAngle, which also folds negative remainders and the 2π boundary")
+	}
+}

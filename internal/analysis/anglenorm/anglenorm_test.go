@@ -1,0 +1,12 @@
+package anglenorm_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/anglenorm"
+)
+
+func TestAnglenorm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), anglenorm.Analyzer, "anglenorm", "geom")
+}

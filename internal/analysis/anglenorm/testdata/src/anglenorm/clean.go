@@ -1,0 +1,16 @@
+package anglenorm
+
+// Constant±constant partners are thresholds, not seam math: legal.
+const (
+	eps       = 1e-9
+	threshold = TwoPi + eps
+)
+
+func below(d float64) bool {
+	return d < threshold
+}
+
+// Arithmetic with non-2π constants is untouched.
+func double(theta float64) float64 {
+	return theta + 3.14
+}

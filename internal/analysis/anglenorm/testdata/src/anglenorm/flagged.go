@@ -1,0 +1,29 @@
+package anglenorm
+
+import "math"
+
+const TwoPi = 2 * math.Pi
+
+// normalize hand-rolls the additive seam fixup the geom helpers own — the
+// sweep/greedy dedup bug class fixed in PRs 1–2.
+func normalize(theta float64) float64 {
+	if theta < 0 {
+		theta += TwoPi // want `raw 2π seam fixup`
+	}
+	return theta
+}
+
+// wrapGap spells the seam-crossing gap with raw 2π arithmetic.
+func wrapGap(from, to float64) float64 {
+	return TwoPi - from + to // want `raw 2π seam arithmetic`
+}
+
+// overflow uses the literal spelling; constant folding recognizes it too.
+func overflow(theta float64) float64 {
+	return theta - 6.283185307179586 // want `raw 2π seam arithmetic`
+}
+
+// wrapped re-implements geom.NormAngle via math.Mod.
+func wrapped(theta float64) float64 {
+	return math.Mod(theta, 2*math.Pi) // want `re-implements angle normalization`
+}

@@ -1,0 +1,13 @@
+// Package geom stands in for internal/geom: the one package allowed to own
+// raw 2π seam arithmetic, so the analyzer must stay silent here.
+package geom
+
+import "math"
+
+func NormAngle(theta float64) float64 {
+	theta = math.Mod(theta, 2*math.Pi)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	return theta
+}

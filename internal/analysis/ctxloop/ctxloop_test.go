@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxloop.Analyzer, "ctxloop")
+}

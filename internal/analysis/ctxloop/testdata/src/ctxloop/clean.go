@@ -1,0 +1,76 @@
+package ctxloop
+
+import "context"
+
+// SolveChecked consults ctx at every iteration boundary: compliant.
+func SolveChecked(ctx context.Context, in *Instance) (Solution, error) {
+	var s Solution
+	for _, c := range in.Customers {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		s.Profit += work(c)
+	}
+	return s, nil
+}
+
+// SolveDelegated passes ctx into the work; the callee is itself held to
+// the invariant, so the loop is covered.
+func SolveDelegated(ctx context.Context, in *Instance) (Solution, error) {
+	var s Solution
+	for _, c := range in.Customers {
+		s.Profit += workCtx(ctx, c)
+	}
+	return s, nil
+}
+
+func workCtx(ctx context.Context, c int) int64 { return int64(c) }
+
+// tally takes no context, so it is not solver-shaped and stays exempt.
+func tally(in *Instance) int64 {
+	var t int64
+	for _, c := range in.Customers {
+		t += work(c)
+	}
+	return t
+}
+
+// SolveBookkeeping only initializes a slice: pure bookkeeping is not
+// per-iteration work, so no check is demanded.
+func SolveBookkeeping(ctx context.Context, in *Instance) (Solution, error) {
+	owners := make([]int, len(in.Customers))
+	for i := range owners {
+		owners[i] = -1
+	}
+	_ = owners
+	return Solution{}, ctx.Err()
+}
+
+// SolveOuterChecked consults ctx in the outer loop; inner loops under an
+// already-checked boundary are covered at the solver granularity.
+func SolveOuterChecked(ctx context.Context, in *Instance) (Solution, error) {
+	var s Solution
+	for range in.Customers {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		for _, c := range in.Customers {
+			s.Profit += work(c)
+			s.Profit++
+		}
+	}
+	return s, nil
+}
+
+// SolveClosureBuild builds per-shard closures without running them; closure
+// creation is not per-iteration work (the exact.SolveParallel false
+// positive this rule was tuned on).
+func SolveClosureBuild(ctx context.Context, in *Instance) (Solution, error) {
+	jobs := make([]func(context.Context) int64, len(in.Customers))
+	for k, c := range in.Customers {
+		c := c
+		jobs[k] = func(jctx context.Context) int64 { return work(c) }
+	}
+	_ = jobs
+	return Solution{}, ctx.Err()
+}

@@ -1,0 +1,43 @@
+package ctxloop
+
+import "context"
+
+type Instance struct{ Customers []int }
+
+type Solution struct{ Profit int64 }
+
+func work(c int) int64 { return int64(c) }
+
+// SolveParallel minimizes the PR-2 bug: a solver-shaped function that
+// walks the instance-sized candidate space without ever consulting the
+// context it accepted, so a daemon deadline cannot interrupt it.
+func SolveParallel(ctx context.Context, in *Instance) (Solution, error) {
+	var s Solution
+	for _, c := range in.Customers { // want `without consulting its context`
+		s.Profit += work(c)
+	}
+	return s, nil
+}
+
+// bestWindow is solver-shaped through its Solution result even though its
+// name does not start with Solve.
+func bestWindow(ctx context.Context, in *Instance) Solution {
+	var s Solution
+	for _, c := range in.Customers { // want `without consulting its context`
+		s.Profit += work(c)
+	}
+	return s
+}
+
+// SolveNested reports only the outermost offending loop: the finding names
+// the boundary where the check belongs, without cascading into children.
+func SolveNested(ctx context.Context, in *Instance) (Solution, error) {
+	var s Solution
+	for range in.Customers { // want `without consulting its context`
+		for _, c := range in.Customers {
+			s.Profit += work(c)
+			s.Profit++
+		}
+	}
+	return s, nil
+}

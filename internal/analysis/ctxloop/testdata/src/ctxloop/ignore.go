@@ -1,0 +1,14 @@
+package ctxloop
+
+import "context"
+
+// SolveSuppressed demonstrates the suppression path: the finding is
+// acknowledged and silenced with a mandatory reason.
+func SolveSuppressed(ctx context.Context, in *Instance) (Solution, error) {
+	var s Solution
+	//sectorlint:ignore ctxloop fixture demonstrating the suppression path
+	for _, c := range in.Customers {
+		s.Profit += work(c)
+	}
+	return s, nil
+}

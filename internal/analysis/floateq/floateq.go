@@ -1,0 +1,72 @@
+// Package floateq enforces the repository's float-comparison discipline:
+// no ==/!= between floating-point expressions outside internal/geom.
+//
+// Invariant: angular containment and candidate dedup use geom.Eps
+// tolerances (geom.AnglesClose and friends), and exact float identity is
+// reserved for two places that are explicit about it — internal/geom's
+// own primitives, and the cache fingerprint, which spells floats as
+// IEEE-754 bit patterns (math.Float64bits) precisely so that equality is
+// total and well-defined. PR 4's fingerprint work exists because naive
+// float comparisons are neither: a value that round-trips through a
+// different computation order compares unequal while meaning the same
+// angle.
+//
+// The analyzer flags ==/!= where both operands are floating point, except
+// comparisons against the constant 0 — zero is an exact sentinel across
+// the codebase (Rho == 0 is the degenerate-ray encoding, Range <= 0 the
+// unbounded-range encoding) and arises from assignment, not arithmetic.
+// Deliberate exact comparisons (canonical-order sort tie-breaks) carry a
+// //sectorlint:ignore floateq comment stating why exactness is wanted.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sectorpack/internal/analysis/astx"
+	"sectorpack/internal/analysis/framework"
+)
+
+// Analyzer is the floateq checker.
+var Analyzer = &framework.Analyzer{
+	Name: "floateq",
+	Doc: "no ==/!= between floats outside internal/geom (comparisons with the " +
+		"constant 0 sentinel excepted): use geom.Eps tolerance helpers, or hash " +
+		"math.Float64bits when total exact identity is the point, as the cache " +
+		"fingerprint does (PR 4)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "geom" || strings.HasSuffix(pass.Pkg.Path(), "/geom") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, e.X) || !isFloat(pass.TypesInfo, e.Y) {
+				return true
+			}
+			if astx.IsConstZero(pass.TypesInfo, e.X) || astx.IsConstZero(pass.TypesInfo, e.Y) {
+				return true
+			}
+			pass.Reportf(e.OpPos, "exact %s between floats; compare with a geom.Eps tolerance, or make bit-level identity explicit via math.Float64bits", e.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floateq.Analyzer, "floateq", "geom")
+}

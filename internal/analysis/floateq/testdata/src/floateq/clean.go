@@ -1,0 +1,20 @@
+package floateq
+
+// Zero is an exact sentinel across the codebase (Rho == 0 is the
+// degenerate-ray encoding): comparisons against constant 0 are exempt.
+func isRay(rho float64) bool { return rho == 0 }
+
+func isSet(x float64) bool { return 0.0 != x }
+
+// Integer equality is outside the rule entirely.
+func sameCount(a, b int) bool { return a == b }
+
+type customer struct{ theta float64 }
+
+// A deliberate exact comparison carries its justification inline.
+func less(x, y customer) bool {
+	if x.theta != y.theta { //sectorlint:ignore floateq canonical tie-break wants exact order, as the cache fingerprint does
+		return x.theta < y.theta
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package floateq
+
+// sameAngle compares floats exactly — the drifting-comparison class the
+// fingerprint's bit-pattern hashing (PR 4) exists to avoid.
+func sameAngle(a, b float64) bool {
+	return a == b // want `exact == between floats`
+}
+
+func moved(a, b float64) bool {
+	return a != b // want `exact != between floats`
+}
+
+type radians float64
+
+// Named float types are still floats underneath.
+func sameRad(a, b radians) bool {
+	return a == b // want `exact == between floats`
+}

@@ -1,0 +1,7 @@
+// Package geom stands in for internal/geom, whose primitives are the one
+// place exact float identity is owned: the analyzer must stay silent here.
+package geom
+
+func Identical(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,144 @@
+// Package framework is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: named analyzers run over type-checked
+// packages and report position-tagged diagnostics. The x/tools module is
+// not vendored in this repository, so sectorlint carries its own copy of
+// the (tiny) subset it needs — the Analyzer/Pass/Diagnostic shape is kept
+// deliberately close to the upstream API so the analyzers would port to a
+// real multichecker by changing imports.
+//
+// Two run modes exist. A per-package analyzer implements Run and sees one
+// type-checked package at a time. A module analyzer implements RunModule
+// and sees every package of the module in one pass — that is what lets
+// optcover cross-check core.Options against the cache fingerprint, a
+// property no single package exhibits on its own.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant checker. Exactly one of Run and
+// RunModule must be set.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and in
+	// //sectorlint:ignore comments.
+	Name string
+	// Doc is the one-paragraph description printed by `sectorlint -list`,
+	// stating the invariant and the historical bug class it encodes.
+	Doc string
+	// Run analyzes a single package.
+	Run func(*Pass) error
+	// RunModule analyzes every package of the module together.
+	RunModule func(*ModulePass) error
+}
+
+// Pass carries one type-checked package into an analyzer, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// ModulePass carries the whole module into a module-scope analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Packages holds one Pass per module package, in deterministic
+	// (import-path-sorted) order. Their Analyzer fields alias the module
+	// analyzer so Reportf attributes diagnostics correctly.
+	Packages []*Pass
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is a loaded, type-checked module package ready to be analyzed.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics: suppressions (//sectorlint:ignore comments) are applied,
+// malformed suppressions are themselves reported, and the result is
+// sorted by position. An analyzer error aborts the run.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	passes := make([]*Pass, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		passes = append(passes, &Pass{
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		})
+	}
+	for _, a := range analyzers {
+		if (a.Run == nil) == (a.RunModule == nil) {
+			return nil, fmt.Errorf("analyzer %s: exactly one of Run and RunModule must be set", a.Name)
+		}
+		if a.RunModule != nil {
+			mp := &ModulePass{Analyzer: a, Fset: fset}
+			for _, p := range passes {
+				mp.Packages = append(mp.Packages, &Pass{
+					Analyzer: a, Fset: p.Fset, Files: p.Files,
+					Pkg: p.Pkg, TypesInfo: p.TypesInfo, diags: &diags,
+				})
+			}
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, p := range passes {
+			sub := *p
+			sub.Analyzer = a
+			if err := a.Run(&sub); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, sub.Pkg.Path(), err)
+			}
+		}
+	}
+
+	var files []*ast.File
+	for _, pkg := range pkgs {
+		files = append(files, pkg.Files...)
+	}
+	diags = ApplySuppressions(fset, files, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,106 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//sectorlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The comment suppresses matching diagnostics reported on its own line or,
+// for a comment standing alone on a line, on the line directly below. The
+// reason is mandatory: a bare suppression is itself reported as a
+// violation, so every silenced finding carries its justification in the
+// source.
+const ignorePrefix = "//sectorlint:ignore"
+
+// suppression is one parsed ignore comment.
+type suppression struct {
+	pos       token.Pos
+	analyzers []string
+	reason    string
+}
+
+// parseSuppressions extracts every ignore comment from the files. Comments
+// with no reason are returned with an empty reason; the caller converts
+// those into diagnostics.
+func parseSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				// Require a word boundary so e.g. a hypothetical
+				// //sectorlint:ignorefile is not half-parsed.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				s := suppression{pos: c.Pos()}
+				if len(fields) > 0 {
+					s.analyzers = strings.Split(fields[0], ",")
+					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// ApplySuppressions filters diags through the files' ignore comments and
+// appends a "sectorlint" diagnostic for every malformed suppression (one
+// naming no analyzer, or one without a reason). Well-formed suppressions
+// match diagnostics whose analyzer is listed and whose line equals the
+// comment's line or the line after it (the standalone-comment case).
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	sups := parseSuppressions(fset, files)
+	if len(sups) == 0 {
+		return diags
+	}
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	covered := map[key]bool{}
+	var out []Diagnostic
+	for _, s := range sups {
+		pos := fset.Position(s.pos)
+		if len(s.analyzers) == 0 {
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "sectorlint",
+				Message:  "sectorlint:ignore must name the suppressed analyzer(s): //sectorlint:ignore <analyzer> <reason>",
+			})
+			continue
+		}
+		if s.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "sectorlint",
+				Message:  "sectorlint:ignore requires a reason: //sectorlint:ignore " + strings.Join(s.analyzers, ",") + " <reason>",
+			})
+			continue
+		}
+		for _, name := range s.analyzers {
+			covered[key{pos.Filename, pos.Line, name}] = true
+			covered[key{pos.Filename, pos.Line + 1, name}] = true
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[key{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+// Package load turns `go list` patterns into type-checked
+// framework.Packages without golang.org/x/tools/go/packages.
+//
+// The strategy is the classic vet-driver one: a single
+// `go list -export -deps -json` invocation enumerates the target packages
+// and produces compiler export data for every dependency (stdlib
+// included), so each target is type-checked from source while all of its
+// imports are resolved from export data — no per-import source
+// re-checking and no network. On a warm build cache the whole repository
+// loads in well under a second.
+//
+// Only non-test GoFiles are analyzed: the solver invariants sectorlint
+// encodes (cancellation, seam normalization, epsilon discipline) are
+// production-code contracts, and tests legitimately violate several of
+// them on purpose (bit-identity assertions compare floats with ==, fault
+// harnesses build degraded solutions by hand).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"sectorpack/internal/analysis/framework"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Packages loads and type-checks the module packages matched by the
+// patterns (e.g. "./..."), rooted at dir. Packages outside the module —
+// dependencies, the standard library — are imported from export data and
+// never analyzed.
+func Packages(dir string, patterns ...string) (*token.FileSet, []*framework.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Module,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module == nil || p.Module.Path != modPath {
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		for _, de := range p.DepsErrors {
+			return nil, nil, fmt.Errorf("go list: %s: dependency error: %s", p.ImportPath, de.Err)
+		}
+		targets = append(targets, p)
+	}
+	// -deps emits dependencies before dependents, which is already a fine
+	// order; sort anyway so diagnostics and module passes are stable
+	// regardless of go tool internals.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*framework.Package
+	var errs []error
+	for _, p := range targets {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("type-checking %s: %w", p.ImportPath, err))
+			continue
+		}
+		pkgs = append(pkgs, &framework.Package{
+			ImportPath: p.ImportPath,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tpkg,
+			TypesInfo:  info,
+		})
+	}
+	if len(errs) > 0 {
+		return nil, nil, errors.Join(errs...)
+	}
+	return fset, pkgs, nil
+}
+
+// NewInfo allocates the types.Info maps every analyzer relies on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// modulePath reads the module path governing dir.
+func modulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	return string(bytes.TrimSpace(out)), nil
+}

@@ -1,0 +1,245 @@
+// Package optcover structurally cross-checks core.Options against its two
+// consumers: the cache fingerprint and the solvers.
+//
+// Two historical bug classes motivate it. In PR 2 the registry's "exact"
+// entry silently dropped the caller's Options — the solver ran with
+// defaults no matter what was asked. In PR 4 the cache fingerprint had to
+// be built to cover *every* Options field, because any field missing from
+// the serialization makes two semantically different solves share a cache
+// key and replays stale answers. Both are structural properties of the
+// module, not of any one package, so this analyzer runs module-wide:
+//
+//  1. Fingerprint coverage: every exported leaf field reachable from
+//     core.Options (recursing through nested option structs such as
+//     knapsack.Options and exact.Limits) must be written into the cache
+//     package's options serialization function.
+//  2. Dropped options: every exported top-level field of core.Options
+//     must be read somewhere outside that serialization — a field the
+//     fingerprint hashes but no solver ever looks at is being dropped on
+//     the way to the solver, exactly the PR-2 registry bug.
+//
+// A reflection-based runtime test (TestFingerprintSensitiveToEveryOptions-
+// Field) covers property 1 dynamically; this analyzer enforces both
+// properties at lint time, with positions, and without needing the cache
+// to be exercised.
+package optcover
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sectorpack/internal/analysis/framework"
+)
+
+// Analyzer is the optcover checker.
+var Analyzer = &framework.Analyzer{
+	Name: "optcover",
+	Doc: "every core.Options field must be hashed by the cache fingerprint " +
+		"(else cached answers alias solves with different semantics, PR 4) and " +
+		"read by some solver path (else the registry is dropping it, PR 2)",
+	RunModule: runModule,
+}
+
+// fieldKey names one struct field independently of which type-check
+// instantiation produced it: the owning named type's full path plus the
+// field name.
+type fieldKey struct {
+	owner string
+	name  string
+}
+
+func keyOf(owner *types.Named, field string) fieldKey {
+	obj := owner.Obj()
+	path := obj.Name()
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path() + "." + obj.Name()
+	}
+	return fieldKey{owner: path, name: field}
+}
+
+func runModule(mp *framework.ModulePass) error {
+	corePass, options := findOptions(mp)
+	if corePass == nil {
+		return nil // no core.Options in this module slice; nothing to check
+	}
+	cachePass, optsFn := findSerialization(mp)
+	if cachePass == nil {
+		return nil
+	}
+
+	var leaves []leafField
+	collectLeaves(options, nil, &leaves, map[*types.Named]bool{})
+
+	hashed := map[fieldKey]bool{}
+	collectSelections(cachePass, optsFn.Body, hashed)
+
+	read := map[fieldKey]bool{}
+	for _, p := range mp.Packages {
+		for _, f := range p.Files {
+			collectReads(p, f, optsFn, read)
+		}
+	}
+
+	for _, leaf := range leaves {
+		if !hashed[leaf.key] {
+			cachePass.Reportf(optsFn.Pos(),
+				"core.Options field %s is not hashed by the fingerprint serialization; solves differing only in it would share a cache key and replay stale answers", leaf.path)
+		}
+	}
+	optionsStruct := options.Underlying().(*types.Struct)
+	for i := 0; i < optionsStruct.NumFields(); i++ {
+		f := optionsStruct.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if !read[keyOf(options, f.Name())] {
+			corePass.Reportf(f.Pos(),
+				"core.Options.%s is never read outside the cache fingerprint; a solver constructor is dropping it on the way to the solver", f.Name())
+		}
+	}
+	return nil
+}
+
+// leafField is one hashable leaf reachable from core.Options.
+type leafField struct {
+	key  fieldKey
+	path string // dotted path from the Options root, for messages
+}
+
+// collectLeaves walks the exported fields of owner, recursing through
+// named struct-typed fields, and appends the non-struct leaves.
+func collectLeaves(owner *types.Named, prefix []string, out *[]leafField, seen map[*types.Named]bool) {
+	if seen[owner] {
+		return
+	}
+	seen[owner] = true
+	st, ok := owner.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		path := append(append([]string(nil), prefix...), f.Name())
+		if nested, ok := f.Type().(*types.Named); ok {
+			if _, isStruct := nested.Underlying().(*types.Struct); isStruct {
+				collectLeaves(nested, path, out, seen)
+				continue
+			}
+		}
+		*out = append(*out, leafField{key: keyOf(owner, f.Name()), path: dotted(path)})
+	}
+}
+
+func dotted(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "."
+		}
+		out += p
+	}
+	return out
+}
+
+// findOptions locates the module's core package and its Options struct.
+func findOptions(mp *framework.ModulePass) (*framework.Pass, *types.Named) {
+	for _, p := range mp.Packages {
+		if p.Pkg.Name() != "core" {
+			continue
+		}
+		obj := p.Pkg.Scope().Lookup("Options")
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); ok {
+			return p, named
+		}
+	}
+	return nil, nil
+}
+
+// findSerialization locates the cache package's options serialization
+// function (the hasher method named "options").
+func findSerialization(mp *framework.ModulePass) (*framework.Pass, *ast.FuncDecl) {
+	for _, p := range mp.Packages {
+		if p.Pkg.Name() != "cache" {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "options" && fd.Body != nil {
+					return p, fd
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectSelections records every field selection under n into out.
+func collectSelections(p *framework.Pass, n ast.Node, out map[fieldKey]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		sel, ok := c.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recordSelection(p, sel, out)
+		return true
+	})
+}
+
+func recordSelection(p *framework.Pass, sel *ast.SelectorExpr, out map[fieldKey]bool) {
+	s, ok := p.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return
+	}
+	out[keyOf(named, s.Obj().Name())] = true
+}
+
+// collectReads records field selections in f that count as solver reads:
+// everything except selections inside the fingerprint serialization
+// function and selections that are directly assigned to (writes).
+func collectReads(p *framework.Pass, f *ast.File, optsFn *ast.FuncDecl, out map[fieldKey]bool) {
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(f, func(c ast.Node) bool {
+		as, ok := c.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(c ast.Node) bool {
+		if optsFn != nil && c != nil && c.Pos() >= optsFn.Pos() && c.End() <= optsFn.End() {
+			// Inside the serialization function: hashing is not a solver
+			// read. (Pos comparison is safe: one fset spans the module.)
+			return false
+		}
+		sel, ok := c.(*ast.SelectorExpr)
+		if !ok || writes[sel] {
+			return true
+		}
+		recordSelection(p, sel, out)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package optcover_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/optcover"
+)
+
+func TestOptcover(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), optcover.Analyzer, "core", "cache")
+}

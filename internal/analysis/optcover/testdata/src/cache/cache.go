@@ -1,0 +1,19 @@
+// Package cache stands in for internal/cache: its options serialization
+// must hash every leaf field reachable from core.Options.
+package cache
+
+import "core"
+
+type hasher struct{}
+
+func (w *hasher) float(x float64) {}
+func (w *hasher) i64(v int64)     {}
+func (w *hasher) int(v int)       {}
+
+// options forgets Knapsack.MaxBBNodes, so two solves differing only in
+// their node budget would share a cache key — the PR-4 aliasing bug.
+func (w *hasher) options(opt core.Options) { // want `core.Options field Knapsack.MaxBBNodes is not hashed`
+	w.float(opt.Knapsack.Eps)
+	w.i64(opt.Seed)
+	w.int(opt.Dropped)
+}

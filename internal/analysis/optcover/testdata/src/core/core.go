@@ -1,0 +1,25 @@
+// Package core stands in for internal/core: the Options struct whose every
+// field must reach both the cache fingerprint and some solver path.
+package core
+
+// Knapsack mirrors the nested option structs (knapsack.Options,
+// exact.Limits) the real Options embeds by value.
+type Knapsack struct {
+	Eps        float64
+	MaxBBNodes int64
+}
+
+type Options struct {
+	Knapsack Knapsack
+	Seed     int64
+	Dropped  int // want `core.Options.Dropped is never read outside the cache fingerprint`
+}
+
+// NewSolver reads Seed and the knapsack fields but drops Dropped on the
+// way to the solver — the PR-2 registry bug in miniature.
+func NewSolver(opt Options) int64 {
+	if opt.Knapsack.Eps > 0 {
+		return opt.Knapsack.MaxBBNodes
+	}
+	return opt.Seed
+}

@@ -1,0 +1,211 @@
+// Package provenance enforces the degraded-solution provenance contract
+// introduced in PR 3 and relied on by the cache in PR 4.
+//
+// Invariant (model.Solution doc): Degraded is never set alone — a
+// degraded solution must carry its machine-readable FallbackReason so the
+// serving layer, CLI exit codes, and expvar counters can classify the
+// failure; and a degraded solution is an artifact of one request's
+// failure, not a property of the instance, so it must never be stored in
+// the solve cache.
+//
+// Three syntactic shapes are checked:
+//
+//   - model.Solution composite literals that set Degraded: true without a
+//     FallbackReason key;
+//   - functions that assign `sol.Degraded = true` without also assigning
+//     sol's FallbackReason;
+//   - calls to the cache's Put from outside the cache package in
+//     functions that never consult .Degraded before the call — Put itself
+//     rejects degraded solutions as defense in depth, but callers are
+//     required to gate explicitly so the contract is visible at the call
+//     site.
+package provenance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sectorpack/internal/analysis/astx"
+	"sectorpack/internal/analysis/framework"
+)
+
+// Analyzer is the provenance checker.
+var Analyzer = &framework.Analyzer{
+	Name: "provenance",
+	Doc: "code constructing a degraded model.Solution must set FallbackReason, " +
+		"and degraded solutions must never reach the solve cache: callers of " +
+		"cache Put must gate on !sol.Degraded (the PR-3 provenance / PR-4 " +
+		"never-cache-degraded contract)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		checkLiterals(pass, f)
+	}
+	for _, fn := range astx.Funcs(pass.Files) {
+		checkAssignments(pass, fn)
+		checkPuts(pass, fn)
+	}
+	return nil
+}
+
+// isProvenanceStruct reports whether t is a struct carrying the
+// Degraded/FallbackReason pair (model.Solution in the real tree; matching
+// structurally keeps fixtures and future copies honest too).
+func isProvenanceStruct(t types.Type) bool {
+	named := astx.NamedType(t)
+	if named == nil {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var hasDegraded, hasReason bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "Degraded":
+			hasDegraded = true
+		case "FallbackReason":
+			hasReason = true
+		}
+	}
+	return hasDegraded && hasReason
+}
+
+func checkLiterals(pass *framework.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[lit]
+		if !ok || !isProvenanceStruct(tv.Type) {
+			return true
+		}
+		var degradedTrue ast.Expr
+		var hasReason bool
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Degraded":
+				if astx.IsConstTrue(pass.TypesInfo, kv.Value) {
+					degradedTrue = kv.Value
+				}
+			case "FallbackReason":
+				hasReason = true
+			}
+		}
+		if degradedTrue != nil && !hasReason {
+			pass.Reportf(degradedTrue.Pos(), "degraded Solution constructed without a FallbackReason; downstream classification (serving, exit codes, metrics) depends on it")
+		}
+		return true
+	})
+}
+
+// fieldAssign returns the assigned provenance field name ("Degraded",
+// "FallbackReason") if stmt assigns one on a provenance struct.
+func fieldAssign(pass *framework.Pass, as *ast.AssignStmt) (string, *ast.SelectorExpr, ast.Expr) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return "", nil, nil
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		name := sel.Sel.Name
+		if name != "Degraded" && name != "FallbackReason" {
+			continue
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal || !isProvenanceStruct(s.Recv()) {
+			continue
+		}
+		return name, sel, as.Rhs[i]
+	}
+	return "", nil, nil
+}
+
+func checkAssignments(pass *framework.Pass, fn astx.Func) {
+	var degradedSets []*ast.SelectorExpr
+	reasonSet := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != fn.Node {
+			return false // inner literals are visited as their own Func
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch name, sel, rhs := fieldAssign(pass, as); name {
+		case "Degraded":
+			if astx.IsConstTrue(pass.TypesInfo, rhs) {
+				degradedSets = append(degradedSets, sel)
+			}
+		case "FallbackReason":
+			reasonSet = true
+		}
+		return true
+	})
+	if reasonSet {
+		return
+	}
+	for _, sel := range degradedSets {
+		pass.Reportf(sel.Pos(), "Degraded set to true but FallbackReason is never assigned in this function; degraded solutions must carry their provenance")
+	}
+}
+
+// checkPuts flags cache Put calls not preceded by a .Degraded consult in
+// the same function.
+func checkPuts(pass *framework.Pass, fn astx.Func) {
+	if pass.Pkg.Name() == "cache" {
+		return // the cache package owns Put's internal defense-in-depth gate
+	}
+	// Positions where .Degraded is consulted in this function.
+	var consults []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Degraded" {
+			return true
+		}
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal && isProvenanceStruct(s.Recv()) {
+			consults = append(consults, sel.Pos())
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Put" {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !astx.IsNamed(tv.Type, "cache", "Cache") {
+			return true
+		}
+		guarded := false
+		for _, p := range consults {
+			if p < call.Pos() {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			pass.Reportf(call.Pos(), "cache Put without consulting .Degraded first; degraded solutions are one request's failure artifact and must never be cached")
+		}
+		return true
+	})
+}

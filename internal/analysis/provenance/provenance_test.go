@@ -1,0 +1,12 @@
+package provenance_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/provenance"
+)
+
+func TestProvenance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), provenance.Analyzer, "provenance")
+}

@@ -1,0 +1,7 @@
+// Package cache stands in for internal/cache: the analyzer recognizes its
+// Cache type's Put method as the guarded call site.
+package cache
+
+type Cache struct{}
+
+func (c *Cache) Put(key string, v any) {}

@@ -1,0 +1,28 @@
+package provenance
+
+import "cache"
+
+// withReason carries its provenance: compliant.
+func withReason() Solution {
+	return Solution{Degraded: true, FallbackReason: "timeout"}
+}
+
+// notDegraded never sets the flag at all.
+func notDegraded() Solution {
+	return Solution{Profit: 7}
+}
+
+// markWithReason assigns both fields in the same function.
+func markWithReason(s *Solution) {
+	s.Degraded = true
+	s.FallbackReason = "panic"
+}
+
+// cacheGated consults .Degraded before the Put, making the contract
+// visible at the call site.
+func cacheGated(c *cache.Cache, key string, s Solution) {
+	if s.Degraded {
+		return
+	}
+	c.Put(key, s)
+}

@@ -1,0 +1,28 @@
+package provenance
+
+import "cache"
+
+// Solution carries the Degraded/FallbackReason pair, so the analyzer
+// recognizes it structurally like model.Solution.
+type Solution struct {
+	Profit         int64
+	Degraded       bool
+	FallbackReason string
+}
+
+// degradedLiteral drops the provenance the serving layer classifies by.
+func degradedLiteral() Solution {
+	return Solution{Degraded: true} // want `degraded Solution constructed without a FallbackReason`
+}
+
+// markDegraded sets the flag without assigning a reason anywhere in the
+// function.
+func markDegraded(s *Solution) {
+	s.Degraded = true // want `Degraded set to true but FallbackReason is never assigned`
+}
+
+// cacheUnchecked stores a solution without gating on .Degraded first —
+// a degraded artifact would be replayed to every later request.
+func cacheUnchecked(c *cache.Cache, key string, s Solution) {
+	c.Put(key, s) // want `cache Put without consulting .Degraded first`
+}

@@ -97,6 +97,9 @@ func SolveDisjoint(ctx context.Context, in *model.Instance, opt knapsack.Options
 	// Cut candidates are all possible chain starts.
 	cutSet := make([]float64, 0, n*(m+1))
 	for _, c := range in.Customers {
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
 		cutSet = append(cutSet, c.Theta)
 		for _, a := range in.Antennas {
 			if a.Rho <= geom.Eps {
@@ -254,6 +257,7 @@ func solveCut(in *model.Instance, cut float64, opt knapsack.Options, rayMask int
 		}
 	}
 	sort.Slice(dp.events, func(a, b int) bool {
+		//sectorlint:ignore floateq sort tie-break wants exact start order; dedupEvents collapses Eps-close starts afterwards
 		if dp.events[a].start != dp.events[b].start {
 			return dp.events[a].start < dp.events[b].start
 		}

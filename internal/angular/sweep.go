@@ -123,7 +123,7 @@ func (s *Sweep) forEachRange(fn func(start, count int, alpha float64) bool) {
 		if start > 0 && s.thetas[start]-s.thetas[start-1] <= geom.Eps {
 			continue // duplicate candidate angle
 		}
-		if start == 0 && n > 1 && s.thetas[0]+geom.TwoPi-s.thetas[n-1] <= geom.Eps {
+		if start == 0 && n > 1 && geom.WrapGap(s.thetas[n-1], s.thetas[0]) <= geom.Eps {
 			continue // duplicate of the last angle across the 2π seam
 		}
 		if e < start+1 {

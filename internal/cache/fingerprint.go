@@ -131,13 +131,18 @@ func NewFingerprint(in *model.Instance, opt core.Options, solver string) (*Finge
 	for j := range f.ant {
 		f.ant[j] = j
 	}
+	// The canonical sort orders by exact float values on purpose: the
+	// fingerprint hashes IEEE-754 bit patterns, so two instances hash alike
+	// iff their sorted field streams are bit-identical — an Eps-tolerant
+	// comparator would make the canonical order (and thus the key) depend
+	// on which permutation arrived first.
 	cs := in.Customers
 	sort.SliceStable(f.cust, func(a, b int) bool {
 		x, y := cs[f.cust[a]], cs[f.cust[b]]
-		if x.Theta != y.Theta {
+		if x.Theta != y.Theta { //sectorlint:ignore floateq canonical order must distinguish every bit pattern the hash distinguishes
 			return x.Theta < y.Theta
 		}
-		if x.R != y.R {
+		if x.R != y.R { //sectorlint:ignore floateq canonical order must distinguish every bit pattern the hash distinguishes
 			return x.R < y.R
 		}
 		if x.Demand != y.Demand {
@@ -148,12 +153,12 @@ func NewFingerprint(in *model.Instance, opt core.Options, solver string) (*Finge
 	as := in.Antennas
 	sort.SliceStable(f.ant, func(a, b int) bool {
 		x, y := as[f.ant[a]], as[f.ant[b]]
-		if x.Rho != y.Rho {
+		if x.Rho != y.Rho { //sectorlint:ignore floateq canonical order must distinguish every bit pattern the hash distinguishes
 			return x.Rho < y.Rho
 		}
 		// EffRange folds the two unbounded encodings (<= 0 and +Inf)
 		// together so semantically identical antennas sort and hash alike.
-		if x.EffRange() != y.EffRange() {
+		if x.EffRange() != y.EffRange() { //sectorlint:ignore floateq canonical order must distinguish every bit pattern the hash distinguishes
 			return x.EffRange() < y.EffRange()
 		}
 		if x.Capacity != y.Capacity {

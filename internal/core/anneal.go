@@ -54,6 +54,9 @@ func SolveAnneal(ctx context.Context, in *model.Instance, opt Options) (model.So
 	// Candidate orientations per antenna, shared across steps.
 	cands := make([][]float64, m)
 	for j := 0; j < m; j++ {
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
 		cands[j] = angular.Candidates(in, j)
 	}
 

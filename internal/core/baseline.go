@@ -37,6 +37,9 @@ func SolveBaseline(ctx context.Context, in *model.Instance, opt Options) (model.
 	if in.Variant == model.DisjointAngles {
 		var acc float64
 		for j, a := range in.Antennas {
+			if err := ctx.Err(); err != nil {
+				return model.Solution{}, err
+			}
 			as.Orientation[j] = geom.NormAngle(acc)
 			acc += a.Rho
 		}
@@ -56,6 +59,9 @@ func SolveBaseline(ctx context.Context, in *model.Instance, opt Options) (model.
 	})
 	load := make([]int64, m)
 	for _, i := range order {
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
 		c := in.Customers[i]
 		for j, a := range in.Antennas {
 			if load[j]+c.Demand <= a.Capacity && a.Covers(as.Orientation[j], c) {

@@ -148,13 +148,12 @@ func nearAngle(sorted, extras []float64, alpha float64) bool {
 	// The 2π seam: an end just below 2π can duplicate a candidate at ~0
 	// and vice versa.
 	if len(sorted) > 0 {
-		if geom.TwoPi-alpha+sorted[0] <= geom.Eps || geom.TwoPi-sorted[len(sorted)-1]+alpha <= geom.Eps {
+		if geom.WrapGap(alpha, sorted[0]) <= geom.Eps || geom.WrapGap(sorted[len(sorted)-1], alpha) <= geom.Eps {
 			return true
 		}
 	}
 	for _, x := range extras {
-		d := geom.AngleDist(x, alpha)
-		if d <= geom.Eps || geom.TwoPi-d <= geom.Eps {
+		if geom.AnglesClose(x, alpha) {
 			return true
 		}
 	}

@@ -45,6 +45,9 @@ func SolveLPRound(ctx context.Context, in *model.Instance, opt Options) (model.S
 		p.Eligible[i] = make([]bool, m)
 	}
 	for j, a := range in.Antennas {
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
 		p.Capacities[j] = a.Capacity
 		for i, c := range in.Customers {
 			covers := a.Covers(sol.Assignment.Orientation[j], c)

@@ -132,6 +132,9 @@ func SolveSplittableExact(ctx context.Context, in *model.Instance) (SplitSolutio
 	cands := make([][]float64, m)
 	total := int64(1)
 	for j := 0; j < m; j++ {
+		if err := ctx.Err(); err != nil {
+			return SplitSolution{}, err
+		}
 		cands[j] = angular.Candidates(in, j)
 		if len(cands[j]) == 0 {
 			cands[j] = []float64{0}

@@ -78,6 +78,9 @@ func solve(ctx context.Context, in *model.Instance, lim Limits, firstOverride []
 	}
 	var total int64 = 1
 	for _, cs := range cands {
+		if err := ctx.Err(); err != nil {
+			return model.Solution{}, err
+		}
 		total *= int64(len(cs))
 		if total > maxTuples {
 			return model.Solution{}, fmt.Errorf("exact: orientation tuple space exceeds budget %d", maxTuples)

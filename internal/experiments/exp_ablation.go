@@ -65,7 +65,13 @@ func runE11(opt Options) (Report, error) {
 	cfgs := mkConfigs(opt, gen.Uniform, model.Sectors, n, 1, trials, func(c *gen.Config) {
 		c.Rho = 0.7 // narrow sectors punish grid misses
 	})
-	type pair struct{ cand, grid float64 }
+	// Exact matches are counted on the integer profits, not on the float
+	// ratio: ratioOf can round to exactly 1.0 for near-equal huge profits,
+	// so `ratio == 1.0` overcounts (and trips the floateq analyzer).
+	type pair struct {
+		cand, grid           float64
+		candMatch, gridMatch bool
+	}
 	outs, err := parallelMap(opt, cfgs, func(cfg gen.Config) (pair, error) {
 		in, err := gen.Generate(cfg)
 		if err != nil {
@@ -84,8 +90,10 @@ func runE11(opt Options) (Report, error) {
 			return pair{}, err
 		}
 		return pair{
-			cand: ratioOf(win.Profit, ex.Profit),
-			grid: ratioOf(gridProfit, ex.Profit),
+			cand:      ratioOf(win.Profit, ex.Profit),
+			grid:      ratioOf(gridProfit, ex.Profit),
+			candMatch: win.Profit == ex.Profit,
+			gridMatch: gridProfit == ex.Profit,
 		}, nil
 	})
 	if err != nil {
@@ -96,10 +104,10 @@ func runE11(opt Options) (Report, error) {
 	for _, o := range outs {
 		cands = append(cands, o.cand)
 		grids = append(grids, o.grid)
-		if o.cand == 1.0 {
+		if o.candMatch {
 			candMatches++
 		}
-		if o.grid == 1.0 {
+		if o.gridMatch {
 			gridMatches++
 		}
 	}

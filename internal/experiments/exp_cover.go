@@ -31,7 +31,7 @@ func runE13(opt Options) (Report, error) {
 		"n", "trials", "mean greedy k", "mean exact k", "max overshoot", "exact matches")
 	worstOvershoot := 0.0
 	for _, n := range ns {
-		type pair struct{ g, e float64 }
+		type pair struct{ gk, ek int }
 		seeds := make([]int64, trials)
 		for k := range seeds {
 			seeds[k] = cfgSeed(opt, k) + int64(n)
@@ -63,7 +63,7 @@ func runE13(opt Options) (Report, error) {
 			if err := cover.Check(customers, typ, e); err != nil {
 				return pair{}, err
 			}
-			return pair{g: float64(g.K()), e: float64(e.K())}, nil
+			return pair{gk: g.K(), ek: e.K()}, nil
 		})
 		if err != nil {
 			return rep, err
@@ -72,12 +72,12 @@ func runE13(opt Options) (Report, error) {
 		maxOver := 0.0
 		matches := 0
 		for _, o := range outs {
-			gs = append(gs, o.g)
-			es = append(es, o.e)
-			if over := o.g - o.e; over > maxOver {
+			gs = append(gs, float64(o.gk))
+			es = append(es, float64(o.ek))
+			if over := float64(o.gk - o.ek); over > maxOver {
 				maxOver = over
 			}
-			if o.g == o.e {
+			if o.gk == o.ek {
 				matches++
 			}
 		}

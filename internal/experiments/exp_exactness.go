@@ -38,31 +38,39 @@ func runE7(opt Options) (Report, error) {
 			c.Rho = 1.0
 			c.RhoSpread = 0.4
 		})
-		ratios, err := parallelMap(opt, cfgs, func(cfg gen.Config) (float64, error) {
+		// Matches are counted on the integer profits rather than on the float
+		// ratio, which can round to exactly 1.0 for near-equal huge profits.
+		type out struct {
+			ratio float64
+			match bool
+		}
+		outs, err := parallelMap(opt, cfgs, func(cfg gen.Config) (out, error) {
 			in, err := gen.Generate(cfg)
 			if err != nil {
-				return 0, err
+				return out{}, err
 			}
 			dp, err := runSolver("disjoint-dp", in, core.Options{})
 			if err != nil {
-				return 0, err
+				return out{}, err
 			}
 			ex, err := runSolver("exact", in, core.Options{})
 			if err != nil {
-				return 0, err
+				return out{}, err
 			}
-			return ratioOf(dp.Profit, ex.Profit), nil
+			return out{ratio: ratioOf(dp.Profit, ex.Profit), match: dp.Profit == ex.Profit}, nil
 		})
 		if err != nil {
 			return rep, err
 		}
-		s := stats.Summarize(ratios)
+		ratios := make([]float64, 0, len(outs))
 		matches := 0
-		for _, r := range ratios {
-			if r == 1.0 {
+		for _, o := range outs {
+			ratios = append(ratios, o.ratio)
+			if o.match {
 				matches++
 			}
 		}
+		s := stats.Summarize(ratios)
 		tb.AddRow(sh.n, sh.m, trials, s.Min, s.Max, fmt.Sprintf("%d/%d", matches, trials))
 		if s.Min < minOverall {
 			minOverall = s.Min

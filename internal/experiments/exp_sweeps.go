@@ -112,10 +112,10 @@ func runE5(opt Options) (Report, error) {
 		}
 		sMean, uMean := stats.Summarize(served).Mean, stats.Summarize(util).Mean
 		tb.AddRow(tight, sMean, uMean)
-		if tight == 0.25 {
+		if tight == 0.25 { //sectorlint:ignore floateq tight ranges over exact literals; this picks out the 0.25 row
 			rep.Findings["served_loose"] = sMean
 		}
-		if tight == 2.0 {
+		if tight == 2.0 { //sectorlint:ignore floateq tight ranges over exact literals; this picks out the 2.0 row
 			rep.Findings["served_tight"] = sMean
 			rep.Findings["util_tight"] = uMean
 		}

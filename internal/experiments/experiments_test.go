@@ -7,6 +7,19 @@ import (
 
 func quickOpt() Options { return Options{Quick: true, Seed: 1} }
 
+// ratioOf of two distinct huge profits can round to exactly 1.0: the match
+// counters in E7/E11/E13 therefore compare the integer quantities directly
+// instead of testing ratio == 1.0. This pins the pitfall those counters avoid.
+func TestRatioOfRoundsToOneForHugeProfits(t *testing.T) {
+	num, den := int64(1)<<60, int64(1)<<60+1
+	if num == den {
+		t.Fatal("the integer comparison the experiments rely on must distinguish the profits")
+	}
+	if r := ratioOf(num, den); r != 1.0 {
+		t.Fatalf("ratioOf(%d, %d) = %v; expected the documented rounding to exactly 1.0", num, den, r)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}

@@ -44,6 +44,25 @@ func AngleDist(from, to float64) float64 {
 	return NormAngle(to - from)
 }
 
+// WrapGap returns the angular gap stepping clockwise from angle `from`
+// across the 2π seam to angle `to`, computed as exactly (2π − from) + to
+// with no normalization. For normalized inputs it agrees with
+// AngleDist(from, to) up to floating-point rounding, but callers that
+// compare the gap against Eps use this form so the seam test is the same
+// spelling everywhere (sweep candidate dedup, constrained-greedy end
+// dedup) rather than per-site hand-rolled arithmetic.
+func WrapGap(from, to float64) float64 {
+	return TwoPi - from + to
+}
+
+// AnglesClose reports whether two normalized angles coincide within Eps,
+// treating the 2π seam correctly: an angle just below 2π is close to one
+// just above 0. It is the canonical "same candidate orientation" test.
+func AnglesClose(a, b float64) bool {
+	d := AngleDist(a, b)
+	return d <= Eps || TwoPi-d <= Eps
+}
+
 // AngleBetween reports whether the angle theta lies on the clockwise arc
 // from start spanning width radians, with Eps tolerance on both ends.
 // Width must be in [0, 2π]; a width of 2π (or more) covers every angle.
