@@ -10,9 +10,16 @@
 //	sectorbench -quick        # reduced sizes (the test configuration)
 //	sectorbench -list         # list experiments and the claims they test
 //	sectorbench -json .       # also write a BENCH_<date>.json summary
-//	sectorbench -exp none -compare BENCH_2026-08-06.json -compare-metric allocs
+//	sectorbench -exp none -compare BENCH_2026-08-08.json -compare-metric allocs
 //	                          # gate micro benchmarks against a baseline;
-//	                          # exits non-zero on a >25% regression
+//	                          # exits non-zero on a >25% regression or a
+//	                          # benchmark with no baseline entry (override
+//	                          # the latter with -compare-allow-missing)
+//	sectorbench -exp none -json . -big
+//	                          # additionally run the n=1M tier (engine
+//	                          # prewarm + baseline solve); minutes of wall
+//	                          # clock, meant for manual/nightly runs, not
+//	                          # per-PR CI
 package main
 
 import (
@@ -46,6 +53,8 @@ func run(args []string, out io.Writer) error {
 	jsonDir := fs.String("json", "", "write a BENCH_<date>.json benchmark summary into this directory")
 	comparePath := fs.String("compare", "", "gate the micro benchmarks against this BENCH_<date>.json baseline (>25% regression exits non-zero)")
 	compareMetric := fs.String("compare-metric", "both", "which -compare measurements gate: allocs (deterministic, for CI), ns, or both")
+	compareAllowMissing := fs.Bool("compare-allow-missing", false, "report, rather than fail on, benchmarks with no baseline entry (for landing new benchmarks before the baseline is regenerated)")
+	big := fs.Bool("big", false, "include the n=1M tier in -json/-compare micro benchmarks (minutes of wall clock; manual/nightly runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,14 +96,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *jsonDir != "" {
-		path, err := writeBenchJSON(*jsonDir, *quick, timings)
+		path, err := writeBenchJSON(*jsonDir, *quick, *big, timings)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "benchmark summary written to %s\n", path)
 	}
 	if *comparePath != "" {
-		if err := compareBenchmarks(out, *comparePath, *compareMetric); err != nil {
+		if err := compareBenchmarks(out, *comparePath, *compareMetric, *big, *compareAllowMissing); err != nil {
 			return err
 		}
 	}

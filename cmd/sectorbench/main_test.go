@@ -71,15 +71,28 @@ func TestJSONExport(t *testing.T) {
 	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "E1" || rep.Experiments[0].WallMS <= 0 {
 		t.Errorf("experiment timings = %+v", rep.Experiments)
 	}
-	if len(rep.Micro) != 4 {
-		t.Fatalf("micro benches = %+v, want 4 (greedy n50/n200/n800 + cachehit/n200)", rep.Micro)
+	if len(rep.Micro) != 7 {
+		t.Fatalf("micro benches = %+v, want 7 (greedy n50/n200/n800 + cachehit/n200 + engine n100k scalar/parallel + baseline/n100k)", rep.Micro)
+	}
+	if rep.NumCPU <= 0 {
+		t.Errorf("report num_cpu = %d, want > 0", rep.NumCPU)
 	}
 	byName := map[string]microBench{}
 	for _, m := range rep.Micro {
 		if m.NsPerOp <= 0 || m.AllocsPerOp <= 0 {
 			t.Errorf("degenerate micro bench %+v", m)
 		}
+		if m.Workers <= 0 || m.GOMAXPROCS <= 0 {
+			t.Errorf("micro bench %s missing parallelism metadata: %+v", m.Name, m)
+		}
 		byName[m.Name] = m
+	}
+	// The pinned tier entries must record the path they pinned.
+	if e := byName["engine/n100k/scalar"]; e.Path != "scalar" || e.Workers != 1 {
+		t.Errorf("engine/n100k/scalar recorded path=%q workers=%d", e.Path, e.Workers)
+	}
+	if e := byName["engine/n100k/parallel"]; e.Path != "parallel" || e.Workers <= 1 {
+		t.Errorf("engine/n100k/parallel recorded path=%q workers=%d", e.Path, e.Workers)
 	}
 	// The cached lookup must beat the fresh solve it short-circuits.
 	hit, fresh := byName["cachehit/n200"], byName["greedy/n200"]
@@ -161,11 +174,11 @@ func TestCompareMicroGate(t *testing.T) {
 			{Name: "greedy/n200", NsPerOp: 1000, AllocsPerOp: 200},
 			{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
 		}, "allocs", true},
-		{"new benchmark not gated", []microBench{
+		{"missing baseline entry fails", []microBench{
 			{Name: "greedy/n200", NsPerOp: 1000, AllocsPerOp: 100},
 			{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
 			{Name: "brandnew/n1", NsPerOp: 1e9, AllocsPerOp: 1 << 30},
-		}, "both", false},
+		}, "both", true},
 		{"improvement passes", []microBench{
 			{Name: "greedy/n200", NsPerOp: 10, AllocsPerOp: 1},
 			{Name: "cachehit/n200", NsPerOp: 10, AllocsPerOp: 1},
@@ -173,10 +186,26 @@ func TestCompareMicroGate(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var out bytes.Buffer
-		err := compareMicro(&out, base, tc.current, tc.metric)
+		err := compareMicro(&out, base, tc.current, tc.metric, false)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: err = %v, wantErr %v\n%s", tc.name, err, tc.wantErr, out.String())
 		}
+	}
+
+	// The missing-entry failure must name the benchmark and be overridable.
+	withNew := []microBench{
+		{Name: "greedy/n200", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "cachehit/n200", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "brandnew/n1", NsPerOp: 1e9, AllocsPerOp: 1 << 30},
+	}
+	var out bytes.Buffer
+	err := compareMicro(&out, base, withNew, "both", false)
+	if err == nil || !strings.Contains(err.Error(), "brandnew/n1") {
+		t.Errorf("missing-entry error should name the benchmark, got %v", err)
+	}
+	out.Reset()
+	if err := compareMicro(&out, base, withNew, "both", true); err != nil {
+		t.Errorf("allowMissing should tolerate the new benchmark, got %v", err)
 	}
 }
 

@@ -4,11 +4,15 @@
 //
 //	sectorgen -family hotspot -n 200 -m 4 -seed 7 -out instance.json
 //	sectorgen -count 16 -out batch.json   # multi-instance batch envelope
+//	sectorgen -tier 100k -out big.json    # benchmark tier preset
 //
 // Families: uniform, hotspot, rings, zipf, adversarial. Variants: sectors,
-// angles, disjoint. With -count > 1 the output is the batch envelope
-// consumed by `sectorpack -batch` and the sectord /solve/batch endpoint;
-// instance k uses seed+k.
+// angles, disjoint. Tiers (-tier): the named large-scale presets from
+// gen.TierNames ("100k", "1m"); a tier fixes the workload shape, and any
+// explicitly set flag (-n, -m, -family, ...) overrides the preset field.
+// With -count > 1 the output is the batch envelope consumed by
+// `sectorpack -batch` and the sectord /solve/batch endpoint; instance k
+// uses seed+k.
 package main
 
 import (
@@ -39,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rho := fs.Float64("rho", 0, "antenna width in radians (0 = default π/3)")
 	tight := fs.Float64("tightness", 0, "total demand / total capacity (0 = default 1.5)")
 	unit := fs.Bool("unit", false, "force unit demands")
+	tier := fs.String("tier", "", "benchmark tier preset (100k, 1m); explicitly set flags override preset fields")
 	count := fs.Int("count", 1, "number of instances; > 1 writes a batch envelope (instance k uses seed+k)")
 	outPath := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -58,18 +63,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown variant %q", *variant)
 	}
+	cfg := gen.Config{
+		Family:     gen.Family(*family),
+		N:          *n,
+		M:          *m,
+		Rho:        *rho,
+		Tightness:  *tight,
+		UnitDemand: *unit,
+	}
+	if *tier != "" {
+		preset, err := gen.Tier(*tier)
+		if err != nil {
+			return err
+		}
+		// The preset supplies the workload shape; flags the caller set
+		// explicitly win over it (fs.Visit only sees set flags).
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["family"] {
+			preset.Family = gen.Family(*family)
+		}
+		if set["n"] {
+			preset.N = *n
+		}
+		if set["m"] {
+			preset.M = *m
+		}
+		if set["rho"] {
+			preset.Rho = *rho
+		}
+		if set["tightness"] {
+			preset.Tightness = *tight
+		}
+		if set["unit"] {
+			preset.UnitDemand = *unit
+		}
+		cfg = preset
+	}
+	cfg.Variant = v
 	ins := make([]*model.Instance, *count)
 	for k := range ins {
-		in, err := gen.Generate(gen.Config{
-			Family:     gen.Family(*family),
-			Variant:    v,
-			N:          *n,
-			M:          *m,
-			Seed:       *seed + int64(k),
-			Rho:        *rho,
-			Tightness:  *tight,
-			UnitDemand: *unit,
-		})
+		c := cfg
+		c.Seed = *seed + int64(k)
+		in, err := gen.Generate(c)
 		if err != nil {
 			return err
 		}

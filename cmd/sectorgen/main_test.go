@@ -117,3 +117,24 @@ func TestGenerateErrors(t *testing.T) {
 		t.Error("-count 0 must error")
 	}
 }
+
+func TestGenerateTierPreset(t *testing.T) {
+	// -n overrides the preset's N (a full 100k generation is too slow for
+	// a unit test); the preset must still supply M=16 and its family.
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-tier", "100k", "-n", "50"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	in, err := model.ReadJSON(&stdout)
+	if err != nil {
+		t.Fatalf("output is not a valid instance: %v", err)
+	}
+	if in.N() != 50 || in.M() != 16 {
+		t.Fatalf("shape %dx%d, want 50x16 (-n override + preset m)", in.N(), in.M())
+	}
+
+	var out2, err2 bytes.Buffer
+	if err := run([]string{"-tier", "bogus"}, &out2, &err2); err == nil {
+		t.Error("unknown tier must error")
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sectorpack -in instance.json [-solver greedy] [-seed 1] [-eps 0.05] [-v] [-viz]
+//	sectorpack -in big.json -solver baseline -bound=false
 //	sectorpack -batch -in batch.json [-workers 4] [-timeout 5s]
 //
 // The instance format is the JSON envelope written by cmd/sectorgen (or
@@ -11,6 +12,11 @@
 // (sectorgen -count, or model.WriteBatchJSON) solved concurrently on a
 // bounded worker pool; each item succeeds or fails on its own. Solvers:
 // anneal, disjoint-dp, exact, greedy, localsearch, lpround, unitflow.
+//
+// The fractional upper bound printed alongside the profit costs one
+// knapsack relaxation per candidate orientation — quadratic in the
+// per-antenna eligible count — so on the large generator tiers (n=100k
+// and up) pass -bound=false to skip it; the solve itself stays fast.
 //
 // Exit codes: 0 = full solve, 1 = error (in batch mode: any item failed),
 // 3 = the -timeout deadline expired and a degraded fallback result was
@@ -80,6 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	vizFlag := fs.Bool("viz", false, "draw an ASCII polar plot of the solution")
 	batch := fs.Bool("batch", false, "treat -in as a multi-instance batch envelope (sectorgen -count)")
 	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	bound := fs.Bool("bound", true, "compute the fractional upper bound and optimality gap (quadratic in the per-antenna eligible count; use -bound=false at n=100k and above)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +107,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			fallback: *fallback,
 			workers:  *workers,
 			verbose:  *verbose,
+			bound:    *bound,
 		})
 	}
 	in, err := model.LoadFile(*inPath)
@@ -110,7 +118,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opt := core.Options{Seed: *seed}
+	opt := core.Options{Seed: *seed, SkipBound: !*bound}
 	if *eps > 0 {
 		opt.Knapsack = knapsack.Options{ForceApprox: true, Eps: *eps}
 	}
@@ -179,6 +187,7 @@ type batchConfig struct {
 	fallback bool
 	workers  int
 	verbose  bool
+	bound    bool
 }
 
 // runBatch solves a multi-instance envelope on core.SolveBatch's worker
@@ -193,7 +202,7 @@ func runBatch(ctx context.Context, out io.Writer, cfg batchConfig) error {
 	if err != nil {
 		return err
 	}
-	opt := core.Options{Seed: cfg.seed}
+	opt := core.Options{Seed: cfg.seed, SkipBound: !cfg.bound}
 	if cfg.eps > 0 {
 		opt.Knapsack = knapsack.Options{ForceApprox: true, Eps: cfg.eps}
 	}

@@ -38,6 +38,23 @@ func TestRunSolvesInstance(t *testing.T) {
 	}
 }
 
+func TestRunBoundFlag(t *testing.T) {
+	path := writeTestInstance(t)
+	var withBound, without bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-solver", "baseline"}, &withBound); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(context.Background(), []string{"-in", path, "-solver", "baseline", "-bound=false"}, &without); err != nil {
+		t.Fatalf("run -bound=false: %v", err)
+	}
+	if !strings.Contains(withBound.String(), "of bound") {
+		t.Errorf("default run missing the bound report:\n%s", withBound.String())
+	}
+	if strings.Contains(without.String(), "of bound") {
+		t.Errorf("-bound=false still reports a bound:\n%s", without.String())
+	}
+}
+
 func TestRunViz(t *testing.T) {
 	path := writeTestInstance(t)
 	var out bytes.Buffer

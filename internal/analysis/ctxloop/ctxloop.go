@@ -23,6 +23,20 @@
 // selecting on ctx.Done(), or passing ctx into the work — satisfies the
 // contract, because every callee that accepts the ctx is itself held to
 // this invariant.
+//
+// A second rule extends the contract to parallel fan-outs (the columnar
+// engine's Prewarm and CandidatesAll pools, sweep.Run, SolveBatch): inside
+// ANY function whose first parameter is a context.Context — solver-shaped
+// or not — a goroutine launched as `go func() { ... }()` must consult a
+// context in every working loop, typically once per claimed work batch.
+// A worker pool that drains its queue regardless of cancellation keeps a
+// deadline-exceeded solve burning CPU for the full instance size. This
+// rule matches by type, not by the parameter object: worker pools
+// routinely re-derive the context (ctx, cancel := context.WithCancel(ctx)),
+// and consulting the derived context is exactly right, since cancellation
+// flows parent to child. Goroutine literals that take their own
+// context.Context parameter are exempt here — they carry their own
+// contract and are analyzed as functions in their own right.
 package ctxloop
 
 import (
@@ -39,23 +53,115 @@ var Analyzer = &framework.Analyzer{
 	Doc: "solver loops must consult their context: every for loop doing real work " +
 		"inside a Solve*/Solution-returning function that takes a context.Context " +
 		"must check ctx.Err(), select on ctx.Done(), or pass ctx to its callees " +
-		"(the exact.SolveParallel bug fixed in PR 2)",
+		"(the exact.SolveParallel bug fixed in PR 2); worker goroutines launched " +
+		"inside any context-taking function must likewise consult a context in " +
+		"every working loop, once per claimed batch",
 	Run: run,
 }
 
 func run(pass *framework.Pass) error {
 	for _, fn := range astx.Funcs(pass.Files) {
-		ctxObj, ok := solverShape(pass, fn)
-		if !ok {
-			continue
-		}
 		name := fn.Name
 		if name == "" {
 			name = "function literal"
 		}
-		checkLoops(pass, fn.Body, name, ctxObj, false)
+		if ctxObj, ok := solverShape(pass, fn); ok {
+			checkLoops(pass, fn.Body, name, ctxObj, false)
+		}
+		if hasCtxFirstParam(pass, fn.Type) {
+			checkWorkerGoroutines(pass, fn.Body, name)
+		}
 	}
 	return nil
+}
+
+// checkWorkerGoroutines applies the worker-pool rule: every `go func() {...}()`
+// launched (transitively) in the function's body must consult a context in
+// each of its working loops. Nested function literals that accept their own
+// context.Context are skipped — astx.Funcs enumerates them separately and
+// they are held to their own contract.
+func checkWorkerGoroutines(pass *framework.Pass, body *ast.BlockStmt, name string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && litTakesCtx(pass, lit) {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok || litTakesCtx(pass, lit) {
+			return true
+		}
+		checkWorkerLoops(pass, lit.Body, name, false)
+		return true
+	})
+}
+
+// checkWorkerLoops is checkLoops for a worker goroutine body: the
+// exemption is consulting ANY context-typed value (see the package comment
+// on why the match is by type), and the finding message names the pool.
+func checkWorkerLoops(pass *framework.Pass, n ast.Node, name string, exempt bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if c == n {
+				return true
+			}
+			body, _ := loopBody(c)
+			childExempt := exempt || mentionsContextValue(pass.TypesInfo, body)
+			if !childExempt && hasWork(pass.TypesInfo, body) {
+				pass.Reportf(c.Pos(),
+					"worker goroutine in %s loops over work without consulting a context; check ctx.Err() once per claimed batch so cancellation stops the pool", name)
+				childExempt = true
+			}
+			checkWorkerLoops(pass, c, name, childExempt)
+			return false
+		}
+		return true
+	})
+}
+
+// hasCtxFirstParam reports whether the function's first parameter is a
+// context.Context (named or not).
+func hasCtxFirstParam(pass *framework.Pass, ftype *ast.FuncType) bool {
+	params := ftype.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[params.List[0].Type]
+	return ok && astx.IsNamed(tv.Type, "context", "Context")
+}
+
+// litTakesCtx reports whether a function literal's first parameter is a
+// context.Context.
+func litTakesCtx(pass *framework.Pass, lit *ast.FuncLit) bool {
+	return hasCtxFirstParam(pass, lit.Type)
+}
+
+// mentionsContextValue reports whether n uses any identifier whose type is
+// context.Context — the function's own parameter, a derived child context,
+// or one captured from an enclosing scope.
+func mentionsContextValue(info *types.Info, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && astx.IsNamed(obj.Type(), "context", "Context") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // checkLoops walks stmts looking for offending loops. exempt is true when

@@ -1,0 +1,109 @@
+package ctxloop
+
+import (
+	"context"
+	"sync"
+)
+
+// Prewarm mimics the columnar engine's worker pool with the bug the rule
+// exists for: workers drain the antenna queue without ever consulting the
+// context, so a deadline-exceeded solve keeps burning CPU.
+func Prewarm(ctx context.Context, in *Instance) error {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range in.Customers { // want `without consulting a context`
+				work(c)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// PrewarmChecked consults ctx once per claimed batch: compliant.
+func PrewarmChecked(ctx context.Context, in *Instance) error {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range in.Customers {
+				if ctx.Err() != nil {
+					return
+				}
+				work(c)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// PrewarmDerived re-derives the context before the fan-out (the sweep.Run
+// shape); consulting the derived child is exactly right, so the type-based
+// match keeps it clean.
+func PrewarmDerived(ctx context.Context, in *Instance) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, c := range in.Customers {
+				workCtx(ctx, c)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// PrewarmOwnCtx launches a goroutine that takes its own context parameter:
+// exempt here, it is analyzed as a function in its own right.
+func PrewarmOwnCtx(ctx context.Context, in *Instance) error {
+	done := make(chan struct{})
+	go func(gctx context.Context) {
+		defer close(done)
+		for _, c := range in.Customers {
+			if gctx.Err() != nil {
+				return
+			}
+			work(c)
+		}
+	}(ctx)
+	<-done
+	return ctx.Err()
+}
+
+// fanOut has no context parameter at all, so the worker rule does not
+// apply — there is nothing the pool could consult.
+func fanOut(in *Instance) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, c := range in.Customers {
+			work(c)
+		}
+	}()
+	wg.Wait()
+}
+
+// PrewarmBookkeeping workers only do per-iteration bookkeeping; demanding a
+// ctx check there would be noise.
+func PrewarmBookkeeping(ctx context.Context, in *Instance) error {
+	owners := make([]int, len(in.Customers))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := range owners {
+			owners[i] = -1
+		}
+	}()
+	<-done
+	return ctx.Err()
+}

@@ -8,9 +8,37 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sectorpack/internal/cols"
 	"sectorpack/internal/knapsack"
 	"sectorpack/internal/model"
 )
+
+// maxWorkersVar caps the worker count of every parallel path in this
+// package (candidate-window evaluation, Prewarm's per-antenna sweep
+// builds, CandidatesAll); 0 means GOMAXPROCS. Results are bit-identical at
+// any setting — the knob exists so the scalar-vs-parallel differential
+// tests and sectorbench can pin each path explicitly.
+var maxWorkersVar atomic.Int32
+
+// SetMaxWorkers caps the package's parallel paths at n workers (n <= 1
+// forces the scalar path, 0 restores the GOMAXPROCS default) and returns
+// the previous setting. Safe for concurrent use, but intended for test and
+// benchmark setup, not per-request tuning.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkersVar.Swap(int32(n)))
+}
+
+// Workers reports the effective worker count the package's parallel paths
+// would use right now.
+func Workers() int {
+	if n := int(maxWorkersVar.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Engine is the reusable best-window evaluator behind the greedy, local
 // search, and constrained solvers. It caches one Sweep (and one candidate
@@ -39,6 +67,7 @@ import (
 // internally across GOMAXPROCS workers.
 type Engine struct {
 	in     *model.Instance
+	view   *cols.View // columnar core, built once and shared by every sweep
 	sweeps []*Sweep
 	cands  [][]float64
 
@@ -81,10 +110,20 @@ func NewEngine(in *model.Instance) *Engine {
 // Instance returns the instance the engine was built for.
 func (e *Engine) Instance() *model.Instance { return e.in }
 
+// View returns the engine's columnar view of the instance, building it on
+// first use. The instance is sorted exactly once per engine; every sweep
+// gathers from these shared read-only columns.
+func (e *Engine) View() *cols.View {
+	if e.view == nil {
+		e.view = cols.New(e.in)
+	}
+	return e.view
+}
+
 // Sweep returns the antenna's cached sweep, building it on first use.
 func (e *Engine) Sweep(antenna int) *Sweep {
 	if e.sweeps[antenna] == nil {
-		e.sweeps[antenna] = NewSweep(e.in, antenna)
+		e.sweeps[antenna] = newSweepFromView(e.View(), e.in.Antennas[antenna])
 	}
 	return e.sweeps[antenna]
 }
@@ -94,14 +133,87 @@ func (e *Engine) Sweep(antenna int) *Sweep {
 // antenna. Callers must not mutate the returned slice.
 func (e *Engine) Candidates(antenna int) []float64 {
 	if e.cands[antenna] == nil {
-		s := e.Sweep(antenna)
-		sorted := append(make([]float64, 0, len(s.thetas)), s.thetas...)
-		e.cands[antenna] = dedupAngles(sorted)
-		if e.cands[antenna] == nil {
-			e.cands[antenna] = []float64{} // non-nil: cache hit marker
-		}
+		e.cands[antenna] = candidatesFromSweep(e.Sweep(antenna))
 	}
 	return e.cands[antenna]
+}
+
+// candidatesFromSweep derives an antenna's deduplicated candidate angles
+// from its sweep's already-sorted thetas.
+func candidatesFromSweep(s *Sweep) []float64 {
+	out := dedupAngles(append(make([]float64, 0, len(s.thetas)), s.thetas...))
+	if out == nil {
+		out = []float64{} // non-nil: cache hit marker
+	}
+	return out
+}
+
+// prewarmParallelMin gates Prewarm's fan-out: below this much total work
+// (customers × antennas) goroutine spawn costs more than it saves and the
+// serial loop is used. The threshold never changes results, only cost.
+const prewarmParallelMin = 1 << 14
+
+// Prewarm builds every antenna's sweep and candidate list up front,
+// fanning the per-antenna builds across Workers() goroutines on large
+// instances. The merge is deterministic by construction: antenna j's
+// sweep lands in slot j and its content depends only on the shared view
+// and the antenna, never on scheduling, so a prewarmed engine is
+// bit-identical to one that built sweeps lazily — and to the scalar path.
+//
+// Cancellation: each worker consults ctx before every antenna it claims;
+// on cancellation the already-built sweeps are kept (they are valid
+// caches) and ctx.Err() is returned.
+func (e *Engine) Prewarm(ctx context.Context) error {
+	m := len(e.sweeps)
+	if m == 0 {
+		return ctx.Err()
+	}
+	view := e.View() // built serially, before the fan-out
+	workers := Workers()
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || view.Len()*m < prewarmParallelMin {
+		for j := 0; j < m; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			e.prewarmAntenna(view, j)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return // consult ctx once per claimed antenna
+				}
+				j := int(next.Add(1)) - 1
+				if j >= m {
+					return
+				}
+				e.prewarmAntenna(view, j)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// prewarmAntenna fills antenna j's sweep and candidate slots if still
+// empty. Distinct antennas touch distinct slots, so Prewarm's workers
+// never race.
+func (e *Engine) prewarmAntenna(v *cols.View, j int) {
+	if e.sweeps[j] == nil {
+		e.sweeps[j] = newSweepFromView(v, e.in.Antennas[j])
+	}
+	if e.cands[j] == nil {
+		e.cands[j] = candidatesFromSweep(e.sweeps[j])
+	}
 }
 
 // BestWindow finds the most profitable placement of a single antenna over
@@ -214,7 +326,7 @@ func (e *Engine) evaluate(ctx context.Context, s *Sweep, capacity int64, active 
 	var best atomic.Int64
 	best.Store(-1)
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := Workers()
 	if nc < parallelThreshold || workers <= 1 {
 		sc := evalPool.Get().(*evalScratch)
 		for _, k := range e.order {
@@ -297,14 +409,14 @@ func (e *Engine) solve(s *Sweep, k int, capacity int64, active []bool, opt knaps
 	ids := sc.ids[:0]
 	if c.count >= 0 {
 		for t := int(c.start); t < int(c.start)+int(c.count); t++ {
-			i := s.ids[t%n]
+			i := int(s.ids[t%n])
 			if active == nil || active[i] {
 				ids = append(ids, i)
 			}
 		}
 	} else {
 		for _, p := range e.posBuf[c.start:e.posEnd[k]] {
-			i := s.ids[p]
+			i := int(s.ids[p])
 			if active == nil || active[i] {
 				ids = append(ids, i)
 			}

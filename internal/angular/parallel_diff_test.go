@@ -1,0 +1,100 @@
+package angular
+
+import (
+	"context"
+	"testing"
+
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+// largeDiffInstance is big enough (n*m >= prewarmParallelMin) that
+// CandidatesAll and Prewarm take their worker-pool paths when more than one
+// worker is allowed.
+func largeDiffInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	in := gen.MustGenerate(gen.Config{Family: gen.Hotspot, Seed: 9, N: 3000, M: 6, MinRange: 2})
+	if in.N()*in.M() < prewarmParallelMin {
+		t.Fatalf("instance too small to cross the parallel gate: %d < %d", in.N()*in.M(), prewarmParallelMin)
+	}
+	return in
+}
+
+// TestCandidatesAllScalarVsParallel pins CandidatesAll's determinism claim:
+// the worker-pool path must return exactly the per-antenna Candidates
+// slices, element for element, that the scalar path (and the one-antenna
+// reference implementation) produce.
+func TestCandidatesAllScalarVsParallel(t *testing.T) {
+	in := largeDiffInstance(t)
+	run := func(workers int) [][]float64 {
+		prev := SetMaxWorkers(workers)
+		defer SetMaxWorkers(prev)
+		out, err := CandidatesAll(context.Background(), in)
+		if err != nil {
+			t.Fatalf("CandidatesAll at %d workers: %v", workers, err)
+		}
+		return out
+	}
+	scalar := run(1)
+	parallel := run(8)
+	if len(scalar) != in.M() || len(parallel) != in.M() {
+		t.Fatalf("got %d/%d antenna slices, want %d", len(scalar), len(parallel), in.M())
+	}
+	for j := 0; j < in.M(); j++ {
+		ref := Candidates(in, j)
+		for path, got := range map[string][]float64{"scalar": scalar[j], "parallel": parallel[j]} {
+			if len(got) != len(ref) {
+				t.Fatalf("antenna %d %s path: %d candidates, reference has %d", j, path, len(got), len(ref))
+			}
+			for k := range ref {
+				if got[k] != ref[k] {
+					t.Fatalf("antenna %d %s path candidate %d: got %v, reference %v", j, path, k, got[k], ref[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPrewarmScalarVsParallel checks that a parallel-prewarmed engine holds
+// bit-identical sweeps and candidate lists to a scalar-prewarmed one: slot
+// j's content must be a pure function of the view and antenna j, never of
+// goroutine scheduling.
+func TestPrewarmScalarVsParallel(t *testing.T) {
+	in := largeDiffInstance(t)
+	prewarm := func(workers int) *Engine {
+		prev := SetMaxWorkers(workers)
+		defer SetMaxWorkers(prev)
+		e := NewEngine(in)
+		if err := e.Prewarm(context.Background()); err != nil {
+			t.Fatalf("Prewarm at %d workers: %v", workers, err)
+		}
+		return e
+	}
+	scalar := prewarm(1)
+	parallel := prewarm(8)
+	for j := 0; j < in.M(); j++ {
+		s, p := scalar.sweeps[j], parallel.sweeps[j]
+		if s == nil || p == nil {
+			t.Fatalf("antenna %d: prewarm left a nil sweep (scalar=%v parallel=%v)", j, s == nil, p == nil)
+		}
+		if s.Len() != p.Len() {
+			t.Fatalf("antenna %d: sweep lengths differ: %d vs %d", j, s.Len(), p.Len())
+		}
+		for k := 0; k < s.Len(); k++ {
+			if s.ids[k] != p.ids[k] || s.thetas[k] != p.thetas[k] ||
+				s.weights[k] != p.weights[k] || s.profits[k] != p.profits[k] ||
+				s.density[k] != p.density[k] {
+				t.Fatalf("antenna %d: sweeps diverge at position %d", j, k)
+			}
+		}
+		sc, pc := scalar.cands[j], parallel.cands[j]
+		if len(sc) != len(pc) {
+			t.Fatalf("antenna %d: candidate counts differ: %d vs %d", j, len(sc), len(pc))
+		}
+		for k := range sc {
+			if sc[k] != pc[k] {
+				t.Fatalf("antenna %d: candidates diverge at %d: %v vs %v", j, k, sc[k], pc[k])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package angular
 import (
 	"sort"
 
+	"sectorpack/internal/cols"
 	"sectorpack/internal/geom"
 	"sectorpack/internal/model"
 )
@@ -28,7 +29,7 @@ import (
 // generators never produce and real inputs cannot meaningfully encode.
 type Sweep struct {
 	thetas []float64 // sorted angles of in-range customers
-	ids    []int     // customer index per sorted position
+	ids    []int32   // customer index per sorted position
 	rho    float64
 
 	weights []int64 // demand per sorted position
@@ -41,26 +42,37 @@ type Sweep struct {
 	markEpoch int32
 }
 
-// NewSweep prepares the sweep for one antenna: customers outside the
-// antenna's radial range are dropped here once, rather than per window.
+// NewSweep prepares the sweep for one antenna through a one-off columnar
+// view. Callers building sweeps for several antennas of the same instance
+// should share one view (Engine does; see Engine.Prewarm) so the instance
+// is sorted once, not per antenna.
 func NewSweep(in *model.Instance, antenna int) *Sweep {
-	a := in.Antennas[antenna]
+	return newSweepFromView(cols.New(in), in.Antennas[antenna])
+}
+
+// newSweepFromView gathers the antenna's in-range customers from the
+// theta-sorted columnar view: the radial pre-filter selects the eligible
+// positions (cols.View.AppendEligible) and the columns are gathered in
+// position order, which IS ascending-angle order — no per-antenna sort.
+// Angle ties inherit the view's deterministic (theta, customer index)
+// order; the previous per-antenna sort agreed with it on every input with
+// distinct angles, and on the small tied fixtures in the tests, so sweep
+// layouts — and everything downstream — are unchanged.
+func newSweepFromView(v *cols.View, a model.Antenna) *Sweep {
 	s := &Sweep{rho: a.Rho}
-	for i, c := range in.Customers {
-		if a.InRange(c) {
-			s.ids = append(s.ids, i)
-			s.thetas = append(s.thetas, c.Theta)
-		}
-	}
-	sort.Sort(byTheta{s})
-	n := len(s.ids)
-	s.weights = make([]int64, n)
-	s.profits = make([]int64, n)
-	s.density = make([]int32, n)
-	for p, i := range s.ids {
-		s.weights[p] = in.Customers[i].Demand
-		s.profits[p] = in.Customers[i].Profit
-		s.density[p] = int32(p)
+	pos := v.AppendEligible(a, nil)
+	k := len(pos)
+	s.thetas = make([]float64, k)
+	s.ids = make([]int32, k)
+	s.weights = make([]int64, k)
+	s.profits = make([]int64, k)
+	s.density = make([]int32, k)
+	for t, p := range pos {
+		s.thetas[t] = v.Theta[p]
+		s.ids[t] = v.ID[p]
+		s.weights[t] = v.Demand[p]
+		s.profits[t] = v.Profit[p]
+		s.density[t] = int32(t)
 	}
 	// Dantzig order: profit/weight descending, zero-weight (infinite
 	// density) first, ties by higher profit then position — the same
@@ -89,16 +101,6 @@ func NewSweep(in *model.Instance, antenna int) *Sweep {
 		return a < b
 	})
 	return s
-}
-
-// byTheta sorts ids and thetas together.
-type byTheta struct{ s *Sweep }
-
-func (b byTheta) Len() int           { return len(b.s.ids) }
-func (b byTheta) Less(i, j int) bool { return b.s.thetas[i] < b.s.thetas[j] }
-func (b byTheta) Swap(i, j int) {
-	b.s.thetas[i], b.s.thetas[j] = b.s.thetas[j], b.s.thetas[i]
-	b.s.ids[i], b.s.ids[j] = b.s.ids[j], b.s.ids[i]
 }
 
 // Len returns the number of in-range customers.
@@ -156,7 +158,7 @@ func (s *Sweep) ForEach(fn func(alpha float64, ids []int) bool) {
 	s.forEachRange(func(start, count int, alpha float64) bool {
 		buf := s.buf[:0]
 		for k := start; k < start+count; k++ {
-			buf = append(buf, s.ids[k%n])
+			buf = append(buf, int(s.ids[k%n]))
 		}
 		return fn(alpha, buf)
 	})

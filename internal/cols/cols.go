@@ -1,0 +1,145 @@
+// Package cols provides the columnar (struct-of-arrays) read-only view of
+// a problem instance that the angular hot path runs on.
+//
+// A View lays the customer fields out as parallel columns sorted by angle
+// once per instance, so every per-antenna sweep gathers its in-range subset
+// with a sequential pass over flat arrays instead of re-sorting and
+// pointer-chasing []model.Customer structs per antenna. On top of the
+// angular order it carries a radius-sorted permutation — the spatial radial
+// pre-filter: an antenna's eligible customers occupy one contiguous run of
+// that index (eligibility is a closed radius interval, model.RadialBounds),
+// so selective antennas locate their candidates with two binary searches
+// plus an O(k log k) position sort instead of scanning all n customers.
+//
+// A View is immutable after New and safe for concurrent readers; the
+// parallel sweep builders in internal/angular share one View across
+// GOMAXPROCS workers.
+package cols
+
+import (
+	"sort"
+
+	"sectorpack/internal/model"
+)
+
+// View is the columnar instance core. Position p (0 ≤ p < Len) describes
+// the p-th customer in ascending-angle order; ID[p] maps the position back
+// to the customer's index in Instance.Customers. Angle ties keep ascending
+// customer-index order (the sort is stable over the index-ordered input),
+// so the layout is a deterministic function of the instance.
+type View struct {
+	Theta  []float64 // ascending angles
+	R      []float64 // radius per position
+	Demand []int64   // demand per position
+	Profit []int64   // profit per position
+	ID     []int32   // customer index per position
+
+	// Radial pre-filter index: byR lists positions in ascending-radius
+	// order (ties by position), sortedR the radii in that order for
+	// binary searching.
+	byR     []int32
+	sortedR []float64
+}
+
+// New builds the view: one O(n log n) angular sort and one O(n log n)
+// radial sort per instance, amortized over every antenna's sweep.
+func New(in *model.Instance) *View {
+	n := len(in.Customers)
+	v := &View{
+		Theta:   make([]float64, n),
+		R:       make([]float64, n),
+		Demand:  make([]int64, n),
+		Profit:  make([]int64, n),
+		ID:      make([]int32, n),
+		byR:     make([]int32, n),
+		sortedR: make([]float64, n),
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		return in.Customers[perm[x]].Theta < in.Customers[perm[y]].Theta
+	})
+	for p, i := range perm {
+		c := &in.Customers[i]
+		v.Theta[p] = c.Theta
+		v.R[p] = c.R
+		v.Demand[p] = c.Demand
+		v.Profit[p] = c.Profit
+		v.ID[p] = i
+	}
+	for p := range v.byR {
+		v.byR[p] = int32(p)
+	}
+	sort.SliceStable(v.byR, func(x, y int) bool {
+		return v.R[v.byR[x]] < v.R[v.byR[y]]
+	})
+	for k, p := range v.byR {
+		v.sortedR[k] = v.R[p]
+	}
+	return v
+}
+
+// Len returns the number of customers in the view.
+func (v *View) Len() int { return len(v.Theta) }
+
+// RadialRun returns the half-open run [lo, hi) of the radius-sorted index
+// holding exactly the customers the antenna can reach. Exposed for the
+// boundary tests and for callers that only need the eligible count.
+func (v *View) RadialRun(a model.Antenna) (lo, hi int) {
+	loR, hiR := a.RadialBounds()
+	n := len(v.sortedR)
+	lo = sort.Search(n, func(i int) bool { return v.sortedR[i] >= loR })
+	hi = sort.Search(n, func(i int) bool { return v.sortedR[i] > hiR })
+	return lo, hi
+}
+
+// AppendEligible appends to out the positions (ascending) of every customer
+// the antenna can radially reach, and returns the extended slice. Two paths
+// produce the identical set — eligibility is the pure radius predicate
+// model.Antenna.InRange, which both express through RadialBounds:
+//
+//   - pre-filter: when the eligible count k is small relative to n, the
+//     positions are read off the radius-sorted run and sorted back into
+//     angular order, O(log n + k log k);
+//   - scan: otherwise a single sequential pass over the radius column,
+//     O(n) with no sort (positions come out already ordered).
+//
+// The path choice therefore never affects results, only cost.
+func (v *View) AppendEligible(a model.Antenna, out []int32) []int32 {
+	n := len(v.R)
+	if n == 0 {
+		return out
+	}
+	rlo, rhi := v.RadialRun(a)
+	k := rhi - rlo
+	if k == 0 {
+		return out
+	}
+	if prefilterWins(k, n) {
+		base := len(out)
+		out = append(out, v.byR[rlo:rhi]...)
+		seg := out[base:]
+		sort.Slice(seg, func(x, y int) bool { return seg[x] < seg[y] })
+		return out
+	}
+	loR, hiR := a.RadialBounds()
+	for p := 0; p < n; p++ {
+		if r := v.R[p]; loR <= r && r <= hiR {
+			out = append(out, int32(p))
+		}
+	}
+	return out
+}
+
+// prefilterWins decides whether the binary-search path (k log₂ k work) is
+// cheaper than the full scan (n work), with a bias toward the scan near the
+// break-even point since its sequential pass is friendlier to the cache.
+func prefilterWins(k, n int) bool {
+	bits := 0
+	for v := k; v > 0; v >>= 1 {
+		bits++
+	}
+	return k*bits*2 < n
+}

@@ -1,0 +1,210 @@
+package cols
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+// bruteEligible is the reference the pre-filter must match exactly: the
+// naive scan applying model.Antenna.InRange per customer, in view position
+// order.
+func bruteEligible(v *View, in *model.Instance, a model.Antenna) []int32 {
+	var out []int32
+	for p := 0; p < v.Len(); p++ {
+		if a.InRange(in.Customers[v.ID[p]]) {
+			out = append(out, int32(p))
+		}
+	}
+	return out
+}
+
+func assertEligibleMatches(t *testing.T, in *model.Instance, a model.Antenna, label string) {
+	t.Helper()
+	v := New(in)
+	got := v.AppendEligible(a, nil)
+	want := bruteEligible(v, in, a)
+	if len(got) != len(want) {
+		t.Fatalf("%s: eligible count %d, brute force %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: position %d: got %d want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// instanceWithRadii builds a validated instance whose customers sit at the
+// given radii (angles spread to keep them distinct).
+func instanceWithRadii(radii []float64) *model.Instance {
+	in := &model.Instance{Variant: model.Sectors}
+	for i, r := range radii {
+		in.Customers = append(in.Customers, model.Customer{
+			ID:     i,
+			Theta:  float64(i) * 0.1,
+			R:      r,
+			Demand: 1,
+		})
+	}
+	in.Antennas = []model.Antenna{{Rho: 1, Range: 4, Capacity: 100}}
+	return in.Normalize()
+}
+
+// TestEligibleBoundaryExactRange pins the EffRange boundary: a customer
+// exactly on the antenna's radius, one just inside the tolerance band, and
+// one just past it must classify identically to the brute-force InRange
+// scan on both selection paths.
+func TestEligibleBoundaryExactRange(t *testing.T) {
+	const rng = 4.0
+	_, hi := model.Antenna{Range: rng}.RadialBounds()
+	radii := []float64{
+		0, rng / 2,
+		rng,                             // exactly on the radius: eligible
+		hi,                              // exactly on the tolerance bound: eligible
+		math.Nextafter(hi, math.Inf(1)), // one ulp past: ineligible
+		rng * 2,
+	}
+	in := instanceWithRadii(radii)
+	a := model.Antenna{Rho: 1, Range: rng, Capacity: 100}
+	assertEligibleMatches(t, in, a, "exact-range")
+
+	v := New(in)
+	got := v.AppendEligible(a, nil)
+	if len(got) != 4 {
+		t.Fatalf("want the 4 radii at or below the tolerance bound, got %d positions", len(got))
+	}
+}
+
+// TestEligibleBoundaryMinRange pins the annulus lower boundary the same
+// way: exactly on MinRange (eligible under the 1e-12/Eps slack), exactly on
+// the slackened bound, and one ulp below it.
+func TestEligibleBoundaryMinRange(t *testing.T) {
+	const minR, rng = 2.0, 6.0
+	lo, _ := model.Antenna{MinRange: minR, Range: rng}.RadialBounds()
+	radii := []float64{
+		0, minR / 2,
+		math.Nextafter(lo, math.Inf(-1)), // one ulp below the bound: ineligible
+		lo,                               // exactly on the bound: eligible
+		minR,                             // exactly on MinRange: eligible
+		(minR + rng) / 2, rng,
+	}
+	in := instanceWithRadii(radii)
+	a := model.Antenna{Rho: 1, Range: rng, MinRange: minR, Capacity: 100}
+	assertEligibleMatches(t, in, a, "min-range")
+
+	v := New(in)
+	got := v.AppendEligible(a, nil)
+	if len(got) != 4 {
+		t.Fatalf("want the 4 radii inside the annulus tolerance band, got %d", len(got))
+	}
+}
+
+// TestEligibleZeroWidthRay checks that a degenerate ray antenna (Rho == 0)
+// filters radially exactly like a wide one — angular width plays no part in
+// eligibility — including with an annulus and with unbounded reach.
+func TestEligibleZeroWidthRay(t *testing.T) {
+	in := instanceWithRadii([]float64{0, 1, 2, 3, 4, 5, 6})
+	for _, a := range []model.Antenna{
+		{Rho: 0, Range: 3, Capacity: 10},
+		{Rho: 0, Range: 3, MinRange: 1.5, Capacity: 10},
+		{Rho: 0, Capacity: 10}, // Range 0 encodes unbounded
+	} {
+		assertEligibleMatches(t, in, a, "zero-width-ray")
+	}
+}
+
+// TestEligibleMatchesBruteForceRandom sweeps generated families and random
+// antenna shapes — unbounded, bounded, annulus, tight annulus (forcing the
+// pre-filter path), and full-disk (forcing the scan path) — against the
+// brute-force reference.
+func TestEligibleMatchesBruteForceRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for _, fam := range gen.Families() {
+		in := gen.MustGenerate(gen.Config{Family: fam, Seed: 11, N: 300, M: 2, Variant: model.Sectors})
+		for trial := 0; trial < 20; trial++ {
+			a := model.Antenna{Rho: rnd.Float64() * 2, Capacity: 50}
+			switch trial % 4 {
+			case 0: // unbounded
+			case 1:
+				a.Range = rnd.Float64() * 12
+			case 2:
+				a.Range = 2 + rnd.Float64()*10
+				a.MinRange = rnd.Float64() * a.Range
+			case 3: // tight annulus: few eligible, exercises the pre-filter
+				a.Range = 1 + rnd.Float64()*10
+				a.MinRange = a.Range * 0.98
+			}
+			assertEligibleMatches(t, in, a, string(fam))
+		}
+	}
+}
+
+// TestRadialBoundsMatchInRange enforces the contract RadialBounds
+// documents: for non-NaN radii the closed-interval test is InRange.
+func TestRadialBoundsMatchInRange(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		a := model.Antenna{}
+		if trial%2 == 0 {
+			a.Range = rnd.Float64() * 10
+		}
+		if trial%3 == 0 {
+			a.MinRange = rnd.Float64() * 5
+		}
+		lo, hi := a.RadialBounds()
+		r := rnd.Float64() * 14
+		if trial%5 == 0 {
+			// Hit the bounds exactly and one ulp around them.
+			switch trial % 3 {
+			case 0:
+				r = lo
+			case 1:
+				r = math.Nextafter(hi, math.Inf(-1))
+			case 2:
+				r = hi
+			}
+			if math.IsInf(r, 0) {
+				r = rnd.Float64()
+			}
+		}
+		c := model.Customer{R: r}
+		if got, want := lo <= c.R && c.R <= hi, a.InRange(c); got != want {
+			t.Fatalf("antenna %+v radius %v: interval test %v, InRange %v", a, r, got, want)
+		}
+	}
+}
+
+// TestViewLayoutDeterministic checks the documented layout: ascending
+// angles with ties in ascending customer order, columns matching the
+// source customers, and a radius index that really is sorted.
+func TestViewLayoutDeterministic(t *testing.T) {
+	in := &model.Instance{Variant: model.Sectors}
+	// Duplicate angles on purpose: positions 2,3,4 share theta.
+	thetas := []float64{3, 1, 2, 2, 2, 0.5}
+	for i, th := range thetas {
+		in.Customers = append(in.Customers, model.Customer{
+			ID: i, Theta: th, R: float64(len(thetas) - i), Demand: int64(i + 1), Profit: int64(10 * (i + 1)),
+		})
+	}
+	in.Antennas = []model.Antenna{{Rho: 1, Range: 100, Capacity: 10}}
+	in.Normalize()
+	v := New(in)
+	wantIDs := []int32{5, 1, 2, 3, 4, 0} // sorted by (theta, id)
+	for p, want := range wantIDs {
+		if v.ID[p] != want {
+			t.Fatalf("position %d: ID %d, want %d", p, v.ID[p], want)
+		}
+		c := in.Customers[want]
+		if v.Theta[p] != c.Theta || v.R[p] != c.R || v.Demand[p] != c.Demand || v.Profit[p] != c.Profit {
+			t.Fatalf("position %d: columns diverge from customer %d", p, want)
+		}
+	}
+	for k := 1; k < len(v.sortedR); k++ {
+		if v.sortedR[k] < v.sortedR[k-1] {
+			t.Fatalf("radius index not sorted at %d", k)
+		}
+	}
+}

@@ -51,13 +51,11 @@ func SolveAnneal(ctx context.Context, in *model.Instance, opt Options) (model.So
 	bestProfit := curProfit
 	load := cur.Load(in)
 
-	// Candidate orientations per antenna, shared across steps.
-	cands := make([][]float64, m)
-	for j := 0; j < m; j++ {
-		if err := ctx.Err(); err != nil {
-			return model.Solution{}, err
-		}
-		cands[j] = angular.Candidates(in, j)
+	// Candidate orientations per antenna, shared across steps, built over
+	// one columnar view with the per-antenna work fanned out.
+	cands, err := angular.CandidatesAll(ctx, in)
+	if err != nil {
+		return model.Solution{}, err
 	}
 
 	temp := initialTemp(in)

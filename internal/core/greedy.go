@@ -44,6 +44,19 @@ func SolveGreedyOrdered(ctx context.Context, in *model.Instance, opt Options, or
 	if err := validateForSolve(in); err != nil {
 		return model.Solution{}, err
 	}
+	eng := angular.NewEngine(in)
+	if err := eng.Prewarm(ctx); err != nil {
+		return model.Solution{}, err
+	}
+	return solveGreedyWithEngine(ctx, in, opt, order, eng)
+}
+
+// solveGreedyWithEngine is the greedy loop over a caller-supplied engine,
+// so SolveLocalSearch can run its greedy seed and its reorientation moves
+// on one shared set of sweeps instead of building them twice. The engine
+// caches only instance geometry (sweeps and candidate angles), never
+// assignment state, so sharing cannot change results.
+func solveGreedyWithEngine(ctx context.Context, in *model.Instance, opt Options, order []int, eng *angular.Engine) (model.Solution, error) {
 	n, m := in.N(), in.M()
 	as := model.NewAssignment(n, m)
 	sol := model.Solution{Algorithm: "greedy", Assignment: as}
@@ -66,7 +79,6 @@ func SolveGreedyOrdered(ctx context.Context, in *model.Instance, opt Options, or
 	}
 	var placed []geom.Interval // serving sectors placed so far (DisjointAngles)
 
-	eng := angular.NewEngine(in)
 	for _, j := range order {
 		if err := ctx.Err(); err != nil {
 			return model.Solution{}, err

@@ -25,7 +25,18 @@ import (
 // polish round; a cancelled solve returns ctx.Err(), discarding the
 // partial improvement state.
 func SolveLocalSearch(ctx context.Context, in *model.Instance, opt Options) (model.Solution, error) {
-	sol, err := SolveGreedy(ctx, in, opt)
+	if err := validateForSolve(in); err != nil {
+		return model.Solution{}, err
+	}
+	// One engine for the greedy seed AND every reorientation of every
+	// round: the per-antenna sweeps depend only on instance geometry, not
+	// on the evolving assignment, so they are built once (in parallel,
+	// over the shared columnar view) and reused throughout.
+	eng := angular.NewEngine(in)
+	if err := eng.Prewarm(ctx); err != nil {
+		return model.Solution{}, err
+	}
+	sol, err := solveGreedyWithEngine(ctx, in, opt, nil, eng)
 	if err != nil {
 		return model.Solution{}, err
 	}
@@ -34,10 +45,6 @@ func SolveLocalSearch(ctx context.Context, in *model.Instance, opt Options) (mod
 	if n == 0 || m == 0 {
 		return sol, nil
 	}
-	// One engine for every reorientation of every round: the per-antenna
-	// sweeps depend only on instance geometry, not on the evolving
-	// assignment, so they are built once here and reused throughout.
-	eng := angular.NewEngine(in)
 	for round := 0; round < opt.lsRounds(); round++ {
 		improved := false
 

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/angular"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+// diffWorkers is the worker count the parallel leg of the differential
+// tests pins. It deliberately exceeds any expected GOMAXPROCS so the test
+// exercises oversubscription, and CI runs this file under -race with
+// GOMAXPROCS>=4 so the goroutines genuinely interleave.
+const diffWorkers = 8
+
+// solveAtWorkers runs the solver with the angular worker knob pinned to w,
+// restoring the previous setting before returning.
+func solveAtWorkers(t *testing.T, w int, name string, solver Solver, in *model.Instance) string {
+	t.Helper()
+	prev := angular.SetMaxWorkers(w)
+	defer angular.SetMaxWorkers(prev)
+	sol, err := solver(context.Background(), in, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("%s at %d workers: %v", name, w, err)
+	}
+	return solveFingerprint(sol)
+}
+
+// TestScalarVsParallelAllSolvers is the differential gate for the columnar
+// refactor: every registered solver must produce bit-identical solutions —
+// profit, full-precision orientations, owners — whether the angular paths
+// (Prewarm, CandidatesAll, candidate-window evaluation) run scalar or
+// fanned out across workers. Parallelism may change scheduling, never
+// answers.
+func TestScalarVsParallelAllSolvers(t *testing.T) {
+	for _, name := range Names() {
+		if strings.HasPrefix(name, "test-") {
+			continue // solvers injected by other tests in this package
+		}
+		mk := goldenSectorsInstance
+		if name == "disjoint-dp" {
+			mk = goldenDisjointInstance
+		}
+		solver, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		scalar := solveAtWorkers(t, 1, name, solver, mk())
+		parallel := solveAtWorkers(t, diffWorkers, name, solver, mk())
+		if scalar != parallel {
+			t.Errorf("%s: scalar and parallel paths disagree:\n scalar   %s\n parallel %s", name, scalar, parallel)
+		}
+	}
+}
+
+// TestScalarVsParallelLargeInstances drives the same differential through
+// instances big enough to cross every parallel gate (n*m above the Prewarm
+// fan-out threshold, candidate counts above the evaluation fan-out
+// threshold), across generator families. Restricted to the two solvers
+// whose hot path is the angular engine — greedy (streaming window ranges)
+// and localsearch (explicit-angle windows plus engine reuse); baseline
+// never touches the engine, lpround/anneal reach it only through greedy or
+// CandidatesAll (covered directly in the angular package's differential),
+// and the exponential and flow-based solvers are covered by the
+// small-instance matrix above.
+func TestScalarVsParallelLargeInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential instances skipped in -short mode")
+	}
+	instances := []struct {
+		label string
+		cfg   gen.Config
+	}{
+		{"uniform", gen.Config{Family: gen.Uniform, Seed: 3, N: 1200, M: 14, Tightness: 12, ProfitSpread: 0.4}},
+		{"hotspot", gen.Config{Family: gen.Hotspot, Seed: 4, N: 1200, M: 14, Tightness: 12, ProfitSpread: 0.4, MinRange: 2}},
+		{"zipf", gen.Config{Family: gen.Zipf, Seed: 5, N: 1200, M: 14, Tightness: 12}},
+	}
+	for _, tc := range instances {
+		in := gen.MustGenerate(tc.cfg)
+		for _, name := range []string{"greedy", "localsearch"} {
+			solver, err := Get(name)
+			if err != nil {
+				t.Fatalf("Get(%s): %v", name, err)
+			}
+			scalar := solveAtWorkers(t, 1, name, solver, in)
+			parallel := solveAtWorkers(t, diffWorkers, name, solver, in)
+			if scalar != parallel {
+				t.Errorf("%s/%s: scalar and parallel paths disagree:\n scalar   %s\n parallel %s",
+					tc.label, name, scalar, parallel)
+			}
+		}
+	}
+}

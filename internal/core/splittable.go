@@ -129,13 +129,15 @@ func SolveSplittableExact(ctx context.Context, in *model.Instance) (SplitSolutio
 	if n == 0 || m == 0 {
 		return SplitSolution{Orientation: make([]float64, m), Frac: make([][]float64, n), Exact: true}, nil
 	}
-	cands := make([][]float64, m)
+	cands, err := angular.CandidatesAll(ctx, in)
+	if err != nil {
+		return SplitSolution{}, err
+	}
 	total := int64(1)
 	for j := 0; j < m; j++ {
 		if err := ctx.Err(); err != nil {
 			return SplitSolution{}, err
 		}
-		cands[j] = angular.Candidates(in, j)
 		if len(cands[j]) == 0 {
 			cands[j] = []float64{0}
 		}

@@ -72,7 +72,10 @@ func solve(ctx context.Context, in *model.Instance, lim Limits, firstOverride []
 		return sol, nil
 	}
 
-	cands := candidateSets(in)
+	cands, err := candidateSets(ctx, in)
+	if err != nil {
+		return model.Solution{}, err
+	}
 	if firstOverride != nil {
 		cands[0] = firstOverride
 	}
@@ -180,17 +183,29 @@ func disjointOK(in *model.Instance, alphas []float64) bool {
 	return geom.Disjoint(ivs)
 }
 
-// candidateSets builds the per-antenna orientation candidates.
-func candidateSets(in *model.Instance) [][]float64 {
+// candidateSets builds the per-antenna orientation candidates. Outside the
+// DisjointAngles variant they come from angular.CandidatesAll — one shared
+// columnar view, radial pre-filter, per-antenna fan-out — instead of an
+// O(n log n) scan-and-sort per antenna; ctx is consulted per antenna in
+// either branch so a daemon deadline can interrupt the chain enumeration.
+func candidateSets(ctx context.Context, in *model.Instance) ([][]float64, error) {
 	m := in.M()
-	out := make([][]float64, m)
-	for j := 0; j < m; j++ {
-		if in.Variant != model.DisjointAngles {
-			out[j] = angular.Candidates(in, j)
+	if in.Variant != model.DisjointAngles {
+		out, err := angular.CandidatesAll(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		for j := range out {
 			if len(out[j]) == 0 {
 				out[j] = []float64{0}
 			}
-			continue
+		}
+		return out, nil
+	}
+	out := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		// Chain discretization. Shifting every sector of an optimal
 		// solution counterclockwise (decreasing α) until blocked leaves
@@ -228,7 +243,7 @@ func candidateSets(in *model.Instance) [][]float64 {
 		// must not constrain the serving sectors' placement).
 		out[j] = append(out[j], math.NaN())
 	}
-	return out
+	return out, nil
 }
 
 // subsetSums returns all subset sums of ws (including 0).

@@ -39,7 +39,10 @@ func randInstance(rng *rand.Rand, n, m int, variant model.Variant) *model.Instan
 func bruteOracle(t *testing.T, in *model.Instance) int64 {
 	t.Helper()
 	n, m := in.N(), in.M()
-	cands := candidateSets(in)
+	cands, err := candidateSets(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var best int64
 	owner := make([]int, n)
 	var rec func(i int, profit int64)

@@ -27,7 +27,10 @@ func SolveParallel(ctx context.Context, in *model.Instance, lim Limits, workers 
 		// whole search.
 		return Solve(ctx, in, lim)
 	}
-	cands := candidateSets(in)
+	cands, err := candidateSets(ctx, in)
+	if err != nil {
+		return model.Solution{}, err
+	}
 	first := cands[0]
 	jobs := make([]sweep.Job[model.Solution], len(first))
 	for k := range first {

@@ -44,6 +44,35 @@ func Families() []Family {
 	return []Family{Uniform, Hotspot, Rings, Zipf, Adversarial}
 }
 
+// Tier returns the named large-scale benchmark preset. Tiers pin the
+// workload shape used by sectorbench's big entries and the README
+// quickstart, so results are comparable across machines and sessions:
+//
+//   - "100k": n=100_000, m=16, tightly capacitated (Tightness 40) with
+//     decoupled profits so Dantzig pruning has traction — the standard
+//     large tier, solved by every engine-backed heuristic in seconds.
+//   - "1m": n=1_000_000, m=8, Tightness 400 — the stress tier for the
+//     columnar layout itself (sweep construction, radial pre-filter);
+//     intended for engine prewarm and the baseline solver, not for
+//     candidate-enumerating heuristics.
+//
+// Callers may override Seed, Variant, or any other field after the call;
+// the preset only fixes the workload shape.
+func Tier(name string) (Config, error) {
+	switch name {
+	case "100k":
+		return Config{Family: Uniform, Seed: 1, N: 100_000, M: 16, Tightness: 40, ProfitSpread: 0.4}, nil
+	case "1m":
+		return Config{Family: Uniform, Seed: 1, N: 1_000_000, M: 8, Tightness: 400, ProfitSpread: 0.4}, nil
+	}
+	return Config{}, fmt.Errorf("gen: unknown tier %q (have %v)", name, TierNames())
+}
+
+// TierNames lists the benchmark tier presets accepted by Tier.
+func TierNames() []string {
+	return []string{"100k", "1m"}
+}
+
 // Config fully determines a generated instance.
 type Config struct {
 	Family  Family

@@ -196,3 +196,30 @@ func TestProfitSpread(t *testing.T) {
 		}
 	}
 }
+
+func TestTierPresets(t *testing.T) {
+	for _, name := range TierNames() {
+		cfg, err := Tier(name)
+		if err != nil {
+			t.Fatalf("Tier(%s): %v", name, err)
+		}
+		if cfg.N == 0 || cfg.M == 0 || cfg.Family == "" {
+			t.Errorf("Tier(%s) preset underspecified: %+v", name, cfg)
+		}
+		// Tiers must generate valid instances; shrink N so the test stays
+		// cheap — the preset's shape fields are what's under test, and
+		// Generate validates the result regardless of N.
+		cfg.N = 500
+		in, err := Generate(cfg)
+		if err != nil {
+			t.Errorf("Tier(%s) does not generate: %v", name, err)
+			continue
+		}
+		if in.N() != 500 || in.M() != cfg.M {
+			t.Errorf("Tier(%s) shape %dx%d, want 500x%d", name, in.N(), in.M(), cfg.M)
+		}
+	}
+	if _, err := Tier("bogus"); err == nil {
+		t.Error("unknown tier must error")
+	}
+}

@@ -84,6 +84,24 @@ func (a Antenna) InRange(c Customer) bool {
 	return c.R <= a.Range*(1+1e-12)+geom.Eps
 }
 
+// RadialBounds returns the closed radius interval [lo, hi] of customers the
+// antenna can reach, with exactly the tolerance slack InRange applies: for
+// any customer with a non-NaN radius, InRange(c) == (lo <= c.R && c.R <= hi).
+// An unbounded antenna yields hi = +Inf; a zero MinRange yields lo = -Inf.
+// The columnar radial pre-filter (internal/cols) binary-searches its
+// radius-sorted index against these bounds, so they MUST stay the literal
+// mirror of InRange's comparisons — a test enforces the equivalence.
+func (a Antenna) RadialBounds() (lo, hi float64) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if a.MinRange > 0 {
+		lo = a.MinRange*(1-1e-12) - geom.Eps
+	}
+	if !a.Unbounded() {
+		hi = a.Range*(1+1e-12) + geom.Eps
+	}
+	return lo, hi
+}
+
 // Variant labels the problem variants from the paper.
 type Variant int
 
