@@ -17,6 +17,8 @@ import (
 	"sectorpack/internal/angular"
 	"sectorpack/internal/cache"
 	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+	"sectorpack/internal/session"
 )
 
 // benchReport is the machine-readable summary written by -json: the wall
@@ -186,6 +188,7 @@ func tierBenchmarks(big bool) []microBench {
 		}
 	})
 	out = append(out, record("baseline/n100k", angular.Workers(), r))
+	out = append(out, sessionBenchmarks()...)
 	if !big {
 		return out
 	}
@@ -200,6 +203,73 @@ func tierBenchmarks(big bool) []microBench {
 		}
 	})
 	out = append(out, record("baseline/n1m", angular.Workers(), r))
+	return out
+}
+
+// sessionBenchmarks measures the delta-session claim on the 100k-churn
+// tier: the cost of absorbing one localized 1% churn step through a warm
+// session.Apply, against the from-scratch greedy solve (engine build
+// included) a stateless client would run on the churned instance. Both run
+// the same solver with the same options, so the entries are directly
+// comparable; the acceptance target is delta >= 5x faster than scratch.
+func sessionBenchmarks() []microBench {
+	cfg, err := gen.Tier("100k-churn")
+	if err != nil {
+		panic(err) // static tier name; cannot fail
+	}
+	tr := gen.MustGenerateTrace(gen.ChurnConfig{Base: cfg, Localized: true})
+	opt := sectorpack.Options{Seed: 1, SkipBound: true}
+
+	// From scratch: materialize the first churned state once, then time the
+	// full stateless pipeline — engine construction, every sweep, and the
+	// greedy solve — that a client without a session pays per step.
+	churned, err := model.ApplyDelta(tr.Instance, tr.Deltas[0])
+	if err != nil {
+		panic(err) // GenerateTrace validated the delta; cannot fail
+	}
+	var out []microBench
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sectorpack.Solve(context.Background(), "greedy", churned, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, record("session/scratch-n100k", angular.Workers(), r))
+
+	// Delta path: a warm session absorbs the trace's churn steps one Apply
+	// per iteration. Each delta is only valid against the state it was
+	// generated from, so when the trace runs out the session is rebuilt
+	// from the base instance with the timer stopped — only Apply is timed.
+	newSession := func(b *testing.B) *session.Session {
+		s, err := session.New(context.Background(), tr.Instance,
+			session.Options{Solver: "greedy", Core: opt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.StopTimer()
+		sess := newSession(b)
+		idx := 0
+		b.StartTimer()
+		for i := 0; i < b.N; i++ {
+			if idx == len(tr.Deltas) {
+				b.StopTimer()
+				sess = newSession(b)
+				idx = 0
+				b.StartTimer()
+			}
+			if _, err := sess.Apply(context.Background(), tr.Deltas[idx]); err != nil {
+				b.Fatal(err)
+			}
+			idx++
+		}
+	})
+	out = append(out, record("session/delta-n100k", angular.Workers(), r))
 	return out
 }
 

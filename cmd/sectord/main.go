@@ -35,6 +35,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	seed := fs.Int64("seed", 1, "default seed when requests omit one")
 	maxTuples := fs.Int64("max-tuples", 200_000, "per-request exact-solver tuple budget (0 = solver default)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "solve-cache budget in bytes (0 = 64 MiB default, negative = disable caching)")
+	sessionMax := fs.Int("session-max", DefaultSessionMax, "live delta-solve session cap before shedding 429")
+	sessionTTL := fs.Duration("session-ttl", DefaultSessionTTL, "evict sessions idle longer than this")
 	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
@@ -57,6 +59,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Seed:         *seed,
 		MaxTuples:    *maxTuples,
 		CacheBytes:   *cacheBytes,
+		SessionMax:   *sessionMax,
+		SessionTTL:   *sessionTTL,
 		Pprof:        *pprofFlag,
 		DrainTimeout: *drain,
 		Logger:       logger,

@@ -20,6 +20,12 @@
 // ?cache=bypass opts a request out entirely. POST /solve/batch solves a
 // whole envelope of instances on a bounded worker pool through the same
 // cache, returning per-item results instead of failing the batch.
+//
+// Churning workloads use delta-solve sessions instead of repeated /solve
+// round trips: POST /session opens a long-lived session (internal/session)
+// around one instance, POST /session/{id}/delta applies a delta and returns
+// the incremental re-solve, DELETE /session/{id} closes it. Sessions are
+// capped, idle-evicted, and strictly cache-isolated — see sessions.go.
 package main
 
 import (
@@ -71,6 +77,12 @@ type Config struct {
 	// CacheBytes bounds the solve cache: zero means cache.DefaultMaxBytes,
 	// negative disables caching entirely.
 	CacheBytes int64
+	// SessionMax caps live delta-solve sessions; creates beyond it get 429.
+	// Zero means DefaultSessionMax.
+	SessionMax int
+	// SessionTTL evicts sessions idle longer than this (lazily, on the next
+	// session request). Zero means DefaultSessionTTL.
+	SessionTTL time.Duration
 	// Logger receives one structured record per /solve request (request
 	// ID, solver, duration, outcome, degraded flag) plus panic reports.
 	// Nil discards logs.
@@ -102,6 +114,14 @@ type Server struct {
 
 	ridPrefix string        // random per-Server request-ID prefix
 	reqSeq    atomic.Uint64 // request-ID sequence
+
+	sessions *sessionStore // live delta-solve sessions (sessions.go)
+	sessSeq  atomic.Uint64 // session-ID sequence
+
+	sessCreated expvar.Int // sessions opened via POST /session
+	sessClosed  expvar.Int // sessions closed via DELETE
+	sessEvicted expvar.Int // sessions reaped by the idle sweep
+	sessDeltas  expvar.Int // deltas applied across all sessions
 
 	requests      expvar.Int // total /solve requests
 	solved        expvar.Int // completed successfully (incl. degraded)
@@ -142,6 +162,7 @@ func NewServer(cfg Config) *Server {
 		logger:    logger,
 		ridPrefix: hex.EncodeToString(rid[:]),
 		latency:   map[string]*latencyHist{},
+		sessions:  &sessionStore{m: map[string]*sessionEntry{}},
 	}
 	if cfg.CacheBytes >= 0 {
 		s.cache = cache.New(cfg.CacheBytes)
@@ -154,6 +175,9 @@ func NewServer(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/solve/batch", s.handleSolveBatch)
+	s.mux.HandleFunc("POST /session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /session/{id}/delta", s.handleSessionDelta)
+	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -906,6 +930,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		{"sectord.batches", &s.batches},
 		{"sectord.batch_items", &s.batchItems},
 	}
+	vars = append(vars, s.sessionVars()...)
 	if s.cache != nil {
 		for _, nv := range s.cache.Vars() {
 			vars = append(vars, struct {

@@ -1,0 +1,492 @@
+// Session endpoints: a client may open a long-lived delta-solve session
+// (POST /session), stream deltas into it (POST /session/{id}/delta) and get
+// each incremental re-solve back, then close it (DELETE /session/{id}).
+// Sessions wrap internal/session — the warm-state reuse and its
+// bit-identity-to-from-scratch contract live there; this file is the HTTP
+// plumbing: a mutex-mapped store, per-session locking (a session.Session is
+// not concurrent-safe), lazy idle eviction, and counters.
+//
+// Session solves NEVER touch the fingerprint solve cache. A fingerprint
+// names a one-shot (instance, options, solver) triple; a session's identity
+// is its delta history, and its answers come from warm incremental state,
+// not from content-addressed lookups. Session responses therefore always
+// carry X-Sectord-Cache: off, and nothing on this path reads or populates
+// Server.cache — the cache-isolation regression test pins that.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/model"
+	"sectorpack/internal/session"
+)
+
+// DefaultSessionMax is the live-session cap when Config leaves it zero.
+const DefaultSessionMax = 64
+
+// DefaultSessionTTL is the idle-eviction deadline when Config leaves it
+// zero.
+const DefaultSessionTTL = 15 * time.Minute
+
+// sessionEntry is one live session plus its lock. session.Session is not
+// safe for concurrent use; every Apply/read happens under mu. lastNanos is
+// atomic so the eviction sweep can read idleness without the lock.
+type sessionEntry struct {
+	mu        sync.Mutex
+	sess      *session.Session
+	solver    string
+	lastNanos atomic.Int64
+}
+
+func (e *sessionEntry) touch() { e.lastNanos.Store(time.Now().UnixNano()) }
+
+// sessionStore owns the id → session map. retired accumulates the Stats of
+// closed and evicted sessions so the store-wide sums in /debug/vars never
+// go backwards when a session dies.
+type sessionStore struct {
+	mu      sync.Mutex
+	m       map[string]*sessionEntry
+	retired session.Stats
+}
+
+// evictIdle removes every session idle longer than ttl. A session whose
+// lock is held is mid-request and is skipped — it will be swept once idle
+// again. Returns the number evicted.
+func (st *sessionStore) evictIdle(ttl time.Duration) int {
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	evicted := 0
+	for id, e := range st.m {
+		if now.Sub(time.Unix(0, e.lastNanos.Load())) <= ttl {
+			continue
+		}
+		if !e.mu.TryLock() {
+			continue // in flight right now; not idle
+		}
+		st.retired = addStats(st.retired, e.sess.Stats())
+		e.mu.Unlock()
+		delete(st.m, id)
+		evicted++
+	}
+	return evicted
+}
+
+// remove deletes id, folding its stats into the retired accumulator.
+func (st *sessionStore) remove(id string) (*sessionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	st.retired = addStats(st.retired, e.sess.Stats())
+	delete(st.m, id)
+	return e, true
+}
+
+func (st *sessionStore) get(id string) (*sessionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[id]
+	return e, ok
+}
+
+// put inserts the entry unless the store is at cap.
+func (st *sessionStore) put(id string, e *sessionEntry, max int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.m) >= max {
+		return false
+	}
+	st.m[id] = e
+	return true
+}
+
+// totals returns the store-wide Stats sums: retired sessions plus a
+// snapshot of every live one.
+func (st *sessionStore) totals() session.Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t := st.retired
+	for _, e := range st.m {
+		t = addStats(t, e.sess.Stats())
+	}
+	return t
+}
+
+func (st *sessionStore) active() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+func addStats(a, b session.Stats) session.Stats {
+	a.Solves += b.Solves
+	a.Deltas += b.Deltas
+	a.SweepsKept += b.SweepsKept
+	a.SweepsDropped += b.SweepsDropped
+	a.StepsReused += b.StepsReused
+	a.StepsResolved += b.StepsResolved
+	return a
+}
+
+// sessionCreateRequest is the POST /session body: the /solve envelope,
+// minus the per-request cache knobs that do not apply to sessions.
+type sessionCreateRequest struct {
+	Solver        string          `json:"solver"`
+	Seed          *int64          `json:"seed,omitempty"`
+	TimeoutMillis int64           `json:"timeout_ms,omitempty"`
+	FormatVersion int             `json:"format_version"`
+	Instance      *model.Instance `json:"instance"`
+}
+
+// sessionDeltaRequest is the POST /session/{id}/delta body. The delta's
+// customer ids refer to the session's current instance (the state after
+// every previously applied delta).
+type sessionDeltaRequest struct {
+	TimeoutMillis int64       `json:"timeout_ms,omitempty"`
+	FormatVersion int         `json:"format_version"`
+	Delta         model.Delta `json:"delta"`
+}
+
+// sessionStats is the wire form of session.Stats.
+type sessionStats struct {
+	Solves        int64 `json:"solves"`
+	Deltas        int64 `json:"deltas"`
+	SweepsKept    int64 `json:"sweeps_kept"`
+	SweepsDropped int64 `json:"sweeps_dropped"`
+	StepsReused   int64 `json:"steps_reused"`
+	StepsResolved int64 `json:"steps_resolved"`
+}
+
+func newSessionStats(st session.Stats) sessionStats {
+	return sessionStats{
+		Solves:        st.Solves,
+		Deltas:        st.Deltas,
+		SweepsKept:    st.SweepsKept,
+		SweepsDropped: st.SweepsDropped,
+		StepsReused:   st.StepsReused,
+		StepsResolved: st.StepsResolved,
+	}
+}
+
+// sessionResponse is the create/delta reply: the session handle, the solve
+// the request produced, and the session's cumulative reuse stats.
+type sessionResponse struct {
+	SessionID string       `json:"session_id"`
+	Stats     sessionStats `json:"stats"`
+	// Embedded by value, not pointer: encoding/json cannot allocate an
+	// embedded pointer to an unexported type when clients decode this.
+	solveResponse
+}
+
+// sessionDeleteResponse is the DELETE reply.
+type sessionDeleteResponse struct {
+	SessionID string       `json:"session_id"`
+	Stats     sessionStats `json:"stats"`
+}
+
+func (s *Server) sessionMax() int {
+	if s.cfg.SessionMax > 0 {
+		return s.cfg.SessionMax
+	}
+	return DefaultSessionMax
+}
+
+func (s *Server) sessionTTL() time.Duration {
+	if s.cfg.SessionTTL > 0 {
+		return s.cfg.SessionTTL
+	}
+	return DefaultSessionTTL
+}
+
+// sweepSessions runs the lazy idle-eviction pass; every session route calls
+// it on entry, so an abandoned session outlives its TTL only until the next
+// session request of any kind.
+func (s *Server) sweepSessions() {
+	if n := s.sessions.evictIdle(s.sessionTTL()); n > 0 {
+		s.sessEvicted.Add(int64(n))
+		s.logger.Info("sessions evicted", slog.Int("count", n))
+	}
+}
+
+func (s *Server) nextSessionID() string {
+	return fmt.Sprintf("s-%s-%06d", s.ridPrefix, s.sessSeq.Add(1))
+}
+
+// logSession is the session routes' structured log line.
+func (s *Server) logSession(action, id string, start time.Time, status int, detail string) {
+	level := slog.LevelInfo
+	if status >= 500 {
+		level = slog.LevelWarn
+	}
+	attrs := []slog.Attr{
+		slog.String("session_id", id),
+		slog.String("action", action),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+	}
+	if detail != "" {
+		attrs = append(attrs, slog.String("detail", detail))
+	}
+	s.logger.LogAttrs(context.Background(), level, "session", attrs...)
+}
+
+// sessionSolveStatus maps a session solve error onto the same status/outcome
+// taxonomy as /solve and bumps the matching counter.
+func (s *Server) sessionSolveStatus(rid string, err error) (int, string) {
+	var pe *core.PanicError
+	var ie *core.InvalidSolutionError
+	switch {
+	case errors.As(err, &pe):
+		s.panics.Add(1)
+		s.logger.Error("solver panic",
+			slog.String("request_id", rid),
+			slog.String("solver", pe.Solver),
+			slog.String("panic", fmt.Sprint(pe.Value)),
+			slog.String("stack", string(pe.Stack)))
+		return http.StatusInternalServerError, "solve failed: " + pe.Error()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.cancellations.Add(1)
+		return http.StatusServiceUnavailable, "solve aborted: " + err.Error()
+	case errors.As(err, &ie):
+		s.invalid.Add(1)
+		return http.StatusInternalServerError, "solve failed: " + ie.Error()
+	default:
+		s.failures.Add(1)
+		return http.StatusBadRequest, "solve failed: " + err.Error()
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	// Session answers never come from the solve cache; say so on every
+	// response, including errors.
+	w.Header().Set(cacheHeader, cacheOff)
+	rid := s.nextRequestID()
+	s.sweepSessions()
+
+	fail := func(status int, msg string) {
+		s.logSession("create", "", start, status, msg)
+		writeJSON(w, status, errorResponse{Error: msg})
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusTooManyRequests, "server at capacity")
+		return
+	}
+
+	var req sessionCreateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	if req.FormatVersion != 1 {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, fmt.Sprintf("unsupported format_version %d (want 1)", req.FormatVersion))
+		return
+	}
+	if req.Instance == nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "request missing instance")
+		return
+	}
+	name, _, err := s.resolveSolver(req.Solver)
+	if err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.sessions.active() >= s.sessionMax() {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusTooManyRequests, fmt.Sprintf("session table full (%d live)", s.sessionMax()))
+		return
+	}
+
+	ctx := r.Context()
+	if timeout := s.solveTimeout(req.TimeoutMillis); timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	sess, err := session.New(ctx, req.Instance, session.Options{
+		Solver: name,
+		Core:   s.solveOptions(req.Seed),
+	})
+	if err != nil {
+		status, msg := s.sessionSolveStatus(rid, err)
+		fail(status, msg)
+		return
+	}
+	// The same post-solve gate as /solve: an infeasible answer is a server
+	// bug, never a served solution.
+	if err := core.VerifySolution(name, sess.Instance(), sess.Solution()); err != nil {
+		s.invalid.Add(1)
+		fail(http.StatusInternalServerError, "solve failed: "+err.Error())
+		return
+	}
+
+	id := s.nextSessionID()
+	e := &sessionEntry{sess: sess, solver: name}
+	e.touch()
+	if !s.sessions.put(id, e, s.sessionMax()) {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusTooManyRequests, fmt.Sprintf("session table full (%d live)", s.sessionMax()))
+		return
+	}
+	s.sessCreated.Add(1)
+	elapsed := time.Since(start)
+	s.solved.Add(1)
+	s.observeLatency(name, elapsed)
+	s.logSession("create", id, start, http.StatusOK, "solver="+name)
+	writeJSON(w, http.StatusOK, sessionResponse{
+		SessionID:     id,
+		Stats:         newSessionStats(sess.Stats()),
+		solveResponse: *newSolveResponse(name, sess.Solution(), elapsed),
+	})
+}
+
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set(cacheHeader, cacheOff)
+	rid := s.nextRequestID()
+	id := r.PathValue("id")
+	s.sweepSessions()
+
+	fail := func(status int, msg string) {
+		s.logSession("delta", id, start, status, msg)
+		writeJSON(w, status, errorResponse{Error: msg})
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusTooManyRequests, "server at capacity")
+		return
+	}
+
+	var req sessionDeltaRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	if req.FormatVersion != 1 {
+		s.failures.Add(1)
+		fail(http.StatusBadRequest, fmt.Sprintf("unsupported format_version %d (want 1)", req.FormatVersion))
+		return
+	}
+	e, ok := s.sessions.get(id)
+	if !ok {
+		s.failures.Add(1)
+		fail(http.StatusNotFound, fmt.Sprintf("no session %q (expired or never created)", id))
+		return
+	}
+
+	ctx := r.Context()
+	if timeout := s.solveTimeout(req.TimeoutMillis); timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Serialize against other deltas to the same session; concurrent deltas
+	// to different sessions only contend for inflight-semaphore slots.
+	e.mu.Lock()
+	e.touch()
+	sol, err := e.sess.Apply(ctx, req.Delta)
+	stats := e.sess.Stats()
+	e.touch()
+	e.mu.Unlock()
+	if err != nil {
+		status, msg := s.sessionSolveStatus(rid, err)
+		fail(status, msg)
+		return
+	}
+	if verr := core.VerifySolution(e.solver, e.sess.Instance(), sol); verr != nil {
+		s.invalid.Add(1)
+		fail(http.StatusInternalServerError, "solve failed: "+verr.Error())
+		return
+	}
+	s.sessDeltas.Add(1)
+	elapsed := time.Since(start)
+	s.solved.Add(1)
+	s.observeLatency(e.solver, elapsed)
+	s.logSession("delta", id, start, http.StatusOK, fmt.Sprintf("profit=%d", sol.Profit))
+	writeJSON(w, http.StatusOK, sessionResponse{
+		SessionID:     id,
+		Stats:         newSessionStats(stats),
+		solveResponse: *newSolveResponse(e.solver, sol, elapsed),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	w.Header().Set(cacheHeader, cacheOff)
+	id := r.PathValue("id")
+	s.sweepSessions()
+
+	e, ok := s.sessions.remove(id)
+	if !ok {
+		s.failures.Add(1)
+		s.logSession("delete", id, start, http.StatusNotFound, "")
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no session %q (expired or never created)", id)})
+		return
+	}
+	s.sessClosed.Add(1)
+	// Synchronize with an in-flight delta so its stats snapshot is final.
+	e.mu.Lock()
+	stats := e.sess.Stats()
+	e.mu.Unlock()
+	s.logSession("delete", id, start, http.StatusOK, "")
+	writeJSON(w, http.StatusOK, sessionDeleteResponse{SessionID: id, Stats: newSessionStats(stats)})
+}
+
+// sessionVars returns the session metrics for /debug/vars.
+func (s *Server) sessionVars() []struct {
+	name string
+	v    expvar.Var
+} {
+	intFunc := func(f func() int64) expvar.Var { return expvar.Func(func() any { return f() }) }
+	return []struct {
+		name string
+		v    expvar.Var
+	}{
+		{"sectord.sessions.created", &s.sessCreated},
+		{"sectord.sessions.closed", &s.sessClosed},
+		{"sectord.sessions.evicted", &s.sessEvicted},
+		{"sectord.sessions.deltas", &s.sessDeltas},
+		{"sectord.sessions.active", intFunc(func() int64 { return int64(s.sessions.active()) })},
+		{"sectord.sessions.solves", intFunc(func() int64 { return s.sessions.totals().Solves })},
+		{"sectord.sessions.sweeps_kept", intFunc(func() int64 { return s.sessions.totals().SweepsKept })},
+		{"sectord.sessions.sweeps_dropped", intFunc(func() int64 { return s.sessions.totals().SweepsDropped })},
+		{"sectord.sessions.steps_reused", intFunc(func() int64 { return s.sessions.totals().StepsReused })},
+		{"sectord.sessions.steps_resolved", intFunc(func() int64 { return s.sessions.totals().StepsResolved })},
+	}
+}

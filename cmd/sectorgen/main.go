@@ -5,14 +5,20 @@
 //	sectorgen -family hotspot -n 200 -m 4 -seed 7 -out instance.json
 //	sectorgen -count 16 -out batch.json   # multi-instance batch envelope
 //	sectorgen -tier 100k -out big.json    # benchmark tier preset
+//	sectorgen -tier 100k-churn -churn -churn-steps 20 -out trace.json
+//	                                      # churn trace for delta sessions
 //
 // Families: uniform, hotspot, rings, zipf, adversarial. Variants: sectors,
 // angles, disjoint. Tiers (-tier): the named large-scale presets from
-// gen.TierNames ("100k", "1m"); a tier fixes the workload shape, and any
-// explicitly set flag (-n, -m, -family, ...) overrides the preset field.
-// With -count > 1 the output is the batch envelope consumed by
-// `sectorpack -batch` and the sectord /solve/batch endpoint; instance k
-// uses seed+k.
+// gen.TierNames ("100k", "100k-churn", "1m"); a tier fixes the workload
+// shape, and any explicitly set flag (-n, -m, -family, ...) overrides the
+// preset field. With -count > 1 the output is the batch envelope consumed
+// by `sectorpack -batch` and the sectord /solve/batch endpoint; instance k
+// uses seed+k. With -churn the output is a churn-trace envelope (base
+// instance + delta stream) for the delta-session workload: replay it
+// through internal/session or the sectord /session endpoints; -churn-*
+// flags shape the stream (steps, per-step rate, localized radial pockets,
+// periodic capacity changes).
 package main
 
 import (
@@ -43,14 +49,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rho := fs.Float64("rho", 0, "antenna width in radians (0 = default π/3)")
 	tight := fs.Float64("tightness", 0, "total demand / total capacity (0 = default 1.5)")
 	unit := fs.Bool("unit", false, "force unit demands")
-	tier := fs.String("tier", "", "benchmark tier preset (100k, 1m); explicitly set flags override preset fields")
+	tier := fs.String("tier", "", "benchmark tier preset (100k, 100k-churn, 1m); explicitly set flags override preset fields")
 	count := fs.Int("count", 1, "number of instances; > 1 writes a batch envelope (instance k uses seed+k)")
+	churn := fs.Bool("churn", false, "emit a churn trace (base instance + delta stream) instead of a plain instance")
+	churnSteps := fs.Int("churn-steps", 8, "number of deltas in the trace")
+	churnRate := fs.Float64("churn-rate", 0.01, "fraction of customers churned per delta")
+	churnLocalized := fs.Bool("churn-localized", true, "concentrate each delta in one radial pocket (what delta sessions exploit)")
+	churnPocket := fs.Float64("churn-pocket", 0.1, "area fraction a localized pocket covers")
+	churnCapEvery := fs.Int("churn-capacity-every", 0, "add an antenna capacity change to every k-th delta (0 = never)")
 	outPath := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *count < 1 {
 		return fmt.Errorf("-count must be >= 1, got %d", *count)
+	}
+	if *churn && *count > 1 {
+		return fmt.Errorf("-churn emits a single trace; it cannot be combined with -count %d", *count)
 	}
 	var v model.Variant
 	switch *variant {
@@ -101,6 +116,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg = preset
 	}
 	cfg.Variant = v
+	if *churn {
+		cfg.Seed = *seed
+		tr, err := gen.GenerateTrace(gen.ChurnConfig{
+			Base:          cfg,
+			Steps:         *churnSteps,
+			Rate:          *churnRate,
+			Localized:     *churnLocalized,
+			PocketFrac:    *churnPocket,
+			CapacityEvery: *churnCapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		if *outPath == "" {
+			return model.WriteTraceJSON(stdout, tr)
+		}
+		if err := model.SaveTraceFile(*outPath, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s: %s (n=%d, m=%d, %d deltas)\n",
+			*outPath, tr.Name, tr.Instance.N(), tr.Instance.M(), len(tr.Deltas))
+		return nil
+	}
 	ins := make([]*model.Instance, *count)
 	for k := range ins {
 		c := cfg

@@ -138,3 +138,64 @@ func TestGenerateTierPreset(t *testing.T) {
 		t.Error("unknown tier must error")
 	}
 }
+
+func TestGenerateChurnTrace(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-churn", "-n", "60", "-m", "4", "-seed", "3", "-churn-steps", "5", "-churn-rate", "0.05", "-churn-capacity-every", "2"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tr, err := model.ReadTraceJSON(&stdout)
+	if err != nil {
+		t.Fatalf("output is not a valid trace: %v", err)
+	}
+	if tr.Instance.N() != 60 || len(tr.Deltas) != 5 {
+		t.Fatalf("trace shape n=%d deltas=%d, want 60/5", tr.Instance.N(), len(tr.Deltas))
+	}
+	capChanges := 0
+	for _, d := range tr.Deltas {
+		capChanges += len(d.SetCapacity)
+	}
+	if capChanges == 0 {
+		t.Error("-churn-capacity-every produced no capacity changes")
+	}
+
+	// Deterministic: the same flags reproduce the same trace.
+	var again bytes.Buffer
+	if err := run(args, &again, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := model.WriteTraceJSON(&first, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := model.ReadTraceJSON(&again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := model.WriteTraceJSON(&second, tr2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("same flags produced different traces")
+	}
+
+	// File output goes through the atomic writer and confirms on stderr.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	stderr.Reset()
+	if err := run([]string{"-churn", "-n", "30", "-m", "2", "-out", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -out: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "deltas") {
+		t.Errorf("confirmation %q does not report the delta count", stderr.String())
+	}
+	if tr, err := model.LoadTraceFile(path); err != nil || len(tr.Deltas) != 8 {
+		t.Errorf("LoadTraceFile: %d deltas, err %v (want the default 8)", len(tr.Deltas), err)
+	}
+
+	// -churn is a single-trace mode.
+	if err := run([]string{"-churn", "-count", "2"}, &stdout, &stderr); err == nil {
+		t.Error("-churn with -count > 1 must error")
+	}
+}

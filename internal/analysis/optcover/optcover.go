@@ -22,6 +22,15 @@
 // Field) covers property 1 dynamically; this analyzer enforces both
 // properties at lint time, with positions, and without needing the cache
 // to be exercised.
+//
+// session.Options (the delta-solve session configuration) gets the
+// dropped-options check only: every exported field must be read somewhere
+// outside its own construction, or the session layer is silently ignoring
+// a knob callers set. It deliberately has NO fingerprint-coverage
+// obligation — sessions bypass the solve cache by design (a fingerprint
+// names a one-shot (instance, options, solver) triple, while a session's
+// identity is its delta history), so there is no serialization for its
+// fields to be missing from.
 package optcover
 
 import (
@@ -36,7 +45,9 @@ var Analyzer = &framework.Analyzer{
 	Name: "optcover",
 	Doc: "every core.Options field must be hashed by the cache fingerprint " +
 		"(else cached answers alias solves with different semantics, PR 4) and " +
-		"read by some solver path (else the registry is dropping it, PR 2)",
+		"read by some solver path (else the registry is dropping it, PR 2); " +
+		"every session.Options field must be read by the session solve path " +
+		"(no hash obligation: sessions bypass the cache by design)",
 	RunModule: runModule,
 }
 
@@ -58,20 +69,12 @@ func keyOf(owner *types.Named, field string) fieldKey {
 }
 
 func runModule(mp *framework.ModulePass) error {
-	corePass, options := findOptions(mp)
-	if corePass == nil {
-		return nil // no core.Options in this module slice; nothing to check
+	corePass, options := findOptions(mp, "core")
+	sessPass, sessOptions := findOptions(mp, "session")
+	if corePass == nil && sessPass == nil {
+		return nil // no options structs in this module slice; nothing to check
 	}
 	cachePass, optsFn := findSerialization(mp)
-	if cachePass == nil {
-		return nil
-	}
-
-	var leaves []leafField
-	collectLeaves(options, nil, &leaves, map[*types.Named]bool{})
-
-	hashed := map[fieldKey]bool{}
-	collectSelections(cachePass, optsFn.Body, hashed)
 
 	read := map[fieldKey]bool{}
 	for _, p := range mp.Packages {
@@ -80,21 +83,47 @@ func runModule(mp *framework.ModulePass) error {
 		}
 	}
 
-	for _, leaf := range leaves {
-		if !hashed[leaf.key] {
-			cachePass.Reportf(optsFn.Pos(),
-				"core.Options field %s is not hashed by the fingerprint serialization; solves differing only in it would share a cache key and replay stale answers", leaf.path)
+	if corePass != nil && cachePass != nil {
+		var leaves []leafField
+		collectLeaves(options, nil, &leaves, map[*types.Named]bool{})
+
+		hashed := map[fieldKey]bool{}
+		collectSelections(cachePass, optsFn.Body, hashed)
+
+		for _, leaf := range leaves {
+			if !hashed[leaf.key] {
+				cachePass.Reportf(optsFn.Pos(),
+					"core.Options field %s is not hashed by the fingerprint serialization; solves differing only in it would share a cache key and replay stale answers", leaf.path)
+			}
+		}
+		optionsStruct := options.Underlying().(*types.Struct)
+		for i := 0; i < optionsStruct.NumFields(); i++ {
+			f := optionsStruct.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if !read[keyOf(options, f.Name())] {
+				corePass.Reportf(f.Pos(),
+					"core.Options.%s is never read outside the cache fingerprint; a solver constructor is dropping it on the way to the solver", f.Name())
+			}
 		}
 	}
-	optionsStruct := options.Underlying().(*types.Struct)
-	for i := 0; i < optionsStruct.NumFields(); i++ {
-		f := optionsStruct.Field(i)
-		if !f.Exported() {
-			continue
-		}
-		if !read[keyOf(options, f.Name())] {
-			corePass.Reportf(f.Pos(),
-				"core.Options.%s is never read outside the cache fingerprint; a solver constructor is dropping it on the way to the solver", f.Name())
+
+	// session.Options: the dropped-options direction only. There is no hash
+	// direction to enforce — session solves never consult the fingerprint
+	// cache (the package doc explains why), so no serialization exists to
+	// cover its fields.
+	if sessPass != nil {
+		st := sessOptions.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			if !read[keyOf(sessOptions, f.Name())] {
+				sessPass.Reportf(f.Pos(),
+					"session.Options.%s is never read by the session solve path; the session layer is silently ignoring it", f.Name())
+			}
 		}
 	}
 	return nil
@@ -144,10 +173,11 @@ func dotted(parts []string) string {
 	return out
 }
 
-// findOptions locates the module's core package and its Options struct.
-func findOptions(mp *framework.ModulePass) (*framework.Pass, *types.Named) {
+// findOptions locates the Options struct of the module package with the
+// given name ("core", "session").
+func findOptions(mp *framework.ModulePass, pkgName string) (*framework.Pass, *types.Named) {
 	for _, p := range mp.Packages {
-		if p.Pkg.Name() != "core" {
+		if p.Pkg.Name() != pkgName {
 			continue
 		}
 		obj := p.Pkg.Scope().Lookup("Options")

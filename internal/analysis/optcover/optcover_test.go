@@ -8,5 +8,5 @@ import (
 )
 
 func TestOptcover(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), optcover.Analyzer, "core", "cache")
+	analysistest.Run(t, analysistest.TestData(t), optcover.Analyzer, "core", "cache", "session")
 }

@@ -1,0 +1,19 @@
+// Package session stands in for internal/session: its Options configure
+// the delta-solve loop directly and never enter the cache fingerprint
+// (sessions bypass the solve cache by design), so only the dropped-options
+// direction applies here.
+package session
+
+type Options struct {
+	Solver  string
+	Dropped int // want `session.Options.Dropped is never read by the session solve path`
+}
+
+// New reads Solver (the defaulting assignment below is a write, not a
+// read) but never looks at Dropped — the knob is silently ignored.
+func New(opt Options) string {
+	if opt.Solver == "" {
+		opt.Solver = "greedy"
+	}
+	return opt.Solver
+}

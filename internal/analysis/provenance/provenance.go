@@ -18,7 +18,13 @@
 //     functions that never consult .Degraded before the call — Put itself
 //     rejects degraded solutions as defense in depth, but callers are
 //     required to gate explicitly so the contract is visible at the call
-//     site.
+//     site;
+//   - functions that drive a delta session (construct a session.Session
+//     or call its methods) and also touch the fingerprint cache — session
+//     solves bypass the cache by design (a fingerprint names a one-shot
+//     instance, a session's identity is its delta history), so mixing the
+//     two in one function is the cache-isolation bug class the sectord
+//     session routes are regression-tested against.
 package provenance
 
 import (
@@ -34,9 +40,11 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "provenance",
 	Doc: "code constructing a degraded model.Solution must set FallbackReason, " +
-		"and degraded solutions must never reach the solve cache: callers of " +
+		"degraded solutions must never reach the solve cache: callers of " +
 		"cache Put must gate on !sol.Degraded (the PR-3 provenance / PR-4 " +
-		"never-cache-degraded contract)",
+		"never-cache-degraded contract), and functions driving a delta " +
+		"session must never touch the fingerprint cache (sessions bypass " +
+		"it by design)",
 	Run: run,
 }
 
@@ -47,6 +55,7 @@ func run(pass *framework.Pass) error {
 	for _, fn := range astx.Funcs(pass.Files) {
 		checkAssignments(pass, fn)
 		checkPuts(pass, fn)
+		checkSessionCacheMix(pass, fn)
 	}
 	return nil
 }
@@ -163,6 +172,55 @@ func checkAssignments(pass *framework.Pass, fn astx.Func) {
 	for _, sel := range degradedSets {
 		pass.Reportf(sel.Pos(), "Degraded set to true but FallbackReason is never assigned in this function; degraded solutions must carry their provenance")
 	}
+}
+
+// checkSessionCacheMix flags fingerprint-cache calls (Get or Put on the
+// cache's Cache type) in functions that also drive a delta session — call
+// session.New or any method on session.Session. Session solves bypass the
+// cache by design; a handler that consults it alongside a session has
+// broken the isolation the session stats and determinism contract assume.
+func checkSessionCacheMix(pass *framework.Pass, fn astx.Func) {
+	if pass.Pkg.Name() == "session" || pass.Pkg.Name() == "cache" {
+		return // the two packages themselves are each other's no-go zones
+	}
+	driven := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && astx.IsNamed(tv.Type, "session", "Session") {
+			driven = true
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Name() == "session" {
+				driven = true
+			}
+		}
+		return true
+	})
+	if !driven {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Put" && sel.Sel.Name != "Get") {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && astx.IsNamed(tv.Type, "cache", "Cache") {
+			pass.Reportf(call.Pos(), "session solve path touches the fingerprint cache; sessions bypass the cache by design (their identity is their delta history, not a one-shot fingerprint)")
+		}
+		return true
+	})
 }
 
 // checkPuts flags cache Put calls not preceded by a .Degraded consult in

@@ -5,3 +5,5 @@ package cache
 type Cache struct{}
 
 func (c *Cache) Put(key string, v any) {}
+
+func (c *Cache) Get(key string) (any, bool) { return nil, false }

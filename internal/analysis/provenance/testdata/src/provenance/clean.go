@@ -1,6 +1,9 @@
 package provenance
 
-import "cache"
+import (
+	"cache"
+	"session"
+)
 
 // withReason carries its provenance: compliant.
 func withReason() Solution {
@@ -25,4 +28,18 @@ func cacheGated(c *cache.Cache, key string, s Solution) {
 		return
 	}
 	c.Put(key, s)
+}
+
+// sessionOnly drives a session without ever looking at the cache: the
+// isolation the session routes are regression-tested for.
+func sessionOnly(key string) any {
+	s := session.New()
+	return s.Apply(key)
+}
+
+// cacheOnlyGet reads the cache with no session in sight; lookups alone
+// are not a finding.
+func cacheOnlyGet(c *cache.Cache, key string) any {
+	v, _ := c.Get(key)
+	return v
 }

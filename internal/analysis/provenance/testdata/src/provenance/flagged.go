@@ -1,6 +1,9 @@
 package provenance
 
-import "cache"
+import (
+	"cache"
+	"session"
+)
 
 // Solution carries the Degraded/FallbackReason pair, so the analyzer
 // recognizes it structurally like model.Solution.
@@ -25,4 +28,13 @@ func markDegraded(s *Solution) {
 // a degraded artifact would be replayed to every later request.
 func cacheUnchecked(c *cache.Cache, key string, s Solution) {
 	c.Put(key, s) // want `cache Put without consulting .Degraded first`
+}
+
+// sessionReadsCache drives a delta session and consults the fingerprint
+// cache in the same function — sessions bypass the cache by design, so a
+// lookup here would replay one-shot answers into mid-session state.
+func sessionReadsCache(c *cache.Cache, s *session.Session, key string) any {
+	s.Apply(key)
+	v, _ := c.Get(key) // want `session solve path touches the fingerprint cache`
+	return v
 }

@@ -1,0 +1,201 @@
+package angular
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sectorpack/internal/knapsack"
+	"sectorpack/internal/model"
+)
+
+// bandedInstance builds an instance whose antennas partition the plane into
+// disjoint radial annuli (band j = [j·w + margin, (j+1)·w − margin]), so a
+// delta confined to one band radially touches exactly that band's antenna.
+func bandedInstance(rng *rand.Rand, n, bands int) *model.Instance {
+	const w = 3.0
+	in := &model.Instance{Name: "banded", Variant: model.Sectors}
+	for j := 0; j < bands; j++ {
+		in.Antennas = append(in.Antennas, model.Antenna{
+			Rho:      math.Pi / 2,
+			MinRange: float64(j) * w,
+			Range:    float64(j+1) * w,
+			Capacity: 40,
+		})
+	}
+	for i := 0; i < n; i++ {
+		b := rng.Intn(bands)
+		in.Customers = append(in.Customers, model.Customer{
+			Theta:  rng.Float64() * 2 * math.Pi,
+			R:      float64(b)*w + 0.5 + 2*rng.Float64(), // clear of band edges
+			Demand: 1 + int64(rng.Intn(9)),
+			Profit: 1 + int64(rng.Intn(20)),
+		})
+	}
+	in.Normalize()
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// bandCustomer returns some customer index whose radius lies in band b.
+func bandCustomer(in *model.Instance, b int, skip map[int]bool) int {
+	lo, hi := float64(b)*3.0, float64(b+1)*3.0
+	for i, c := range in.Customers {
+		if c.R > lo && c.R < hi && !skip[i] {
+			return i
+		}
+	}
+	panic("no customer in band")
+}
+
+func sweepsEqual(t *testing.T, tag string, got, want *Sweep) {
+	t.Helper()
+	if got.rho != want.rho || len(got.ids) != len(want.ids) {
+		t.Fatalf("%s: shape mismatch: rho %v/%v len %d/%d", tag, got.rho, want.rho, len(got.ids), len(want.ids))
+	}
+	for k := range want.ids {
+		if got.ids[k] != want.ids[k] || got.thetas[k] != want.thetas[k] ||
+			got.weights[k] != want.weights[k] || got.profits[k] != want.profits[k] ||
+			got.density[k] != want.density[k] {
+			t.Fatalf("%s: position %d differs: got (id %d θ %v w %d p %d d %d) want (id %d θ %v w %d p %d d %d)",
+				tag, k,
+				got.ids[k], got.thetas[k], got.weights[k], got.profits[k], got.density[k],
+				want.ids[k], want.thetas[k], want.weights[k], want.profits[k], want.density[k])
+		}
+	}
+}
+
+// TestRebaseBitIdentical is the rebase differential: after a delta confined
+// to one radial band, Rebase must keep exactly the untouched bands' sweeps,
+// and every sweep and candidate list — kept, dropped-and-rebuilt, or
+// lazily built — must be bit-identical to a fresh engine's.
+func TestRebaseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	in := bandedInstance(rng, 300, 4)
+	eng := NewEngine(in)
+	if err := eng.Prewarm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const hot = 1 // the band the delta churns
+	skip := map[int]bool{}
+	rm1 := bandCustomer(in, hot, skip)
+	skip[rm1] = true
+	rm2 := bandCustomer(in, hot, skip)
+	skip[rm2] = true
+	chg := bandCustomer(in, hot, skip)
+	d := model.Delta{
+		SetDemand:   []model.DemandChange{{Customer: chg, Demand: 5, Profit: 9}},
+		SetCapacity: []model.CapacityChange{{Antenna: 3, Capacity: 25}},
+		Remove:      []int{rm1, rm2},
+		Add: []model.Customer{
+			{Theta: 1.2, R: hot*3.0 + 1.1, Demand: 2, Profit: 3},
+			{Theta: 4.0, R: hot*3.0 + 2.2, Demand: 3},
+		},
+	}
+	next, err := model.ApplyDelta(in, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept := eng.Rebase(next, d)
+	for j, k := range kept {
+		if want := j != hot; k != want {
+			t.Errorf("kept[%d] = %v, want %v", j, k, want)
+		}
+	}
+	if eng.Instance() != next {
+		t.Error("Rebase did not adopt the new instance")
+	}
+
+	fresh := NewEngine(next)
+	if err := fresh.Prewarm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for j := range next.Antennas {
+		sweepsEqual(t, "antenna", eng.Sweep(j), fresh.Sweep(j))
+		gc, fc := eng.Candidates(j), fresh.Candidates(j)
+		if len(gc) != len(fc) {
+			t.Fatalf("antenna %d: candidate count %d != %d", j, len(gc), len(fc))
+		}
+		for k := range fc {
+			if gc[k] != fc[k] {
+				t.Fatalf("antenna %d: candidate %d: %v != %v", j, k, gc[k], fc[k])
+			}
+		}
+	}
+
+	// Functional check: best windows agree everywhere, including the
+	// capacity-changed antenna (capacity lives in the instance, not the
+	// sweep, so the kept sweep must still see the new value).
+	active := make([]bool, next.N())
+	for i := range active {
+		active[i] = true
+	}
+	for j := range next.Antennas {
+		got, err := eng.BestWindow(context.Background(), j, active, knapsack.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.BestWindow(context.Background(), j, active, knapsack.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Alpha != want.Alpha || got.Profit != want.Profit || len(got.Customers) != len(want.Customers) {
+			t.Fatalf("antenna %d: window %+v != fresh %+v", j, got, want)
+		}
+		for k := range want.Customers {
+			if got.Customers[k] != want.Customers[k] {
+				t.Fatalf("antenna %d: customer %d: %d != %d", j, k, got.Customers[k], want.Customers[k])
+			}
+		}
+	}
+}
+
+// TestRebaseLazySweeps: sweeps never built before the rebase stay nil (not
+// kept) and build correctly against the new instance on demand.
+func TestRebaseLazySweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	in := bandedInstance(rng, 120, 3)
+	eng := NewEngine(in)
+	_ = eng.Sweep(0) // build only band 0
+
+	d := model.Delta{Remove: []int{bandCustomer(in, 2, nil)}}
+	next, err := model.ApplyDelta(in, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := eng.Rebase(next, d)
+	if !kept[0] || kept[1] || kept[2] {
+		t.Fatalf("kept = %v, want [true false false]", kept)
+	}
+	fresh := NewEngine(next)
+	for j := range next.Antennas {
+		sweepsEqual(t, "lazy", eng.Sweep(j), fresh.Sweep(j))
+	}
+}
+
+// TestRebaseAntennaSetChange: a "delta" to an instance with a different
+// antenna count resets every sweep instead of keeping stale state.
+func TestRebaseAntennaSetChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	in := bandedInstance(rng, 60, 3)
+	eng := NewEngine(in)
+	if err := eng.Prewarm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	next := in.Clone()
+	next.Antennas = next.Antennas[:2]
+	next.Normalize()
+	kept := eng.Rebase(next, model.Delta{})
+	if len(kept) != 2 || kept[0] || kept[1] {
+		t.Fatalf("kept = %v, want [false false]", kept)
+	}
+	fresh := NewEngine(next)
+	for j := range next.Antennas {
+		sweepsEqual(t, "reset", eng.Sweep(j), fresh.Sweep(j))
+	}
+}

@@ -84,6 +84,158 @@ func New(in *model.Instance) *View {
 // Len returns the number of customers in the view.
 func (v *View) Len() int { return len(v.Theta) }
 
+// Rebase builds the view of next — the instance produced by applying a
+// delta to old's instance — in O(n + k log k) for k churned customers,
+// reusing old's two sort orders instead of re-sorting all n customers.
+// removed lists the pre-delta ids the delta removed (any order), added how
+// many customers it appended. The result is identical to New(next); a
+// differential test enforces this bit for bit.
+//
+// The construction leans on model.ApplyDelta's layout contract:
+//
+//   - survivors keep their relative order and are renumbered down by the
+//     count of removed ids below them, so filtering old's angular order and
+//     remapping ids yields the survivors already sorted by (theta, new id);
+//   - added customers occupy ids nSurv..n-1, above every survivor id, so
+//     sorting just the k additions and merging (survivor first on theta
+//     ties) reproduces New's stable (theta, id) order;
+//   - the radial order is rebuilt the same way: survivors filtered from
+//     old's byR stay sorted by (radius, position) because the merge
+//     preserves their relative positions, and the k additions are sorted
+//     and merged in.
+//
+// Every column value is gathered from next, so demand/profit re-pricing
+// needs no special handling. Old is not modified.
+func Rebase(old *View, next *model.Instance, removed []int, added int) *View {
+	n := len(next.Customers)
+	nSurv := n - added
+	oldN := old.Len()
+
+	// shiftOf[id] counts removed ids below id: survivor oldID → oldID−shift.
+	gone := make([]bool, oldN)
+	for _, id := range removed {
+		gone[id] = true
+	}
+	shiftOf := make([]int32, oldN)
+	cum := int32(0)
+	for id := 0; id < oldN; id++ {
+		shiftOf[id] = cum
+		if gone[id] {
+			cum++
+		}
+	}
+
+	v := &View{
+		Theta:   make([]float64, n),
+		R:       make([]float64, n),
+		Demand:  make([]int64, n),
+		Profit:  make([]int64, n),
+		ID:      make([]int32, n),
+		byR:     make([]int32, n),
+		sortedR: make([]float64, n),
+	}
+
+	// Angular order: survivors (filtered from old, ids remapped) merged
+	// with the sorted additions; on theta ties the survivor goes first,
+	// which is (theta, id) order since every added id exceeds every
+	// survivor id.
+	survIDs := make([]int32, 0, nSurv)
+	for _, id := range old.ID {
+		if gone[id] {
+			continue
+		}
+		survIDs = append(survIDs, id-shiftOf[id])
+	}
+	addIDs := make([]int32, added)
+	for i := range addIDs {
+		addIDs[i] = int32(nSurv + i)
+	}
+	sort.SliceStable(addIDs, func(x, y int) bool {
+		return next.Customers[addIDs[x]].Theta < next.Customers[addIDs[y]].Theta
+	})
+	i, j := 0, 0
+	for p := 0; p < n; p++ {
+		switch {
+		case i == len(survIDs):
+			v.ID[p] = addIDs[j]
+			j++
+		case j == len(addIDs) || next.Customers[survIDs[i]].Theta <= next.Customers[addIDs[j]].Theta:
+			v.ID[p] = survIDs[i]
+			i++
+		default:
+			v.ID[p] = addIDs[j]
+			j++
+		}
+	}
+	pos := make([]int32, n) // inverse of v.ID: new id → position
+	for p, id := range v.ID {
+		c := &next.Customers[id]
+		v.Theta[p] = c.Theta
+		v.R[p] = c.R
+		v.Demand[p] = c.Demand
+		v.Profit[p] = c.Profit
+		pos[id] = int32(p)
+	}
+
+	// Radial order: same filter-and-merge on (radius, position). Survivor
+	// radii are untouched by any delta, and the merge above preserves
+	// survivors' relative positions, so mapping old.byR through pos keeps
+	// it sorted.
+	survR := make([]int32, 0, nSurv)
+	for _, op := range old.byR {
+		id := old.ID[op]
+		if gone[id] {
+			continue
+		}
+		survR = append(survR, pos[id-shiftOf[id]])
+	}
+	addR := make([]int32, added)
+	for t := range addR {
+		addR[t] = pos[nSurv+t]
+	}
+	sort.Slice(addR, func(x, y int) bool {
+		rx, ry := v.R[addR[x]], v.R[addR[y]]
+		if rx < ry {
+			return true
+		}
+		if ry < rx {
+			return false
+		}
+		return addR[x] < addR[y]
+	})
+	i, j = 0, 0
+	for p := 0; p < n; p++ {
+		switch {
+		case i == len(survR):
+			v.byR[p] = addR[j]
+			j++
+		case j == len(addR) || radposLess(v.R[survR[i]], survR[i], v.R[addR[j]], addR[j]):
+			v.byR[p] = survR[i]
+			i++
+		default:
+			v.byR[p] = addR[j]
+			j++
+		}
+	}
+	for p, q := range v.byR {
+		v.sortedR[p] = v.R[q]
+	}
+	return v
+}
+
+// radposLess is the (radius, position) lexicographic order of the byR
+// index, written with < only: equal radii fall through both comparisons to
+// the position tie-break, so no exact float equality is needed.
+func radposLess(ra float64, pa int32, rb float64, pb int32) bool {
+	if ra < rb {
+		return true
+	}
+	if rb < ra {
+		return false
+	}
+	return pa < pb
+}
+
 // RadialRun returns the half-open run [lo, hi) of the radius-sorted index
 // holding exactly the customers the antenna can reach. Exposed for the
 // boundary tests and for callers that only need the eligible count.
@@ -131,6 +283,30 @@ func (v *View) AppendEligible(a model.Antenna, out []int32) []int32 {
 		}
 	}
 	return out
+}
+
+// InRadialRange reports whether radius r lies in the antenna's closed
+// radial eligibility interval — the per-customer form of the pre-filter
+// predicate RadialRun binary-searches. For any customer c with a non-NaN
+// radius, InRadialRange(a, c.R) == a.InRange(c) (RadialBounds' documented
+// contract). The delta-session invalidation logic and the online admission
+// path use this as the single source of truth for "can this antenna reach
+// this radius".
+func InRadialRange(a model.Antenna, r float64) bool {
+	lo, hi := a.RadialBounds()
+	return lo <= r && r <= hi
+}
+
+// TouchesRadially reports whether any of the radii (which must be sorted
+// ascending) falls inside the antenna's radial eligibility interval. This
+// is the pre-filter applied to a delta's touched radii instead of an
+// instance's customers: a warm per-antenna sweep survives a delta iff
+// TouchesRadially(antenna, delta radii) is false, because sweep membership
+// is exactly the radial predicate above.
+func TouchesRadially(a model.Antenna, sortedR []float64) bool {
+	lo, hi := a.RadialBounds()
+	i := sort.SearchFloat64s(sortedR, lo)
+	return i < len(sortedR) && sortedR[i] <= hi
 }
 
 // prefilterWins decides whether the binary-search path (k log₂ k work) is

@@ -208,3 +208,103 @@ func TestViewLayoutDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// viewsIdentical compares every column of two views bit for bit (floats via
+// Float64bits, so the check is exact identity, not tolerance).
+func viewsIdentical(t *testing.T, label string, got, want *View) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: len %d, want %d", label, got.Len(), want.Len())
+	}
+	for p := 0; p < want.Len(); p++ {
+		if got.ID[p] != want.ID[p] || got.byR[p] != want.byR[p] ||
+			got.Demand[p] != want.Demand[p] || got.Profit[p] != want.Profit[p] ||
+			math.Float64bits(got.Theta[p]) != math.Float64bits(want.Theta[p]) ||
+			math.Float64bits(got.R[p]) != math.Float64bits(want.R[p]) ||
+			math.Float64bits(got.sortedR[p]) != math.Float64bits(want.sortedR[p]) {
+			t.Fatalf("%s: position %d diverges:\n got  ID=%d byR=%d theta=%v r=%v d=%d pr=%d sortedR=%v\n want ID=%d byR=%d theta=%v r=%v d=%d pr=%d sortedR=%v",
+				label, p,
+				got.ID[p], got.byR[p], got.Theta[p], got.R[p], got.Demand[p], got.Profit[p], got.sortedR[p],
+				want.ID[p], want.byR[p], want.Theta[p], want.R[p], want.Demand[p], want.Profit[p], want.sortedR[p])
+		}
+	}
+}
+
+// TestRebaseMatchesFreshBuild is the incremental-view differential: across
+// generated churn traces, chained Rebase calls (each building on the
+// previous rebased view, as a live session does) must reproduce New(next)
+// bit for bit after every delta.
+func TestRebaseMatchesFreshBuild(t *testing.T) {
+	cfgs := []gen.ChurnConfig{
+		{Base: gen.Config{Family: gen.Uniform, Seed: 5, N: 120, M: 4}, Steps: 6, Rate: 0.1},
+		{Base: gen.Config{Family: gen.Uniform, Seed: 6, N: 200, M: 8, Bands: 8, Tightness: 5}, Steps: 6, Rate: 0.05, Localized: true},
+		{Base: gen.Config{Family: gen.Hotspot, Seed: 7, N: 80, M: 3, UnitDemand: true}, Steps: 5, Rate: 0.2},
+		{Base: gen.Config{Family: gen.Rings, Seed: 8, N: 150, M: 5}, Steps: 4, Rate: 0.5},
+	}
+	for _, cfg := range cfgs {
+		tr, err := gen.GenerateTrace(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		cur := tr.Instance
+		view := New(cur)
+		for k, d := range tr.Deltas {
+			next, err := model.ApplyDelta(cur, d)
+			if err != nil {
+				t.Fatalf("%s delta %d: %v", tr.Name, k, err)
+			}
+			view = Rebase(view, next, d.Remove, len(d.Add))
+			viewsIdentical(t, tr.Name+" after delta "+string(rune('0'+k)), view, New(next))
+			cur = next
+		}
+	}
+}
+
+// TestRebaseTies pins the tie-breaking: removals and arrivals that share
+// theta and radius values with survivors must land exactly where New's
+// stable (theta, id) and (radius, position) orders put them.
+func TestRebaseTies(t *testing.T) {
+	in := &model.Instance{Variant: model.Sectors}
+	// Three customers at theta=2, duplicated radii across the population.
+	thetas := []float64{3, 1, 2, 2, 2, 0.5}
+	radii := []float64{4, 2, 2, 4, 1, 2}
+	for i := range thetas {
+		in.Customers = append(in.Customers, model.Customer{
+			ID: i, Theta: thetas[i], R: radii[i], Demand: int64(i + 1),
+		})
+	}
+	in.Antennas = []model.Antenna{{Rho: 1, Range: 100, Capacity: 10}}
+	in.Normalize()
+	d := model.Delta{
+		Remove: []int{3, 0}, // one of the theta=2 triple, plus an r=4 holder
+		Add: []model.Customer{
+			{Theta: 2, R: 2, Demand: 7},   // re-joins both tie groups
+			{Theta: 0.5, R: 2, Demand: 9}, // ties the surviving head
+		},
+		SetDemand: []model.DemandChange{{Customer: 4, Demand: 50}},
+	}
+	next, err := model.ApplyDelta(in, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewsIdentical(t, "ties", Rebase(New(in), next, d.Remove, len(d.Add)), New(next))
+}
+
+// TestRebaseDegenerate covers the empty extremes: a delta removing every
+// customer, and one repopulating an empty instance.
+func TestRebaseDegenerate(t *testing.T) {
+	in := instanceWithRadii([]float64{1, 2, 3})
+	all := model.Delta{Remove: []int{0, 1, 2}}
+	empty, err := model.ApplyDelta(in, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Rebase(New(in), empty, all.Remove, 0)
+	viewsIdentical(t, "drain", ev, New(empty))
+	refill := model.Delta{Add: []model.Customer{{Theta: 1, R: 2, Demand: 3}, {Theta: 0.5, R: 1, Demand: 1}}}
+	next, err := model.ApplyDelta(empty, refill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewsIdentical(t, "refill", Rebase(ev, next, nil, len(refill.Add)), New(next))
+}

@@ -36,6 +36,13 @@ func SolveLocalSearch(ctx context.Context, in *model.Instance, opt Options) (mod
 	if err := eng.Prewarm(ctx); err != nil {
 		return model.Solution{}, err
 	}
+	return solveLocalSearchWithEngine(ctx, in, opt, eng)
+}
+
+// solveLocalSearchWithEngine is the local-search loop over a caller-supplied
+// engine; SolveLocalSearchWarm hands it a delta session's long-lived engine
+// so re-solves skip the sweep rebuild.
+func solveLocalSearchWithEngine(ctx context.Context, in *model.Instance, opt Options, eng *angular.Engine) (model.Solution, error) {
 	sol, err := solveGreedyWithEngine(ctx, in, opt, nil, eng)
 	if err != nil {
 		return model.Solution{}, err

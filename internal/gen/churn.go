@@ -1,0 +1,193 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sectorpack/internal/geom"
+	"sectorpack/internal/model"
+)
+
+// ChurnConfig describes a churn trace: a generated base instance plus a
+// deterministic stream of deltas (arrivals, departures, demand changes,
+// capacity changes). Like every generator here, GenerateTrace is a
+// deterministic function of the config, so traces are reproducible bit for
+// bit.
+type ChurnConfig struct {
+	// Base is the instance the trace starts from.
+	Base Config
+	// Steps is the number of deltas; zero means 8.
+	Steps int
+	// Rate is the fraction of customers churned per step — each step
+	// removes ⌈Rate·n⌉ customers and adds the same number, keeping the
+	// population roughly stable, plus a quarter as many demand changes.
+	// Zero means 0.01 (the canonical 1% churn step).
+	Rate float64
+	// Localized concentrates each step's churn in one radial pocket
+	// (customers move in and out of a contested annulus) instead of
+	// sampling uniformly. Localized churn is what delta sessions exploit:
+	// only the sweeps whose radial interval meets the pocket invalidate.
+	Localized bool
+	// PocketFrac is the fraction of the disk's area a localized pocket
+	// covers; zero means 0.1. Ignored unless Localized.
+	PocketFrac float64
+	// CapacityEvery adds one antenna capacity change (±20%) to every k-th
+	// step (steps 0, k, 2k, …); zero means never.
+	CapacityEvery int
+	// Seed drives the churn stream; zero means Base.Seed+1 so a default
+	// trace does not replay the base instance's random stream.
+	Seed int64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Steps == 0 {
+		c.Steps = 8
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.01
+	}
+	if c.PocketFrac == 0 {
+		c.PocketFrac = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = c.Base.Seed + 1
+	}
+	return c
+}
+
+// GenerateTrace builds the base instance and the delta stream. Every delta
+// is validated by actually applying it (model.ApplyDelta) as it is
+// generated, so a returned trace always replays cleanly.
+func GenerateTrace(cfg ChurnConfig) (*model.Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Steps < 0 {
+		return nil, fmt.Errorf("gen: negative Steps")
+	}
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("gen: Rate %v outside [0, 1]", cfg.Rate)
+	}
+	if cfg.PocketFrac < 0 || cfg.PocketFrac > 1 {
+		return nil, fmt.Errorf("gen: PocketFrac %v outside [0, 1]", cfg.PocketFrac)
+	}
+	base, err := Generate(cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	bcfg := cfg.Base.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &model.Trace{
+		Name:     fmt.Sprintf("churn-%s-steps%d-rate%g", base.Name, cfg.Steps, cfg.Rate),
+		Instance: base,
+	}
+	cur := base.Clone()
+	for s := 0; s < cfg.Steps; s++ {
+		d := churnStep(cur, cfg, bcfg, s, rng)
+		next, err := model.ApplyDelta(cur, d)
+		if err != nil {
+			return nil, fmt.Errorf("gen: step %d produced invalid delta: %w", s, err)
+		}
+		tr.Deltas = append(tr.Deltas, d)
+		cur = next
+	}
+	return tr, nil
+}
+
+// MustGenerateTrace is GenerateTrace for static configs; it panics on
+// error.
+func MustGenerateTrace(cfg ChurnConfig) *model.Trace {
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// churnStep builds one delta against the current instance state.
+func churnStep(cur *model.Instance, cfg ChurnConfig, bcfg Config, step int, rng *rand.Rand) model.Delta {
+	n := cur.N()
+	k := int(math.Ceil(cfg.Rate * float64(n)))
+	if k > n {
+		k = n
+	}
+
+	// The pocket: a radial interval, chosen in equal-area coordinates so
+	// it holds ~PocketFrac of a uniform population regardless of where it
+	// lands. Global churn uses the whole disk.
+	rlo, rhi := 0.0, bcfg.Range*1.25
+	if cfg.Localized {
+		u0 := rng.Float64() * (1 - cfg.PocketFrac)
+		rlo = bcfg.Range * math.Sqrt(u0)
+		rhi = bcfg.Range * math.Sqrt(u0+cfg.PocketFrac)
+	}
+
+	// Departure and re-pricing candidates come from the pocket.
+	var pool []int
+	for i, c := range cur.Customers {
+		if c.R >= rlo && c.R <= rhi {
+			pool = append(pool, i)
+		}
+	}
+	rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+
+	var d model.Delta
+	nRemove := k
+	if nRemove > len(pool) {
+		nRemove = len(pool)
+	}
+	d.Remove = append(d.Remove, pool[:nRemove]...)
+	nChange := k / 4
+	if nChange < 1 {
+		nChange = 1
+	}
+	if nChange > len(pool)-nRemove {
+		nChange = len(pool) - nRemove
+	}
+	if bcfg.UnitDemand {
+		nChange = 0 // demand changes would break the unit-demand invariant
+	}
+	for _, i := range pool[nRemove : nRemove+nChange] {
+		ch := model.DemandChange{Customer: i, Demand: 1 + rng.Int63n(bcfg.MaxDemand)}
+		if bcfg.ProfitSpread > 0 {
+			p := int64(float64(ch.Demand) * (1 + rng.Float64()*bcfg.ProfitSpread))
+			if p < 1 {
+				p = 1
+			}
+			ch.Profit = p
+		}
+		d.SetDemand = append(d.SetDemand, ch)
+	}
+
+	// Arrivals land in the same pocket (equal-area radial sampling, like
+	// the uniform family).
+	lo2, hi2 := rlo*rlo, rhi*rhi
+	for a := 0; a < k; a++ {
+		c := model.Customer{
+			Theta:  rng.Float64() * geom.TwoPi,
+			R:      math.Sqrt(lo2 + rng.Float64()*(hi2-lo2)),
+			Demand: 1 + rng.Int63n(bcfg.MaxDemand),
+		}
+		if bcfg.UnitDemand {
+			c.Demand = 1
+		} else if bcfg.ProfitSpread > 0 {
+			p := int64(float64(c.Demand) * (1 + rng.Float64()*bcfg.ProfitSpread))
+			if p < 1 {
+				p = 1
+			}
+			c.Profit = p
+		}
+		d.Add = append(d.Add, c)
+	}
+
+	if cfg.CapacityEvery > 0 && step%cfg.CapacityEvery == 0 && cur.M() > 0 {
+		j := rng.Intn(cur.M())
+		old := cur.Antennas[j].Capacity
+		delta := int64(float64(old) * (rng.Float64()*0.4 - 0.2))
+		nc := old + delta
+		if nc < 0 {
+			nc = 0
+		}
+		d.SetCapacity = append(d.SetCapacity, model.CapacityChange{Antenna: j, Capacity: nc})
+	}
+	return d
+}

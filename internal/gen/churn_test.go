@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sectorpack/internal/model"
+)
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	cfg := ChurnConfig{
+		Base:          Config{Family: Uniform, Seed: 5, N: 300, M: 6, Bands: 3, Tightness: 2, ProfitSpread: 0.4},
+		Steps:         5,
+		Rate:          0.02,
+		Localized:     true,
+		CapacityEvery: 2,
+	}
+	a := MustGenerateTrace(cfg)
+	b := MustGenerateTrace(cfg)
+	var ab, bb bytes.Buffer
+	if err := model.WriteTraceJSON(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.WriteTraceJSON(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Error("same config produced different traces")
+	}
+}
+
+func TestGenerateTraceReplaysAndKeepsPopulation(t *testing.T) {
+	cfg := ChurnConfig{
+		Base:  Config{Family: Uniform, Seed: 7, N: 400, M: 4, Tightness: 2},
+		Steps: 6,
+		Rate:  0.05,
+	}
+	tr := MustGenerateTrace(cfg)
+	if len(tr.Deltas) != 6 {
+		t.Fatalf("got %d deltas, want 6", len(tr.Deltas))
+	}
+	fin, err := tr.Materialize(len(tr.Deltas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each step removes and adds the same count, so the population is
+	// stable.
+	if fin.N() != 400 {
+		t.Errorf("final population %d, want 400", fin.N())
+	}
+	if err := fin.Validate(); err != nil {
+		t.Errorf("final instance invalid: %v", err)
+	}
+	for s, d := range tr.Deltas {
+		if d.Empty() {
+			t.Errorf("step %d is empty", s)
+		}
+		if len(d.Remove) == 0 || len(d.Add) == 0 || len(d.SetDemand) == 0 {
+			t.Errorf("step %d missing churn kinds: %d removes, %d adds, %d demand changes",
+				s, len(d.Remove), len(d.Add), len(d.SetDemand))
+		}
+	}
+}
+
+func TestGenerateTraceLocalizedPocket(t *testing.T) {
+	cfg := ChurnConfig{
+		Base:      Config{Family: Uniform, Seed: 9, N: 500, M: 8, Bands: 8, Tightness: 2},
+		Steps:     4,
+		Rate:      0.02,
+		Localized: true,
+	}
+	tr := MustGenerateTrace(cfg)
+	// A pocket covering PocketFrac of the area has radial width at most
+	// Range·√PocketFrac; all of one step's arrivals land inside it.
+	maxSpan := 8.0 * math.Sqrt(0.1) * 1.0001
+	for s, d := range tr.Deltas {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range d.Add {
+			lo, hi = math.Min(lo, c.R), math.Max(hi, c.R)
+		}
+		if hi-lo > maxSpan {
+			t.Errorf("step %d arrivals span %v > pocket bound %v", s, hi-lo, maxSpan)
+		}
+	}
+}
+
+func TestGenerateTraceUnitDemand(t *testing.T) {
+	cfg := ChurnConfig{
+		Base:  Config{Family: Uniform, Seed: 3, N: 120, M: 3, UnitDemand: true, Tightness: 2},
+		Steps: 3,
+	}
+	tr := MustGenerateTrace(cfg)
+	fin, err := tr.Materialize(len(tr.Deltas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin.UnitDemand() {
+		t.Error("churn broke the unit-demand invariant")
+	}
+}
+
+func TestBandsPartitionAntennas(t *testing.T) {
+	in := MustGenerate(Config{Family: Uniform, Seed: 2, N: 100, M: 8, Bands: 4, Tightness: 2})
+	for j, a := range in.Antennas {
+		b := j % 4
+		wantLo := 8.0 * math.Sqrt(float64(b)/4)
+		wantHi := 8.0 * math.Sqrt(float64(b+1)/4)
+		if math.Abs(a.MinRange-wantLo) > 1e-12 || math.Abs(a.Range-wantHi) > 1e-12 {
+			t.Errorf("antenna %d: annulus [%v, %v], want [%v, %v]", j, a.MinRange, a.Range, wantLo, wantHi)
+		}
+	}
+	if _, err := Generate(Config{Family: Uniform, N: 10, M: 2, Bands: 2, Variant: model.Angles}); err == nil {
+		t.Error("Bands with the angles variant should be rejected")
+	}
+}

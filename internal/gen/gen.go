@@ -55,6 +55,11 @@ func Families() []Family {
 //     columnar layout itself (sweep construction, radial pre-filter);
 //     intended for engine prewarm and the baseline solver, not for
 //     candidate-enumerating heuristics.
+//   - "100k-churn": n=100_000, m=40 antennas partitioned over 40
+//     equal-area annuli (Bands) — the delta-session tier. Banding bounds
+//     each antenna's eligible count at ~n/40, so the greedy runs at full
+//     scale, and it gives localized churn a radial footprint for the
+//     sweep invalidation pre-filter to exploit.
 //
 // Callers may override Seed, Variant, or any other field after the call;
 // the preset only fixes the workload shape.
@@ -64,13 +69,15 @@ func Tier(name string) (Config, error) {
 		return Config{Family: Uniform, Seed: 1, N: 100_000, M: 16, Tightness: 40, ProfitSpread: 0.4}, nil
 	case "1m":
 		return Config{Family: Uniform, Seed: 1, N: 1_000_000, M: 8, Tightness: 400, ProfitSpread: 0.4}, nil
+	case "100k-churn":
+		return Config{Family: Uniform, Seed: 1, N: 100_000, M: 40, Bands: 40, Tightness: 40, ProfitSpread: 0.4}, nil
 	}
 	return Config{}, fmt.Errorf("gen: unknown tier %q (have %v)", name, TierNames())
 }
 
 // TierNames lists the benchmark tier presets accepted by Tier.
 func TierNames() []string {
-	return []string{"100k", "1m"}
+	return []string{"100k", "100k-churn", "1m"}
 }
 
 // Config fully determines a generated instance.
@@ -110,6 +117,16 @@ type Config struct {
 	// UnitDemand forces every demand (and profit) to the same value
 	// (MaxDemand is ignored; demand is 1).
 	UnitDemand bool
+	// Bands, when positive, partitions the antennas over that many
+	// equal-area concentric annuli of [0, Range]: antenna j serves band
+	// j mod Bands, its [MinRange, Range) interval set to the band's edges.
+	// This is the heterogeneous-range regime where the radial pre-filter
+	// (and delta-session sweep invalidation) has traction — every antenna
+	// sees only its annulus's customers — and it keeps the
+	// candidate-enumerating solvers usable at the large tiers by bounding
+	// the per-antenna eligible count at roughly N/Bands. Requires the
+	// Sectors variant (the angle variants force unbounded ranges).
+	Bands int
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +156,12 @@ func Generate(cfg Config) (*model.Instance, error) {
 	cfg = cfg.withDefaults()
 	if cfg.N < 0 || cfg.M < 0 {
 		return nil, fmt.Errorf("gen: negative N or M")
+	}
+	if cfg.Bands < 0 {
+		return nil, fmt.Errorf("gen: negative Bands")
+	}
+	if cfg.Bands > 0 && cfg.Variant != model.Sectors {
+		return nil, fmt.Errorf("gen: Bands requires the sectors variant (got %v)", cfg.Variant)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	in := &model.Instance{
@@ -302,6 +325,14 @@ func genAntennas(in *model.Instance, cfg Config, rng *rand.Rand) {
 		a := model.Antenna{Rho: w, Capacity: perCap, MinRange: cfg.MinRange}
 		if cfg.Variant == model.Sectors {
 			a.Range = cfg.Range
+			if cfg.Bands > 0 {
+				// Equal-area annulus edges: band b covers
+				// [R·√(b/Bands), R·√((b+1)/Bands)), so each band holds
+				// roughly the same customer mass under uniform spread.
+				b := j % cfg.Bands
+				a.MinRange = cfg.Range * math.Sqrt(float64(b)/float64(cfg.Bands))
+				a.Range = cfg.Range * math.Sqrt(float64(b+1)/float64(cfg.Bands))
+			}
 		}
 		in.Antennas = append(in.Antennas, a)
 	}

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func deltaBase() *Instance {
+	in := &Instance{
+		Name:    "delta-base",
+		Variant: Sectors,
+		Customers: []Customer{
+			{Theta: 0.1, R: 1, Demand: 2},
+			{Theta: 0.5, R: 2, Demand: 3, Profit: 7},
+			{Theta: 1.0, R: 3, Demand: 1},
+			{Theta: 2.0, R: 4, Demand: 5},
+		},
+		Antennas: []Antenna{
+			{Rho: 1, Range: 5, Capacity: 10},
+			{Rho: 1, Range: 3, Capacity: 4},
+		},
+	}
+	in.Normalize()
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestApplyDeltaOrderAndRenumber(t *testing.T) {
+	in := deltaBase()
+	d := Delta{
+		SetDemand:   []DemandChange{{Customer: 1, Demand: 9}},                 // profit defaults to 9
+		SetCapacity: []CapacityChange{{Antenna: 1, Capacity: 6}},
+		Remove:      []int{0, 2},
+		Add:         []Customer{{Theta: -0.5, R: 1.5, Demand: 4}}, // theta normalized
+	}
+	out, err := ApplyDelta(in, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.N(), 3; got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	// Survivors keep order and are renumbered: old 1 -> new 0, old 3 -> new 1.
+	if out.Customers[0].Demand != 9 || out.Customers[0].Profit != 9 {
+		t.Errorf("survivor 0 = %+v, want demand/profit 9 (SetDemand applied before Remove)", out.Customers[0])
+	}
+	if out.Customers[1].Demand != 5 {
+		t.Errorf("survivor 1 = %+v, want old customer 3", out.Customers[1])
+	}
+	// The added customer is appended last with a normalized angle.
+	add := out.Customers[2]
+	if add.ID != 2 || add.Profit != 4 {
+		t.Errorf("added customer = %+v, want ID 2 and defaulted profit", add)
+	}
+	if add.Theta < 0 || add.Theta >= 2*math.Pi {
+		t.Errorf("added theta %v not normalized", add.Theta)
+	}
+	if out.Antennas[1].Capacity != 6 {
+		t.Errorf("antenna 1 capacity = %d, want 6", out.Antennas[1].Capacity)
+	}
+	for i, c := range out.Customers {
+		if c.ID != i {
+			t.Errorf("customer %d has ID %d after renumbering", i, c.ID)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("materialized instance invalid: %v", err)
+	}
+	// The input must be untouched.
+	if in.N() != 4 || in.Customers[1].Demand != 3 || in.Antennas[1].Capacity != 4 {
+		t.Error("ApplyDelta modified its input")
+	}
+}
+
+func TestApplyDeltaEmpty(t *testing.T) {
+	in := deltaBase()
+	if !(Delta{}).Empty() {
+		t.Error("zero delta not Empty")
+	}
+	out, err := ApplyDelta(in, Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != in.N() || out.M() != in.M() {
+		t.Errorf("empty delta changed shape: %d/%d -> %d/%d", in.N(), in.M(), out.N(), out.M())
+	}
+}
+
+func TestDeltaValidateRejects(t *testing.T) {
+	in := deltaBase()
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"customer out of range", Delta{SetDemand: []DemandChange{{Customer: 9, Demand: 1}}}, "out of range"},
+		{"duplicate demand target", Delta{SetDemand: []DemandChange{{Customer: 1, Demand: 1}, {Customer: 1, Demand: 2}}}, "targeted twice"},
+		{"non-positive demand", Delta{SetDemand: []DemandChange{{Customer: 0, Demand: 0}}}, "must be positive"},
+		{"antenna out of range", Delta{SetCapacity: []CapacityChange{{Antenna: 2, Capacity: 1}}}, "out of range"},
+		{"negative capacity", Delta{SetCapacity: []CapacityChange{{Antenna: 0, Capacity: -1}}}, "non-negative"},
+		{"duplicate remove", Delta{Remove: []int{1, 1}}, "removed twice"},
+		{"remove out of range", Delta{Remove: []int{-1}}, "out of range"},
+		{"bad added radius", Delta{Add: []Customer{{Theta: 0, R: math.Inf(1), Demand: 1}}}, "invalid radius"},
+		{"bad added theta", Delta{Add: []Customer{{Theta: math.NaN(), R: 1, Demand: 1}}}, "invalid theta"},
+		{"bad added demand", Delta{Add: []Customer{{Theta: 0, R: 1, Demand: 0}}}, "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ApplyDelta(in, tc.d); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ApplyDelta err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTraceRoundTripAndMaterialize(t *testing.T) {
+	tr := &Trace{
+		Name:     "rt",
+		Instance: deltaBase(),
+		Deltas: []Delta{
+			{Remove: []int{0}},
+			// After delta 0 the old customer 1 is ID 0.
+			{SetDemand: []DemandChange{{Customer: 0, Demand: 11}}, Add: []Customer{{Theta: 1, R: 2, Demand: 2}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || len(got.Deltas) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	fin, err := got.Materialize(len(got.Deltas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.N() != 4 || fin.Customers[0].Demand != 11 {
+		t.Errorf("materialized final = n=%d customers[0]=%+v", fin.N(), fin.Customers[0])
+	}
+	base, err := got.Materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.N() != 4 || base.Customers[0].Demand != 2 {
+		t.Errorf("materialize(0) should clone the base, got customers[0]=%+v", base.Customers[0])
+	}
+	if _, err := got.Materialize(3); err == nil {
+		t.Error("materialize past the end should fail")
+	}
+}
+
+func TestReadTraceJSONRejectsBrokenReplay(t *testing.T) {
+	tr := &Trace{
+		Instance: deltaBase(),
+		// Delta 0 shrinks to 3 customers, so delta 1's target 3 is stale.
+		Deltas: []Delta{{Remove: []int{0}}, {SetDemand: []DemandChange{{Customer: 3, Demand: 1}}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceJSON(&buf); err == nil || !strings.Contains(err.Error(), "delta 1") {
+		t.Fatalf("ReadTraceJSON err = %v, want replay failure naming delta 1", err)
+	}
+}

@@ -17,9 +17,11 @@ package online
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
+	"sectorpack/internal/cols"
 	"sectorpack/internal/core"
 	"sectorpack/internal/geom"
 	"sectorpack/internal/model"
@@ -63,16 +65,39 @@ func Run(in *model.Instance, orientations []float64, order []int, p Policy) (*mo
 	for j, a := range in.Antennas {
 		remaining[j] = a.Capacity
 	}
+	// Orientations are fixed before the first arrival, so which antennas
+	// cover a customer is a static predicate — compute it once instead of
+	// re-testing all m antennas per arrival. The columnar view's radial
+	// pre-filter narrows each antenna to its reachable radius run (when that
+	// wins over a scan) before the exact Covers test; building candidate
+	// lists antenna-by-antenna in ascending j keeps each list ascending,
+	// exactly the order the per-arrival scan produced, so FirstFit/BestFit
+	// tie-breaking is unchanged.
+	view := cols.New(in)
+	cand := make([][]int32, n)
+	var elig []int32
+	for j, a := range in.Antennas {
+		elig = view.AppendEligible(a, elig[:0])
+		for _, pos := range elig {
+			i := view.ID[pos]
+			if a.Covers(orientations[j], in.Customers[i]) {
+				cand[i] = append(cand[i], int32(j))
+			}
+		}
+	}
+	// feasible is scratch reused across arrivals; only remaining-capacity
+	// checks are left per arrival. Policies may not retain it past Admit.
+	feasible := make([]int, 0, in.M())
 	for _, i := range order {
 		if i < 0 || i >= n || seen[i] {
 			return nil, fmt.Errorf("online: order is not a permutation (index %d)", i)
 		}
 		seen[i] = true
 		c := in.Customers[i]
-		var feasible []int
-		for j, a := range in.Antennas {
-			if remaining[j] >= c.Demand && a.Covers(orientations[j], c) {
-				feasible = append(feasible, j)
+		feasible = feasible[:0]
+		for _, j := range cand[i] {
+			if remaining[j] >= c.Demand {
+				feasible = append(feasible, int(j))
 			}
 		}
 		pick := p.Admit(c, feasible, remaining)
@@ -167,14 +192,7 @@ func OrientFromSample(ctx context.Context, in *model.Instance, frac float64, see
 	}
 	rng := rand.New(rand.NewSource(seed))
 	idx := rng.Perm(in.N())
-	k := int(float64(in.N()) * frac)
-	if k < 1 {
-		k = 1
-	}
-	if k > in.N() {
-		k = in.N()
-	}
-	chosen := idx[:k]
+	chosen := idx[:sampleSize(in.N(), frac)]
 	sort.Ints(chosen)
 	sample := &model.Instance{Variant: in.Variant, Name: in.Name + "-sample"}
 	for _, i := range chosen {
@@ -187,4 +205,20 @@ func OrientFromSample(ctx context.Context, in *model.Instance, frac float64, see
 		return nil, err
 	}
 	return sol.Assignment.Orientation, nil
+}
+
+// sampleSize is the number of customers a fraction frac of n selects,
+// rounded to nearest (half away from zero) and clamped to [1, n].
+// Truncation here systematically under-sampled: n=10, frac=0.3 must sample
+// 3 customers, not whatever int(n*frac) happens to produce after the
+// product lands just below an integer.
+func sampleSize(n int, frac float64) int {
+	k := int(math.Round(float64(n) * frac))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
 }
