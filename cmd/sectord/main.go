@@ -37,6 +37,10 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	cacheBytes := fs.Int64("cache-bytes", 0, "solve-cache budget in bytes (0 = 64 MiB default, negative = disable caching)")
 	sessionMax := fs.Int("session-max", DefaultSessionMax, "live delta-solve session cap before shedding 429")
 	sessionTTL := fs.Duration("session-ttl", DefaultSessionTTL, "evict sessions idle longer than this")
+	snapshotPath := fs.String("cache-snapshot", "", "persist the solve cache to this file across restarts (empty = off)")
+	snapshotInterval := fs.Duration("cache-snapshot-interval", DefaultSnapshotInterval, "background cache-snapshot cadence")
+	journalDir := fs.String("session-journal", "", "journal sessions to <dir>/<id>.journal and recover them at startup (empty = off)")
+	fsyncEvery := fs.Int("session-fsync-every", 1, "journal group-commit window: fsync per this many deltas (1 = every delta)")
 	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
@@ -64,6 +68,11 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Pprof:        *pprofFlag,
 		DrainTimeout: *drain,
 		Logger:       logger,
+
+		SnapshotPath:     *snapshotPath,
+		SnapshotInterval: *snapshotInterval,
+		JournalDir:       *journalDir,
+		JournalSyncEvery: *fsyncEvery,
 	}
 	if *allowed != "" {
 		for _, name := range strings.Split(*allowed, ",") {
@@ -74,6 +83,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			cfg.Allowed = append(cfg.Allowed, name)
 		}
 	}
+	srv := NewServer(cfg)
+	// Warm-load persisted state before accepting connections, so the first
+	// request already sees the restored cache and recovered sessions.
+	if err := srv.Restore(ctx); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -81,7 +96,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	logger.Info("listening",
 		slog.String("url", "http://"+ln.Addr().String()),
 		slog.String("solvers", strings.Join(core.Names(), ",")))
-	err = NewServer(cfg).Serve(ctx, ln)
+	err = srv.Serve(ctx, ln)
 	if err == nil {
 		logger.Info("shut down cleanly")
 	}

@@ -51,6 +51,7 @@ import (
 	"sectorpack/internal/cache"
 	"sectorpack/internal/core"
 	"sectorpack/internal/exact"
+	"sectorpack/internal/faultfs"
 	"sectorpack/internal/model"
 )
 
@@ -83,6 +84,26 @@ type Config struct {
 	// SessionTTL evicts sessions idle longer than this (lazily, on the next
 	// session request). Zero means DefaultSessionTTL.
 	SessionTTL time.Duration
+	// SnapshotPath persists the solve cache across restarts: Restore
+	// warm-loads it, a background loop and the shutdown drain rewrite it
+	// atomically. Empty disables snapshotting.
+	SnapshotPath string
+	// SnapshotInterval is the background snapshot cadence; zero means
+	// DefaultSnapshotInterval.
+	SnapshotInterval time.Duration
+	// JournalDir enables per-session delta journaling (WAL): every session
+	// gets an append-only journal under this directory, and Restore replays
+	// surviving journals back into live sessions. Empty disables journaling.
+	JournalDir string
+	// JournalSyncEvery is the journal group-commit window: an fsync per
+	// this many delta appends. Values <= 1 fsync every append (the
+	// default); larger values trade at most n-1 acknowledged deltas of
+	// crash-durability for throughput.
+	JournalSyncEvery int
+	// FS is the filesystem the persistence paths write through; nil means
+	// the real filesystem (faultfs.OS). Tests inject fault-scripted
+	// filesystems here.
+	FS faultfs.FS
 	// Logger receives one structured record per /solve request (request
 	// ID, solver, duration, outcome, degraded flag) plus panic reports.
 	// Nil discards logs.
@@ -111,6 +132,7 @@ type Server struct {
 	allowed map[string]bool
 	logger  *slog.Logger
 	cache   *cache.Cache // nil when caching is disabled
+	fsys    faultfs.FS   // persistence filesystem seam (faultfs.OS in production)
 
 	ridPrefix string        // random per-Server request-ID prefix
 	reqSeq    atomic.Uint64 // request-ID sequence
@@ -122,6 +144,15 @@ type Server struct {
 	sessClosed  expvar.Int // sessions closed via DELETE
 	sessEvicted expvar.Int // sessions reaped by the idle sweep
 	sessDeltas  expvar.Int // deltas applied across all sessions
+
+	snapSaves         expvar.Int // cache snapshots written (periodic + drain)
+	snapSaveFailures  expvar.Int // snapshot writes that failed
+	snapLoadSkipped   expvar.Int // snapshot entries rejected at warm-load
+	snapLoadFailures  expvar.Int // whole-snapshot loads rejected (bad header/version)
+	sessRecovered     expvar.Int // sessions rebuilt from journals at Restore
+	sessRecoverFailed expvar.Int // journals that could not be recovered
+	journalFailures   expvar.Int // journal create/append failures (session dropped)
+	idemReplays       expvar.Int // deltas answered from the idempotency check
 
 	requests      expvar.Int // total /solve requests
 	solved        expvar.Int // completed successfully (incl. degraded)
@@ -163,6 +194,10 @@ func NewServer(cfg Config) *Server {
 		ridPrefix: hex.EncodeToString(rid[:]),
 		latency:   map[string]*latencyHist{},
 		sessions:  &sessionStore{m: map[string]*sessionEntry{}},
+		fsys:      cfg.FS,
+	}
+	if s.fsys == nil {
+		s.fsys = faultfs.OS
 	}
 	if cfg.CacheBytes >= 0 {
 		s.cache = cache.New(cfg.CacheBytes)
@@ -224,8 +259,13 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 
 // Serve accepts connections on ln until ctx is cancelled, then shuts down
 // gracefully: in-flight solves keep running (their request contexts stay
-// live) until done or until DrainTimeout passes.
+// live) until done or until DrainTimeout passes. Once the drain completes
+// (or fails), FlushState persists what the daemon has: the cache snapshot
+// is rewritten and every open session journal is fsynced, so a SIGTERM
+// loses nothing that was acknowledged.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	stopSnapshots := s.startSnapshotLoop()
+	defer stopSnapshots()
 	// In-flight request contexts are per-connection, not children of ctx:
 	// graceful drain lets running solves finish. If the drain deadline
 	// passes, Close tears the connections down, which cancels the request
@@ -241,9 +281,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
 			srv.Close()
+			s.FlushState()
 			return err
 		}
 		<-errc // http.ErrServerClosed
+		s.FlushState()
 		return nil
 	}
 }
@@ -929,6 +971,14 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		{"sectord.invalid", &s.invalid},
 		{"sectord.batches", &s.batches},
 		{"sectord.batch_items", &s.batchItems},
+		{"sectord.snapshot.saves", &s.snapSaves},
+		{"sectord.snapshot.save_failures", &s.snapSaveFailures},
+		{"sectord.snapshot.load_skipped", &s.snapLoadSkipped},
+		{"sectord.snapshot.load_failures", &s.snapLoadFailures},
+		{"sectord.sessions.recovered", &s.sessRecovered},
+		{"sectord.sessions.recover_failed", &s.sessRecoverFailed},
+		{"sectord.sessions.journal_failures", &s.journalFailures},
+		{"sectord.sessions.idem_replays", &s.idemReplays},
 	}
 	vars = append(vars, s.sessionVars()...)
 	if s.cache != nil {

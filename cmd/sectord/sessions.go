@@ -41,11 +41,21 @@ const DefaultSessionTTL = 15 * time.Minute
 // sessionEntry is one live session plus its lock. session.Session is not
 // safe for concurrent use; every Apply/read happens under mu. lastNanos is
 // atomic so the eviction sweep can read idleness without the lock.
+//
+// journal (nil when journaling is disabled) is this session's WAL; appends
+// happen under mu, in the same critical section as the Apply they record.
+// lastIdemKey/lastOK implement delta idempotency: a delta re-sent with the
+// key of the last applied one is answered from current state, not applied
+// twice (lastOK distinguishes "applied and solved" from "applied but the
+// solve failed", which a retry must re-solve).
 type sessionEntry struct {
-	mu        sync.Mutex
-	sess      *session.Session
-	solver    string
-	lastNanos atomic.Int64
+	mu          sync.Mutex
+	sess        *session.Session
+	solver      string
+	journal     *session.Journal
+	lastIdemKey string
+	lastOK      bool
+	lastNanos   atomic.Int64
 }
 
 func (e *sessionEntry) touch() { e.lastNanos.Store(time.Now().UnixNano()) }
@@ -75,6 +85,11 @@ func (st *sessionStore) evictIdle(ttl time.Duration) int {
 			continue // in flight right now; not idle
 		}
 		st.retired = addStats(st.retired, e.sess.Stats())
+		if e.journal != nil {
+			// An evicted session is gone for good; its journal must not
+			// resurrect it at the next restart.
+			e.journal.Remove()
+		}
 		e.mu.Unlock()
 		delete(st.m, id)
 		evicted++
@@ -154,11 +169,24 @@ type sessionCreateRequest struct {
 // sessionDeltaRequest is the POST /session/{id}/delta body. The delta's
 // customer ids refer to the session's current instance (the state after
 // every previously applied delta).
+//
+// IdempotencyKey makes the request safe to retry: if it equals the key of
+// the delta most recently applied to this session, the request is answered
+// from the session's current state instead of applying the delta a second
+// time (the X-Sectord-Idempotent: replay header marks such answers). Retry
+// loops — including ones that straddle a daemon restart, since recovery
+// restores the last journaled key — should send a fresh unique key per
+// logical delta.
 type sessionDeltaRequest struct {
-	TimeoutMillis int64       `json:"timeout_ms,omitempty"`
-	FormatVersion int         `json:"format_version"`
-	Delta         model.Delta `json:"delta"`
+	TimeoutMillis  int64       `json:"timeout_ms,omitempty"`
+	FormatVersion  int         `json:"format_version"`
+	IdempotencyKey string      `json:"idempotency_key,omitempty"`
+	Delta          model.Delta `json:"delta"`
 }
+
+// idempotentHeader marks a delta response that was answered from current
+// state because its idempotency key matched the last applied delta.
+const idempotentHeader = "X-Sectord-Idempotent"
 
 // sessionStats is the wire form of session.Stats.
 type sessionStats struct {
@@ -329,10 +357,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	sess, err := session.New(ctx, req.Instance, session.Options{
+	sopt := session.Options{
 		Solver: name,
 		Core:   s.solveOptions(req.Seed),
-	})
+	}
+	sess, err := session.New(ctx, req.Instance, sopt)
 	if err != nil {
 		status, msg := s.sessionSolveStatus(rid, err)
 		fail(status, msg)
@@ -348,8 +377,24 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 	id := s.nextSessionID()
 	e := &sessionEntry{sess: sess, solver: name}
+	if s.journalEnabled() {
+		// The journal's create record must be durable before the session is
+		// acknowledged — otherwise a crash right after the response would
+		// lose a session the client believes exists. CreateJournal fsyncs
+		// the record and the directory entry before returning.
+		j, jerr := session.CreateJournal(s.fsys, s.journalPath(id), sopt, req.Instance, s.journalSyncEvery())
+		if jerr != nil {
+			s.journalFailures.Add(1)
+			fail(http.StatusInternalServerError, "session journal create failed: "+jerr.Error())
+			return
+		}
+		e.journal = j
+	}
 	e.touch()
 	if !s.sessions.put(id, e, s.sessionMax()) {
+		if e.journal != nil {
+			e.journal.Remove()
+		}
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
 		fail(http.StatusTooManyRequests, fmt.Sprintf("session table full (%d live)", s.sessionMax()))
@@ -420,16 +465,90 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	// to different sessions only contend for inflight-semaphore slots.
 	e.mu.Lock()
 	e.touch()
+
+	// Idempotent replay: this exact delta was the last one applied, so the
+	// session's current state already reflects it. Answer from that state
+	// instead of applying it twice. If its solve never committed (lastOK is
+	// false — the delta advanced the instance but the re-solve failed), an
+	// empty-delta Apply re-solves the current instance in place; the empty
+	// delta is not journaled because journal replay re-solves anyway.
+	if req.IdempotencyKey != "" && req.IdempotencyKey == e.lastIdemKey {
+		s.idemReplays.Add(1)
+		var sol model.Solution
+		var err error
+		if e.lastOK {
+			sol = e.sess.Solution()
+		} else {
+			sol, err = e.sess.Apply(ctx, model.Delta{})
+			if err == nil {
+				if verr := core.VerifySolution(e.solver, e.sess.Instance(), sol); verr != nil {
+					err = verr
+				}
+			}
+			e.lastOK = err == nil
+		}
+		stats := e.sess.Stats()
+		e.touch()
+		e.mu.Unlock()
+		if err != nil {
+			status, msg := s.sessionSolveStatus(rid, err)
+			fail(status, msg)
+			return
+		}
+		elapsed := time.Since(start)
+		w.Header().Set(idempotentHeader, "replay")
+		s.logSession("delta", id, start, http.StatusOK, "idempotent replay")
+		writeJSON(w, http.StatusOK, sessionResponse{
+			SessionID:     id,
+			Stats:         newSessionStats(stats),
+			solveResponse: *newSolveResponse(e.solver, sol, elapsed),
+		})
+		return
+	}
+
 	sol, err := e.sess.Apply(ctx, req.Delta)
+	var verr error
+	if err == nil {
+		verr = core.VerifySolution(e.solver, e.sess.Instance(), sol)
+	}
+	var status int
+	var msg string
+	if err != nil {
+		status, msg = s.sessionSolveStatus(rid, err)
+	}
+	// Session.Apply installs the new instance before solving, so the state
+	// advanced unless the delta itself was rejected (the 400 path). Every
+	// state advance must reach the journal — including failed solves —
+	// or replay would diverge from the live session.
+	advanced := err == nil || status != http.StatusBadRequest
+	if advanced && e.journal != nil {
+		if jerr := e.journal.AppendDelta(req.Delta, req.IdempotencyKey); jerr != nil {
+			// The journal no longer matches the live session and can't be
+			// made to. Drop the session entirely: a clean 404-and-recreate
+			// for the client beats silently serving state that a restart
+			// would roll back.
+			s.journalFailures.Add(1)
+			e.journal.Remove()
+			e.mu.Unlock()
+			s.sessions.remove(id)
+			s.logger.Warn("session dropped: journal append failed",
+				slog.String("session_id", id), slog.String("error", jerr.Error()))
+			fail(http.StatusInternalServerError, "session journal write failed; session dropped")
+			return
+		}
+	}
+	if advanced {
+		e.lastIdemKey = req.IdempotencyKey
+		e.lastOK = err == nil && verr == nil
+	}
 	stats := e.sess.Stats()
 	e.touch()
 	e.mu.Unlock()
 	if err != nil {
-		status, msg := s.sessionSolveStatus(rid, err)
 		fail(status, msg)
 		return
 	}
-	if verr := core.VerifySolution(e.solver, e.sess.Instance(), sol); verr != nil {
+	if verr != nil {
 		s.invalid.Add(1)
 		fail(http.StatusInternalServerError, "solve failed: "+verr.Error())
 		return
@@ -463,6 +582,11 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	// Synchronize with an in-flight delta so its stats snapshot is final.
 	e.mu.Lock()
 	stats := e.sess.Stats()
+	if e.journal != nil {
+		// A deliberately closed session must not be resurrected by the next
+		// restart's recovery pass.
+		e.journal.Remove()
+	}
 	e.mu.Unlock()
 	s.logSession("delete", id, start, http.StatusOK, "")
 	writeJSON(w, http.StatusOK, sessionDeleteResponse{SessionID: id, Stats: newSessionStats(stats)})

@@ -6,6 +6,11 @@
 //	sectorpack -in instance.json [-solver greedy] [-seed 1] [-eps 0.05] [-v] [-viz]
 //	sectorpack -in big.json -solver baseline -bound=false
 //	sectorpack -batch -in batch.json [-workers 4] [-timeout 5s]
+//	sectorpack -in instance.json -server http://localhost:8377
+//
+// With -server, the solve runs on a sectord daemon instead of in-process:
+// the internal/sectorclient retry loop rides out shed load and daemon
+// restarts, and the answer is re-verified locally before printing.
 //
 // The instance format is the JSON envelope written by cmd/sectorgen (or
 // model.WriteJSON). With -batch, -in names a multi-instance envelope
@@ -41,6 +46,7 @@ import (
 	"sectorpack/internal/geom"
 	"sectorpack/internal/knapsack"
 	"sectorpack/internal/model"
+	"sectorpack/internal/sectorclient"
 	"sectorpack/internal/viz"
 )
 
@@ -85,6 +91,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "print the per-antenna breakdown")
 	vizFlag := fs.Bool("viz", false, "draw an ASCII polar plot of the solution")
 	batch := fs.Bool("batch", false, "treat -in as a multi-instance batch envelope (sectorgen -count)")
+	server := fs.String("server", "", "solve remotely on a sectord daemon at this base URL (e.g. http://localhost:8377) instead of in-process")
 	workers := fs.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	bound := fs.Bool("bound", true, "compute the fractional upper bound and optimality gap (quadratic in the per-antenna eligible count; use -bound=false at n=100k and above)")
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +100,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *inPath == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -in")
+	}
+	if *server != "" {
+		if *batch {
+			return fmt.Errorf("-batch is not supported with -server (the daemon has its own /solve/batch route)")
+		}
+		if *eps > 0 {
+			return fmt.Errorf("-eps is local-only; the daemon owns its knapsack settings")
+		}
+		return runRemote(ctx, out, remoteConfig{
+			server:   *server,
+			inPath:   *inPath,
+			solver:   *solverName,
+			seed:     *seed,
+			timeout:  *timeout,
+			fallback: *fallback,
+			verbose:  *verbose,
+			viz:      *vizFlag,
+		})
 	}
 	if *batch {
 		if *vizFlag {
@@ -145,16 +170,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := sol.Assignment.Check(in); err != nil {
 		return fmt.Errorf("internal error: solver returned infeasible assignment: %w", err)
 	}
+	return printSolution(out, in, sol, *solverName, *verbose, *vizFlag)
+}
+
+// printSolution renders the solve report shared by the local and remote
+// paths, returning a degradedError when the answer came from a fallback.
+func printSolution(out io.Writer, in *model.Instance, sol model.Solution, requested string, verbose, vizFlag bool) error {
 	fmt.Fprintf(out, "instance   %s (%s, n=%d, m=%d, tightness=%.2f)\n",
 		in.Name, in.Variant, in.N(), in.M(), in.Tightness())
 	fmt.Fprintf(out, "solution   %s\n", sol)
 	if sol.Degraded {
 		fmt.Fprintf(out, "degraded   requested %q fell back to %q (%s)\n",
-			*solverName, sol.SolverUsed, sol.FallbackReason)
+			requested, sol.SolverUsed, sol.FallbackReason)
 	}
 	fmt.Fprintf(out, "served     %d/%d customers, demand %d/%d\n",
 		sol.Assignment.ServedCount(), in.N(), sol.Assignment.ServedDemand(in), in.TotalDemand())
-	if *verbose {
+	if verbose {
 		load := sol.Assignment.Load(in)
 		for j, a := range in.Antennas {
 			served := 0
@@ -168,13 +199,67 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				load[j], a.Capacity, served)
 		}
 	}
-	if *vizFlag {
+	if vizFlag {
 		fmt.Fprint(out, viz.Render(in, sol.Assignment, viz.Options{Rays: true}))
 	}
 	if sol.Degraded {
 		return &degradedError{solverUsed: sol.SolverUsed, reason: sol.FallbackReason, detail: sol.FallbackDetail}
 	}
 	return nil
+}
+
+// remoteConfig carries the flag values into runRemote.
+type remoteConfig struct {
+	server   string
+	inPath   string
+	solver   string
+	seed     int64
+	timeout  time.Duration
+	fallback bool
+	verbose  bool
+	viz      bool
+}
+
+// runRemote ships the instance to a sectord daemon and prints its answer.
+// The client retries transient failures (shed load, restarts) on its own;
+// the answer is re-checked locally before printing, so a buggy or tampered
+// daemon can cost an error, never an infeasible report.
+func runRemote(ctx context.Context, out io.Writer, cfg remoteConfig) error {
+	in, err := model.LoadFile(cfg.inPath)
+	if err != nil {
+		return err
+	}
+	c := sectorclient.New(cfg.server, sectorclient.Options{})
+	res, err := c.Solve(ctx, cfg.solver, in, sectorclient.SolveOptions{
+		Seed:          &cfg.seed,
+		TimeoutMillis: cfg.timeout.Milliseconds(),
+		AllowDegraded: cfg.timeout > 0 && cfg.fallback,
+	})
+	if err != nil {
+		return err
+	}
+	as := res.Assignment()
+	if err := as.Check(in); err != nil {
+		return fmt.Errorf("daemon returned infeasible assignment: %w", err)
+	}
+	if got := as.Profit(in); got != res.Profit {
+		return fmt.Errorf("daemon profit claim %d does not match the assignment's %d", res.Profit, got)
+	}
+	sol := model.Solution{
+		Assignment: as,
+		Profit:     res.Profit,
+		Algorithm:  res.Algorithm,
+		UpperBound: res.UpperBound,
+		Degraded:   res.Degraded,
+		SolverUsed: res.SolverUsed,
+	}
+	if res.Degraded {
+		sol.FallbackReason = res.FallbackReason
+	}
+	if res.Attempts > 1 || res.CacheStatus == "hit" {
+		fmt.Fprintf(out, "remote     %s (attempts=%d cache=%s)\n", cfg.server, res.Attempts, res.CacheStatus)
+	}
+	return printSolution(out, in, sol, cfg.solver, cfg.verbose, cfg.viz)
 }
 
 // batchConfig carries the flag values into runBatch.

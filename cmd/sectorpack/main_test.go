@@ -3,9 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"sectorpack/internal/core"
@@ -241,5 +245,95 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-bogusflag"}, &out); err == nil {
 		t.Error("unknown flag must error")
+	}
+}
+
+// fakeDaemon solves /solve requests in-process with the greedy solver,
+// speaking sectord's wire format. profitSkew shifts the claimed profit to
+// simulate a lying daemon; failFirst makes the first request shed with 503.
+func fakeDaemon(t *testing.T, profitSkew int64, failFirst bool) *httptest.Server {
+	t.Helper()
+	var calls atomic.Int64
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failFirst && calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"shedding"}`, http.StatusServiceUnavailable)
+			return
+		}
+		var req struct {
+			Solver   string          `json:"solver"`
+			Seed     *int64          `json:"seed"`
+			Instance *model.Instance `json:"instance"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
+			return
+		}
+		if req.Instance == nil {
+			http.Error(w, `{"error":"bad instance"}`, http.StatusBadRequest)
+			return
+		}
+		req.Instance.Normalize()
+		solver, err := core.Get(req.Solver)
+		if err != nil {
+			http.Error(w, `{"error":"unknown solver"}`, http.StatusBadRequest)
+			return
+		}
+		var seed int64 = 1
+		if req.Seed != nil {
+			seed = *req.Seed
+		}
+		sol, err := solver(r.Context(), req.Instance, core.Options{Seed: seed, SkipBound: true})
+		if err != nil {
+			http.Error(w, `{"error":"solve failed"}`, http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"solver": req.Solver, "algorithm": sol.Algorithm,
+			"profit":      sol.Profit + profitSkew,
+			"orientation": sol.Assignment.Orientation,
+			"owner":       sol.Assignment.Owner,
+			"elapsed_ms":  0.1,
+		})
+	}))
+}
+
+func TestRunServerSolvesRemotely(t *testing.T) {
+	path := writeTestInstance(t)
+	ts := fakeDaemon(t, 0, true)
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-server", ts.URL, "-v"}, &out); err != nil {
+		t.Fatalf("remote run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"remote", "attempts=2", "instance", "solution", "served", "antenna  0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("remote output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunServerRejectsTamperedAnswer pins the local re-verification: a
+// daemon whose profit claim does not match its own assignment is an error,
+// never a printed report.
+func TestRunServerRejectsTamperedAnswer(t *testing.T) {
+	path := writeTestInstance(t)
+	ts := fakeDaemon(t, 1, false)
+	defer ts.Close()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-in", path, "-server", ts.URL}, &out)
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("tampered profit must fail local verification, got %v", err)
+	}
+}
+
+func TestRunServerFlagConflicts(t *testing.T) {
+	path := writeTestInstance(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-batch", "-in", path, "-server", "http://x"}, &out); err == nil {
+		t.Error("-batch with -server must error")
+	}
+	if err := run(context.Background(), []string{"-in", path, "-server", "http://x", "-eps", "0.1"}, &out); err == nil {
+		t.Error("-eps with -server must error")
 	}
 }

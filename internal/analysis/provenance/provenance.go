@@ -24,7 +24,13 @@
 //     solves bypass the cache by design (a fingerprint names a one-shot
 //     instance, a session's identity is its delta history), so mixing the
 //     two in one function is the cache-isolation bug class the sectord
-//     session routes are regression-tested against.
+//     session routes are regression-tested against;
+//   - raw os filesystem writes (os.Create, os.OpenFile, os.WriteFile,
+//     os.Rename, os.Remove, os.MkdirAll) inside the durable-state
+//     packages (cache, session) — their persistence must go through
+//     internal/faultfs so the crash-consistency suite can observe and
+//     fail every write, and so the atomic temp+fsync+rename discipline
+//     is not silently bypassed.
 package provenance
 
 import (
@@ -44,7 +50,9 @@ var Analyzer = &framework.Analyzer{
 		"cache Put must gate on !sol.Degraded (the PR-3 provenance / PR-4 " +
 		"never-cache-degraded contract), and functions driving a delta " +
 		"session must never touch the fingerprint cache (sessions bypass " +
-		"it by design)",
+		"it by design), and the durable-state packages (cache, session) " +
+		"must not write through raw os calls — persistence goes through " +
+		"faultfs so crash tests can observe and fail every write",
 	Run: run,
 }
 
@@ -57,7 +65,58 @@ func run(pass *framework.Pass) error {
 		checkPuts(pass, fn)
 		checkSessionCacheMix(pass, fn)
 	}
+	checkPersistence(pass)
 	return nil
+}
+
+// durablePackages are the packages that own crash-safe on-disk state. Raw
+// os filesystem mutations inside them bypass the faultfs seam the
+// crash-consistency suite injects into, so every one is a finding.
+var durablePackages = map[string]bool{"cache": true, "session": true}
+
+// rawPersistenceFuncs are the os package's filesystem-mutating entry
+// points. Read-only calls (os.Open, os.ReadFile, os.Stat) are allowed:
+// they cannot corrupt durable state, only miss it.
+var rawPersistenceFuncs = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+	"WriteFile":  true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"Truncate":   true,
+}
+
+// checkPersistence flags raw os write calls in the durable-state packages.
+func checkPersistence(pass *framework.Pass) {
+	if !durablePackages[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !rawPersistenceFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "os" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "raw os.%s in durable-state package %s; persistence must go through faultfs (injectable, atomic-write discipline) so the crash-consistency suite can see every write", sel.Sel.Name, pass.Pkg.Name())
+			return true
+		})
+	}
 }
 
 // isProvenanceStruct reports whether t is a struct carrying the

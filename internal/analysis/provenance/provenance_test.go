@@ -8,5 +8,5 @@ import (
 )
 
 func TestProvenance(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), provenance.Analyzer, "provenance")
+	analysistest.Run(t, analysistest.TestData(t), provenance.Analyzer, "provenance", "cache", "session")
 }

@@ -1,0 +1,54 @@
+// Raw os writes in a durable-state package: every one bypasses the faultfs
+// injection seam the crash-consistency suite depends on.
+package cache
+
+import "os"
+
+func snapshotRaw(path string, b []byte) error {
+	f, err := os.Create(path) // want `raw os\.Create in durable-state package cache`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func snapshotRawShortcut(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `raw os\.WriteFile in durable-state package cache`
+}
+
+func rotate(path string) error {
+	if err := os.Rename(path+".tmp", path); err != nil { // want `raw os\.Rename in durable-state package cache`
+		return err
+	}
+	return os.Remove(path + ".old") // want `raw os\.Remove in durable-state package cache`
+}
+
+// Read-only calls are fine: they can miss durable state, not corrupt it.
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Calls through the faultfs seam are the sanctioned path.
+type injectableFS interface {
+	Create(path string) (*os.File, error)
+	Rename(from, to string) error
+}
+
+func snapshotInjected(fsys injectableFS, path string, b []byte) error {
+	f, err := fsys.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(path+".tmp", path)
+}

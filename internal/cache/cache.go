@@ -85,6 +85,7 @@ type Cache struct {
 	evictions expvar.Int
 	collapsed expvar.Int
 	stores    expvar.Int
+	restored  expvar.Int // entries warm-loaded from a snapshot (snapshot.go)
 }
 
 // New returns a cache bounded to maxBytes of stored solutions; zero means
@@ -111,6 +112,7 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	Collapsed int64 `json:"collapsed"`
 	Stores    int64 `json:"stores"`
+	Restored  int64 `json:"restored"`
 	Bytes     int64 `json:"bytes"`
 	Entries   int64 `json:"entries"`
 }
@@ -125,6 +127,7 @@ func (c *Cache) Stats() Stats {
 		Evictions: c.evictions.Value(),
 		Collapsed: c.collapsed.Value(),
 		Stores:    c.stores.Value(),
+		Restored:  c.restored.Value(),
 		Bytes:     c.bytes,
 		Entries:   int64(c.ll.Len()),
 	}
@@ -147,6 +150,7 @@ func (c *Cache) Vars() []NamedVar {
 		{"evictions", &c.evictions},
 		{"collapsed", &c.collapsed},
 		{"stores", &c.stores},
+		{"restored", &c.restored},
 		{"bytes", expvar.Func(func() any { c.lock(); defer c.unlock(); return c.bytes })},
 		{"entries", expvar.Func(func() any { c.lock(); defer c.unlock(); return c.ll.Len() })},
 	}
@@ -195,8 +199,13 @@ func (c *Cache) Delete(key string) {
 
 // putLocked inserts or refreshes an entry and evicts from the LRU tail
 // until the byte budget holds. An entry larger than the whole budget is
-// not stored at all.
+// not stored at all. counter distinguishes live stores from snapshot
+// restores in the metrics.
 func (c *Cache) putLocked(key string, canon model.Solution) {
+	c.putCountedLocked(key, canon, &c.stores)
+}
+
+func (c *Cache) putCountedLocked(key string, canon model.Solution, counter *expvar.Int) {
 	size := entrySize(key, canon)
 	if size > c.maxBytes {
 		return
@@ -207,7 +216,7 @@ func (c *Cache) putLocked(key string, canon model.Solution) {
 	e := c.ll.PushFront(&entry{key: key, sol: canon, size: size})
 	c.entries[key] = e
 	c.bytes += size
-	c.stores.Add(1)
+	counter.Add(1)
 	for c.bytes > c.maxBytes {
 		back := c.ll.Back()
 		if back == nil {

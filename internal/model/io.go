@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+
+	"sectorpack/internal/faultfs"
 )
 
 // instanceJSON is the wire form: Range uses 0 to encode "unbounded" so the
@@ -51,45 +52,23 @@ func ReadJSON(r io.Reader) (*Instance, error) {
 	return env.Instance, nil
 }
 
-// SaveFile writes the instance to path atomically: the JSON is written to
-// a temporary file in the same directory, fsynced, and renamed over the
-// destination. A crash, a full disk, or an encoding error mid-write can
-// therefore never leave a torn, unparseable file at path — the destination
-// either keeps its previous content or holds the complete new instance.
+// SaveFile writes the instance to path atomically and durably: the JSON is
+// written to a temporary file in the same directory, fsynced, renamed over
+// the destination, and the parent directory is fsynced (a rename is not
+// durable across power loss until the directory entry itself is on disk).
+// A crash, a full disk, or an encoding error mid-write can therefore never
+// leave a torn, unparseable file at path — the destination either keeps its
+// previous content or holds the complete new instance.
 func SaveFile(path string, in *Instance) error {
 	return writeFileAtomic(path, func(w io.Writer) error { return WriteJSON(w, in) })
 }
 
-// writeFileAtomic runs write against a temp file in path's directory,
-// fsyncs, and renames over the destination; any failure removes the temp
-// file so no partial write survives.
+// writeFileAtomic is faultfs.WriteFileAtomic on the real filesystem — the
+// temp+fsync+rename+dir-fsync discipline every persistence path in the
+// repository shares (the cache snapshot and session journal call the
+// faultfs helper directly so tests can inject faults into their writes).
 func writeFileAtomic(path string, write func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	cleanup := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := write(f); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Sync(); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return faultfs.WriteFileAtomic(faultfs.OS, path, write)
 }
 
 // LoadFile reads an instance from path.

@@ -1,0 +1,389 @@
+// Package sectorclient is a retrying HTTP client for the sectord daemon.
+//
+// Retries follow the daemon's durability contract: only idempotent routes
+// are retried. /solve is a pure function of its body and DELETE /session is
+// naturally idempotent, so both retry freely on transient failures (network
+// errors, 429/502/503/504). POST /session/{id}/delta is made retry-safe by
+// attaching an automatically generated idempotency key — a retry that lands
+// after a crash-recovered daemon already applied the delta is answered from
+// current state instead of being applied twice. POST /session is the one
+// route that is never retried: without a server-side creation key, a retry
+// after an ambiguous failure could leak a duplicate session (and its
+// journal); callers see the error and decide.
+//
+// Backoff between attempts is capped exponential with equal jitter, and a
+// 429/503 Retry-After header, when present, sets the floor.
+package sectorclient
+
+import (
+	"bytes"
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sectorpack/internal/model"
+)
+
+// Options tunes a Client. The zero value is usable: defaults are filled in
+// by New.
+type Options struct {
+	// HTTPClient issues the requests; nil means a fresh http.Client with
+	// Timeout as its overall per-attempt timeout.
+	HTTPClient *http.Client
+	// Timeout bounds each individual attempt (not the whole retry loop —
+	// bound that with the context). Zero means 30s. Ignored when
+	// HTTPClient is set.
+	Timeout time.Duration
+	// MaxRetries is how many times a retryable request is re-sent after
+	// the first attempt. Zero means 4; negative disables retries.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff (delay before retry i is
+	// roughly BaseDelay·2ⁱ, jittered). Zero means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 3s.
+	MaxDelay time.Duration
+	// Rand supplies backoff jitter; nil means a time-seeded source. Tests
+	// inject a fixed seed for deterministic delays.
+	Rand *rand.Rand
+}
+
+// Client talks to one sectord base URL. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	opt  Options
+
+	mu  sync.Mutex // guards rnd
+	rnd *rand.Rand
+
+	idemPrefix string
+	idemSeq    atomic.Int64
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8377").
+func New(baseURL string, opt Options) *Client {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	if opt.HTTPClient == nil {
+		opt.HTTPClient = &http.Client{Timeout: opt.Timeout}
+	}
+	if opt.MaxRetries == 0 {
+		opt.MaxRetries = 4
+	}
+	if opt.BaseDelay <= 0 {
+		opt.BaseDelay = 100 * time.Millisecond
+	}
+	if opt.MaxDelay <= 0 {
+		opt.MaxDelay = 3 * time.Second
+	}
+	rnd := opt.Rand
+	if rnd == nil {
+		rnd = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	var pfx [6]byte
+	cryptorand.Read(pfx[:])
+	return &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         opt.HTTPClient,
+		opt:        opt,
+		rnd:        rnd,
+		idemPrefix: hex.EncodeToString(pfx[:]),
+	}
+}
+
+// APIError is a non-2xx daemon reply that was not retried away.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sectord: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// ErrNotFound wraps 404s (unknown session ID — e.g. one that did not
+// survive a daemon restart) so callers can recreate instead of failing.
+var ErrNotFound = errors.New("not found")
+
+// SolveResult is the daemon's answer to /solve and both session routes.
+type SolveResult struct {
+	Solver      string    `json:"solver"`
+	Algorithm   string    `json:"algorithm"`
+	Profit      int64     `json:"profit"`
+	UpperBound  float64   `json:"upper_bound"`
+	Orientation []float64 `json:"orientation"`
+	Owner       []int     `json:"owner"`
+	ElapsedMS   float64   `json:"elapsed_ms"`
+
+	Degraded       bool   `json:"degraded"`
+	SolverUsed     string `json:"solver_used"`
+	FallbackReason string `json:"fallback_reason"`
+
+	// CacheStatus echoes the X-Sectord-Cache header (hit/miss/...), empty
+	// when the daemon did not set it.
+	CacheStatus string `json:"-"`
+	// Attempts is how many HTTP attempts this answer took (1 = no retry).
+	Attempts int `json:"-"`
+}
+
+// Assignment rebuilds the model form of the answer, ready for a local
+// Assignment.Check against the instance the caller sent.
+func (r *SolveResult) Assignment() *model.Assignment {
+	return &model.Assignment{Orientation: r.Orientation, Owner: r.Owner}
+}
+
+// SolveOptions are the per-request solve knobs.
+type SolveOptions struct {
+	Seed          *int64
+	TimeoutMillis int64
+	// AllowDegraded opts into the daemon's hedged fallback (?degraded=allow):
+	// a solve that times out or fails answers with the fallback solver's
+	// result, marked Degraded, instead of an error.
+	AllowDegraded bool
+}
+
+// Solve solves the instance remotely. Retries on transient failures.
+func (c *Client) Solve(ctx context.Context, solver string, in *model.Instance, opt SolveOptions) (*SolveResult, error) {
+	body, err := json.Marshal(map[string]any{
+		"format_version": 1, "solver": solver, "seed": opt.Seed,
+		"timeout_ms": opt.TimeoutMillis, "instance": in,
+	})
+	if err != nil {
+		return nil, err
+	}
+	url := c.base + "/solve"
+	if opt.AllowDegraded {
+		url += "?degraded=allow"
+	}
+	return c.doSolve(ctx, http.MethodPost, url, body, true)
+}
+
+// Session is a handle on a daemon-side delta-solve session.
+type Session struct {
+	c  *Client
+	ID string
+}
+
+// CreateSession opens a delta-solve session. This is the one non-idempotent
+// route: it is never retried, so an ambiguous network failure surfaces as
+// an error rather than a potential duplicate session.
+func (c *Client) CreateSession(ctx context.Context, solver string, in *model.Instance, opt SolveOptions) (*Session, *SolveResult, error) {
+	body, err := json.Marshal(map[string]any{
+		"format_version": 1, "solver": solver, "seed": opt.Seed,
+		"timeout_ms": opt.TimeoutMillis, "instance": in,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, raw, err := c.do(ctx, http.MethodPost, c.base+"/session", body, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep struct {
+		SessionID string `json:"session_id"`
+		SolveResult
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, nil, fmt.Errorf("sectord: bad session response: %w", err)
+	}
+	rep.SolveResult.Attempts = res.attempts
+	return &Session{c: c, ID: rep.SessionID}, &rep.SolveResult, nil
+}
+
+// ApplyDelta applies one delta to the session. Every call stamps a fresh
+// idempotency key; retries of the same call reuse that key, so a delta is
+// applied at most once even when a retry crosses a daemon restart.
+func (s *Session) ApplyDelta(ctx context.Context, d model.Delta) (*SolveResult, error) {
+	key := fmt.Sprintf("%s-%d", s.c.idemPrefix, s.c.idemSeq.Add(1))
+	body, err := json.Marshal(map[string]any{
+		"format_version": 1, "idempotency_key": key, "delta": d,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.c.doSolve(ctx, http.MethodPost, s.c.base+"/session/"+s.ID+"/delta", body, true)
+}
+
+// Close deletes the session on the daemon. Idempotent: a 404 (the retry of
+// a delete that already landed, or a session the daemon dropped) is
+// success.
+func (s *Session) Close(ctx context.Context) error {
+	_, _, err := s.c.do(ctx, http.MethodDelete, s.c.base+"/session/"+s.ID, nil, true)
+	if errors.Is(err, ErrNotFound) {
+		return nil
+	}
+	return err
+}
+
+// doSolve runs do and decodes the solve-shaped answer.
+func (c *Client) doSolve(ctx context.Context, method, url string, body []byte, retryable bool) (*SolveResult, error) {
+	res, raw, err := c.do(ctx, method, url, body, retryable)
+	if err != nil {
+		return nil, err
+	}
+	var rep SolveResult
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("sectord: bad solve response: %w", err)
+	}
+	rep.CacheStatus = res.cacheStatus
+	rep.Attempts = res.attempts
+	return &rep, nil
+}
+
+// doResult carries response metadata alongside the decoded body.
+type doResult struct {
+	attempts    int
+	cacheStatus string
+}
+
+// do issues one logical request, retrying transient failures when the
+// route is retryable. The returned bytes are the 2xx body.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, retryable bool) (doResult, []byte, error) {
+	res := doResult{}
+	var lastErr error
+	maxAttempts := 1
+	if retryable && c.opt.MaxRetries > 0 {
+		maxAttempts = 1 + c.opt.MaxRetries
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt-1, retryAfter(lastErr))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return res, nil, fmt.Errorf("%w (last attempt: %w)", ctx.Err(), lastErr)
+			}
+		}
+		res.attempts = attempt + 1
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return res, nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return res, nil, err
+			}
+			lastErr = err // network-level: retryable
+			continue
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		if resp.StatusCode/100 == 2 {
+			res.cacheStatus = resp.Header.Get("X-Sectord-Cache")
+			return res, raw, nil
+		}
+		apiErr := &retryableError{
+			APIError:   APIError{Status: resp.StatusCode, Message: errorMessage(raw)},
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+		if !transientStatus(resp.StatusCode) {
+			if resp.StatusCode == http.StatusNotFound {
+				return res, nil, fmt.Errorf("%w: %w", ErrNotFound, &apiErr.APIError)
+			}
+			return res, nil, &apiErr.APIError
+		}
+		lastErr = apiErr
+	}
+	return res, nil, fmt.Errorf("sectord: giving up after %d attempts: %w", res.attempts, unwrapRetryable(lastErr))
+}
+
+// transientStatus reports whether a status is worth retrying: shed load,
+// gateway hiccups, and the daemon's own "try again" answers.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryableError carries the server's Retry-After hint through the loop.
+type retryableError struct {
+	APIError
+	retryAfter time.Duration
+}
+
+func retryAfter(err error) time.Duration {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return re.retryAfter
+	}
+	return 0
+}
+
+func unwrapRetryable(err error) error {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return &re.APIError
+	}
+	return err
+}
+
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func errorMessage(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	msg := strings.TrimSpace(string(raw))
+	if len(msg) > 200 {
+		msg = msg[:200]
+	}
+	return msg
+}
+
+// backoff computes the sleep before retry i (0-based): capped exponential
+// with equal jitter — half the window is deterministic, half uniform — and
+// never below the server's Retry-After hint.
+func (c *Client) backoff(i int, floor time.Duration) time.Duration {
+	d := c.opt.BaseDelay << uint(i)
+	if d <= 0 || d > c.opt.MaxDelay {
+		d = c.opt.MaxDelay
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rnd.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	d = d/2 + jitter
+	if d < floor {
+		d = floor
+	}
+	return d
+}

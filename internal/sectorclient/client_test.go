@@ -1,0 +1,236 @@
+package sectorclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+func fastOptions() Options {
+	return Options{
+		MaxRetries: 4,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   4 * time.Millisecond,
+		Rand:       rand.New(rand.NewSource(7)),
+	}
+}
+
+func testInstance() *model.Instance {
+	return gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 9, N: 12, M: 2})
+}
+
+func solveJSON(profit int64) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"solver": "greedy", "algorithm": "greedy", "profit": profit,
+		"orientation": []float64{0.5, 1.5}, "owner": []int{0, 1}, "elapsed_ms": 0.1,
+	})
+	return b
+}
+
+func TestSolveRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"shedding load"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("X-Sectord-Cache", "miss")
+		w.Write(solveJSON(42))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOptions())
+	res, err := c.Solve(context.Background(), "greedy", testInstance(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profit != 42 || res.Attempts != 3 || res.CacheStatus != "miss" {
+		t.Fatalf("profit=%d attempts=%d cache=%q, want 42/3/miss", res.Profit, res.Attempts, res.CacheStatus)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestSolveDoesNotRetryTerminalStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown solver \"nope\""}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOptions())
+	_, err := c.Solve(context.Background(), "nope", testInstance(), SolveOptions{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want APIError 400, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("400 was retried: %d calls", got)
+	}
+}
+
+func TestRetriesExhaust(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"still shedding"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	opt := fastOptions()
+	opt.MaxRetries = 2
+	c := New(ts.URL, opt)
+	_, err := c.Solve(context.Background(), "greedy", testInstance(), SolveOptions{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want wrapped APIError 503, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 1 + 2 retries", got)
+	}
+}
+
+func TestCreateSessionIsNeverRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"session table full"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOptions())
+	_, _, err := c.CreateSession(context.Background(), "greedy", testInstance(), SolveOptions{})
+	if err == nil {
+		t.Fatal("want error from failed create")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("non-idempotent POST /session was retried: %d calls", got)
+	}
+}
+
+// TestApplyDeltaIdempotencyKeys pins the retry-safety mechanism: every
+// logical ApplyDelta call carries one fresh key, and all HTTP retries of
+// that call reuse it byte-for-byte.
+func TestApplyDeltaIdempotencyKeys(t *testing.T) {
+	var calls atomic.Int64
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			IdempotencyKey string `json:"idempotency_key"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		keys = append(keys, req.IdempotencyKey)
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"flaky"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write(solveJSON(7))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOptions())
+	sess := &Session{c: c, ID: "s-1"}
+	if _, err := sess.ApplyDelta(context.Background(), model.Delta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ApplyDelta(context.Background(), model.Delta{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("server saw %d delta posts, want 3 (retry + 2 logical)", len(keys))
+	}
+	if keys[0] == "" {
+		t.Fatal("delta sent without idempotency key")
+	}
+	if keys[0] != keys[1] {
+		t.Fatalf("retry changed the idempotency key: %q then %q", keys[0], keys[1])
+	}
+	if keys[2] == keys[1] {
+		t.Fatal("second logical delta reused the first delta's key")
+	}
+}
+
+func TestCloseSessionTreats404AsSuccess(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown session"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOptions())
+	sess := &Session{c: c, ID: "gone"}
+	if err := sess.Close(context.Background()); err != nil {
+		t.Fatalf("Close of a missing session should succeed, got %v", err)
+	}
+}
+
+func TestNotFoundIsTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown session"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOptions())
+	sess := &Session{c: c, ID: "gone"}
+	_, err := sess.ApplyDelta(context.Background(), model.Delta{})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound for a vanished session, got %v", err)
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	opt := fastOptions()
+	opt.BaseDelay = time.Hour // the first backoff sleep never finishes
+	opt.MaxDelay = time.Hour
+	c := New(ts.URL, opt)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Solve(ctx, "greedy", testInstance(), SolveOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (cancel during backoff)", got)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	opt := Options{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  300 * time.Millisecond,
+		Rand:      rand.New(rand.NewSource(1)),
+	}
+	c := New("http://unused", opt)
+	for i := 0; i < 8; i++ {
+		window := opt.BaseDelay << uint(i)
+		if window <= 0 || window > opt.MaxDelay {
+			window = opt.MaxDelay
+		}
+		d := c.backoff(i, 0)
+		if d < window/2 || d > window {
+			t.Fatalf("backoff(%d) = %v outside equal-jitter window [%v, %v]", i, d, window/2, window)
+		}
+	}
+	// Retry-After sets the floor.
+	if d := c.backoff(0, 2*time.Second); d != 2*time.Second {
+		t.Fatalf("backoff ignored Retry-After floor: %v", d)
+	}
+}

@@ -3,9 +3,12 @@ package session
 import (
 	"context"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"sectorpack/internal/core"
+	"sectorpack/internal/faultfs"
 	"sectorpack/internal/gen"
 	"sectorpack/internal/model"
 )
@@ -115,6 +118,91 @@ func FuzzApplyDelta(f *testing.F) {
 			if got, w := solutionString(sol), solutionString(want); got != w {
 				t.Fatalf("step %d: incremental answer drifted:\n got  %s\n want %s", step, got, w)
 			}
+		}
+	})
+}
+
+// FuzzJournalReplay drives the crash-recovery contract under adversarial
+// delta traces AND adversarial tears at once: the fuzz payload becomes a
+// sequence of deltas journaled as they are applied, the journal file is cut
+// at a fuzz-chosen byte offset, and recovery of the cut file must yield an
+// exact prefix of the applied deltas whose replayed session is bit-identical
+// — instance and solution — to independently materializing and solving that
+// prefix from scratch. A cut deep enough to tear the create record must be
+// rejected outright, never half-recovered.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0, 3, 0, 0, 1, 100, 200, 3}, uint16(9999))
+	f.Add([]byte{3, 1, 9, 9, 2, 5, 4, 0}, uint16(17))
+	f.Add([]byte{1, 50, 50, 2, 0, 0, 0, 0}, uint16(300))
+	base := gen.MustGenerate(gen.Config{Family: gen.Uniform, Seed: 19, N: 18, M: 3, Bands: 3, Tightness: 2, ProfitSpread: 0.3})
+	solver, err := core.Get("greedy")
+	if err != nil {
+		f.Fatal(err)
+	}
+	opt := core.Options{Seed: 1, SkipBound: true}
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		path := filepath.Join(t.TempDir(), "s.journal")
+		j, err := CreateJournal(faultfs.OS, path, Options{Core: opt}, base, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := base.Clone().Normalize()
+		var applied []model.Delta
+		half := len(data) / 2
+		for _, payload := range [][]byte{data[:half], data[half:]} {
+			d := deltaFromBytes(payload, cur.N(), cur.M())
+			next, err := model.ApplyDelta(cur, d)
+			if err != nil {
+				continue // rejected deltas never advance state, so never journal
+			}
+			cur = next
+			if err := j.AppendDelta(d, ""); err != nil {
+				t.Fatal(err)
+			}
+			applied = append(applied, d)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := int(cut) % (len(raw) + 1)
+		if err := os.WriteFile(path, raw[:c], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		rec, err := ReadJournal(faultfs.OS, path)
+		if err != nil {
+			return // create record torn: the session cleanly does not exist
+		}
+		n := len(rec.Deltas)
+		if n > len(applied) {
+			t.Fatalf("cut %d: recovered %d deltas, only %d were journaled", c, n, len(applied))
+		}
+		s, err := rec.Replay(context.Background())
+		if err != nil {
+			t.Fatalf("cut %d: replay: %v", c, err)
+		}
+		mat := base.Clone().Normalize()
+		for i := 0; i < n; i++ {
+			next, err := model.ApplyDelta(mat, applied[i])
+			if err != nil {
+				t.Fatalf("cut %d: re-materialize delta %d: %v", c, i, err)
+			}
+			mat = next
+		}
+		if got, want := instanceJSON(t, s.Instance()), instanceJSON(t, mat); got != want {
+			t.Fatalf("cut %d: recovered instance is not the %d-delta prefix materialization", c, n)
+		}
+		want, err := solver(context.Background(), mat, opt)
+		if err != nil {
+			t.Fatalf("cut %d: from-scratch solve: %v", c, err)
+		}
+		if got, w := solutionString(s.Solution()), solutionString(want); got != w {
+			t.Fatalf("cut %d: recovered solution drifted:\n got  %s\n want %s", c, got, w)
 		}
 	})
 }

@@ -1,0 +1,368 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sectorpack/internal/core"
+	"sectorpack/internal/faultfs"
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+// journalTrace is the churn scenario the journal tests share: small enough
+// for a per-operation crash matrix, banded so the incremental path fires.
+func journalTrace() *model.Trace {
+	return gen.MustGenerateTrace(gen.ChurnConfig{
+		Base:          gen.Config{Family: gen.Uniform, Seed: 41, N: 30, M: 4, Bands: 3, Tightness: 2, ProfitSpread: 0.4},
+		Steps:         4,
+		Rate:          0.1,
+		Localized:     true,
+		CapacityEvery: 2,
+	})
+}
+
+// writeJournal creates a journal for the trace and appends its first k
+// deltas with keys "idem-0".."idem-k-1".
+func writeJournal(t *testing.T, fsys faultfs.FS, path string, tr *model.Trace, k, syncEvery int) {
+	t.Helper()
+	opt := Options{Solver: "greedy", Core: core.Options{Seed: 3}}
+	j, err := CreateJournal(fsys, path, opt, tr.Instance, syncEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if err := j.AppendDelta(tr.Deltas[i], fmt.Sprintf("idem-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fromScratch solves the trace's step-k materialization directly.
+func fromScratch(t *testing.T, tr *model.Trace, k int, opt core.Options) string {
+	t.Helper()
+	mat, err := tr.Materialize(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := core.Get("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver(context.Background(), mat, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return solutionString(sol)
+}
+
+func TestJournalRoundTripAndReplay(t *testing.T) {
+	tr := journalTrace()
+	path := filepath.Join(t.TempDir(), "s.journal")
+	writeJournal(t, faultfs.OS, path, tr, len(tr.Deltas), 1)
+
+	rec, err := ReadJournal(faultfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TruncatedBytes != 0 {
+		t.Fatalf("clean journal reported %d truncated bytes", rec.TruncatedBytes)
+	}
+	if rec.Solver != "greedy" || rec.Core.Seed != 3 {
+		t.Fatalf("recovered options %q/%+v", rec.Solver, rec.Core)
+	}
+	if len(rec.Deltas) != len(tr.Deltas) {
+		t.Fatalf("recovered %d deltas, want %d", len(rec.Deltas), len(tr.Deltas))
+	}
+	if got, want := rec.LastIdemKey(), fmt.Sprintf("idem-%d", len(tr.Deltas)-1); got != want {
+		t.Fatalf("last idempotency key %q, want %q", got, want)
+	}
+	s, err := rec.Replay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := solutionString(s.Solution()), fromScratch(t, tr, len(tr.Deltas), rec.Core); got != want {
+		t.Fatalf("replayed session drifted from from-scratch solve:\n got  %s\n want %s", got, want)
+	}
+	mat, err := tr.Materialize(len(tr.Deltas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := instanceJSON(t, s.Instance()), instanceJSON(t, mat); got != want {
+		t.Fatal("replayed session instance diverged from materialization")
+	}
+}
+
+// TestJournalSyncCadence pins the group-commit contract on the recorded op
+// log: syncEvery=1 fsyncs once per append; syncEvery=3 batches, with Close
+// flushing the remainder. (The injector cannot simulate page-cache loss, so
+// the cadence is the testable face of the durability guarantee.)
+func TestJournalSyncCadence(t *testing.T) {
+	tr := journalTrace()
+	countSyncs := func(syncEvery int) (syncs int) {
+		inj := faultfs.NewInjector(faultfs.OS)
+		writeJournal(t, inj, filepath.Join(t.TempDir(), "s.journal"), tr, 4, syncEvery)
+		for _, r := range inj.Log() {
+			if r.Op == faultfs.OpSync {
+				syncs++
+			}
+		}
+		return syncs
+	}
+	// 1 create-record sync + 4 per-append syncs.
+	if got := countSyncs(1); got != 5 {
+		t.Fatalf("syncEvery=1: %d fsyncs for 4 appends, want 5", got)
+	}
+	// 1 create-record sync + one batch of 3 + Close flushing the 4th.
+	if got := countSyncs(3); got != 3 {
+		t.Fatalf("syncEvery=3: %d fsyncs for 4 appends, want 3", got)
+	}
+}
+
+// TestJournalTornTail cuts bytes off the end of a clean journal at every
+// possible length: recovery must always yield an exact prefix of the delta
+// stream (never an error past the create record, never a corrupt record),
+// truncate the file back to that prefix, and leave it appendable.
+func TestJournalTornTail(t *testing.T) {
+	tr := journalTrace()
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.journal")
+	writeJournal(t, faultfs.OS, clean, tr, len(tr.Deltas), 1)
+	raw, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := core.Options{Seed: 3}
+	prevPrefix := -1
+	for cut := len(raw) - 1; cut >= 0; cut-- {
+		path := filepath.Join(dir, "torn.journal")
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := ReadJournal(faultfs.OS, path)
+		if err != nil {
+			// Acceptable only when the create record itself is torn: the
+			// session then cleanly does not exist.
+			continue
+		}
+		if rec.TruncatedBytes == 0 && cut != len(raw) {
+			// A shorter file that parses fully must be an exact frame
+			// boundary; fine.
+		}
+		k := len(rec.Deltas)
+		if k > len(tr.Deltas) {
+			t.Fatalf("cut %d: recovered %d deltas from a %d-delta journal", cut, k, len(tr.Deltas))
+		}
+		// The file must now be clean: a second read recovers the same
+		// prefix with nothing left to truncate.
+		rec2, err := ReadJournal(faultfs.OS, path)
+		if err != nil {
+			t.Fatalf("cut %d: re-read after truncation: %v", cut, err)
+		}
+		if len(rec2.Deltas) != k || rec2.TruncatedBytes != 0 {
+			t.Fatalf("cut %d: re-read recovered %d deltas (%d truncated), want %d (0)",
+				cut, len(rec2.Deltas), rec2.TruncatedBytes, k)
+		}
+		// Replay only on prefix-length changes — replaying every cut would
+		// re-solve the same states hundreds of times for no extra coverage.
+		if k != prevPrefix {
+			prevPrefix = k
+			s, err := rec.Replay(context.Background())
+			if err != nil {
+				t.Fatalf("cut %d: replay: %v", cut, err)
+			}
+			if got, want := solutionString(s.Solution()), fromScratch(t, tr, k, opt); got != want {
+				t.Fatalf("cut %d (%d deltas): replay drifted:\n got  %s\n want %s", cut, k, got, want)
+			}
+			// The truncated journal accepts further appends.
+			if k < len(tr.Deltas) {
+				j, err := OpenAppend(faultfs.OS, path, 1)
+				if err != nil {
+					t.Fatalf("cut %d: reopen: %v", cut, err)
+				}
+				if err := j.AppendDelta(tr.Deltas[k], "idem-resumed"); err != nil {
+					t.Fatal(err)
+				}
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				rec3, err := ReadJournal(faultfs.OS, path)
+				if err != nil {
+					t.Fatalf("cut %d: read after resumed append: %v", cut, err)
+				}
+				if len(rec3.Deltas) != k+1 || rec3.LastIdemKey() != "idem-resumed" {
+					t.Fatalf("cut %d: resumed journal has %d deltas (last key %q), want %d",
+						cut, len(rec3.Deltas), rec3.LastIdemKey(), k+1)
+				}
+			}
+		}
+	}
+}
+
+// TestJournalCorruptFrameEndsLog flips one byte inside the second delta
+// frame: recovery keeps the create record and first delta, drops everything
+// from the corrupt frame on, and truncates the file there.
+func TestJournalCorruptFrameEndsLog(t *testing.T) {
+	tr := journalTrace()
+	path := filepath.Join(t.TempDir(), "s.journal")
+	writeJournal(t, faultfs.OS, path, tr, 3, 1)
+	clean, err := ReadJournal(faultfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Deltas) != 3 {
+		t.Fatalf("setup: %d deltas", len(clean.Deltas))
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte near the end of the second-to-last frame's payload
+	// (well past the create record and first delta).
+	cleanLen := len(raw)
+	raw[cleanLen-40] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadJournal(faultfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Deltas) >= 3 {
+		t.Fatalf("corrupt frame did not end the log: %d deltas recovered", len(rec.Deltas))
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("corruption not reflected in TruncatedBytes")
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() >= int64(cleanLen) {
+		t.Fatalf("file not truncated: %d bytes, was %d", st.Size(), cleanLen)
+	}
+}
+
+func TestJournalBadHeaderIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty":       {},
+		"short":       []byte("SPJ"),
+		"wrong-magic": []byte("NOTJRNL\n\x01\x00\x00\x00\x00\x00\x00\x00"),
+		"no-create":   []byte(journalMagic + "\x01\x00\x00\x00\x00\x00\x00\x00"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadJournal(faultfs.OS, path); err == nil {
+				t.Fatal("unusable journal accepted")
+			}
+		})
+	}
+}
+
+// TestJournalCrashMatrix kills the writer at every filesystem operation of
+// a create+append workload (syncEvery=1) and checks the recovery invariant
+// on whatever survived: either ReadJournal rejects the file (the session
+// cleanly does not exist) or it recovers an exact delta prefix whose replay
+// is bit-identical to the from-scratch solve of that prefix's
+// materialization. Never a corrupt session.
+func TestJournalCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is a long test")
+	}
+	tr := journalTrace()
+	opt := core.Options{Seed: 3}
+	appends := 3
+
+	workload := func(fsys faultfs.FS, path string) error {
+		j, err := CreateJournal(fsys, path, Options{Solver: "greedy", Core: opt}, tr.Instance, 1)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < appends; i++ {
+			if err := j.AppendDelta(tr.Deltas[i], fmt.Sprintf("idem-%d", i)); err != nil {
+				return err
+			}
+		}
+		return j.Close()
+	}
+
+	counter := faultfs.NewInjector(faultfs.OS)
+	if err := workload(counter, filepath.Join(t.TempDir(), "s.journal")); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+	if total < 6 {
+		t.Fatalf("suspiciously few ops: %d", total)
+	}
+
+	replayed := map[int]bool{} // prefix lengths already replay-verified
+	for k := int64(1); k <= total; k++ {
+		path := filepath.Join(t.TempDir(), "s.journal")
+		inj := faultfs.NewInjector(faultfs.OS, faultfs.Fault{N: k, Mode: faultfs.Crash})
+		if err := workload(inj, path); err == nil {
+			t.Fatalf("crash at op %d: workload reported success", k)
+		}
+		if !inj.Crashed() {
+			t.Fatalf("crash at op %d did not fire", k)
+		}
+		rec, err := ReadJournal(faultfs.OS, path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // crashed before the file existed: cleanly absent
+			}
+			continue // unusable journal: session cleanly not recovered
+		}
+		n := len(rec.Deltas)
+		if n > appends {
+			t.Fatalf("crash at op %d: recovered %d deltas, only %d were appended", k, n, appends)
+		}
+		if replayed[n] {
+			continue
+		}
+		replayed[n] = true
+		s, err := rec.Replay(context.Background())
+		if err != nil {
+			t.Fatalf("crash at op %d: replay of recovered journal failed: %v", k, err)
+		}
+		if got, want := solutionString(s.Solution()), fromScratch(t, tr, n, opt); got != want {
+			t.Fatalf("crash at op %d: recovered session (%d deltas) drifted:\n got  %s\n want %s",
+				k, n, got, want)
+		}
+	}
+}
+
+// TestJournalAppendFailurePoisons: after a failed append or sync, every
+// later call returns the same error — the owner must stop acknowledging
+// deltas rather than let the journal and the live session diverge.
+func TestJournalAppendFailurePoisons(t *testing.T) {
+	tr := journalTrace()
+	path := filepath.Join(t.TempDir(), "s.journal")
+	// Fault the first delta append's write (the create record's write is
+	// op 1; its sync op 2; dir sync op 3; delta write is the 2nd OpWrite).
+	inj := faultfs.NewInjector(faultfs.OS, faultfs.Fault{Op: faultfs.OpWrite, N: 2, Mode: faultfs.Fail})
+	j, err := CreateJournal(inj, path, Options{Solver: "greedy", Core: core.Options{Seed: 3}}, tr.Instance, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDelta(tr.Deltas[0], "idem-0"); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("faulted append error %v, want ErrInjected", err)
+	}
+	if err := j.AppendDelta(tr.Deltas[1], "idem-1"); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append after poison error %v, want the original ErrInjected", err)
+	}
+	if err := j.Sync(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("sync after poison error %v, want the original ErrInjected", err)
+	}
+}
