@@ -1,3 +1,7 @@
+// Command sectord serves sector-packing solves over HTTP. The daemon
+// itself — routes, shedding, caching, sessions, durability — lives in
+// internal/daemon; this is the flag-parsing front that builds a
+// daemon.Config and runs it until SIGTERM.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"time"
 
 	"sectorpack/internal/core"
+	"sectorpack/internal/daemon"
 )
 
 func main() {
@@ -30,20 +35,21 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	fs.SetOutput(logw)
 	addr := fs.String("addr", "localhost:8377", "listen address")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline (0 = none)")
-	maxInflight := fs.Int("max-inflight", DefaultMaxInflight, "concurrent solves before shedding 429")
+	maxInflight := fs.Int("max-inflight", daemon.DefaultMaxInflight, "concurrent solves before shedding 429")
 	allowed := fs.String("solvers", "", "comma-separated solver allowlist (empty = all: "+strings.Join(core.Names(), ", ")+")")
 	seed := fs.Int64("seed", 1, "default seed when requests omit one")
 	maxTuples := fs.Int64("max-tuples", 200_000, "per-request exact-solver tuple budget (0 = solver default)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "solve-cache budget in bytes (0 = 64 MiB default, negative = disable caching)")
-	sessionMax := fs.Int("session-max", DefaultSessionMax, "live delta-solve session cap before shedding 429")
-	sessionTTL := fs.Duration("session-ttl", DefaultSessionTTL, "evict sessions idle longer than this")
+	sessionMax := fs.Int("session-max", daemon.DefaultSessionMax, "live delta-solve session cap before shedding 429")
+	sessionTTL := fs.Duration("session-ttl", daemon.DefaultSessionTTL, "evict sessions idle longer than this")
 	snapshotPath := fs.String("cache-snapshot", "", "persist the solve cache to this file across restarts (empty = off)")
-	snapshotInterval := fs.Duration("cache-snapshot-interval", DefaultSnapshotInterval, "background cache-snapshot cadence")
+	snapshotInterval := fs.Duration("cache-snapshot-interval", daemon.DefaultSnapshotInterval, "background cache-snapshot cadence")
 	journalDir := fs.String("session-journal", "", "journal sessions to <dir>/<id>.journal and recover them at startup (empty = off)")
 	fsyncEvery := fs.Int("session-fsync-every", 1, "journal group-commit window: fsync per this many deltas (1 = every delta)")
 	pprofFlag := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	shard := fs.String("shard", "", "shard name stamped on every response as X-Sectord-Shard (empty = no header)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +63,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("invalid -log-format %q (want text or json)", *logFormat)
 	}
 	logger := slog.New(handler)
-	cfg := Config{
+	cfg := daemon.Config{
 		Timeout:      *timeout,
 		MaxInflight:  *maxInflight,
 		Seed:         *seed,
@@ -73,6 +79,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		SnapshotInterval: *snapshotInterval,
 		JournalDir:       *journalDir,
 		JournalSyncEvery: *fsyncEvery,
+		ShardName:        *shard,
 	}
 	if *allowed != "" {
 		for _, name := range strings.Split(*allowed, ",") {
@@ -83,7 +90,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			cfg.Allowed = append(cfg.Allowed, name)
 		}
 	}
-	srv := NewServer(cfg)
+	srv := daemon.NewServer(cfg)
 	// Warm-load persisted state before accepting connections, so the first
 	// request already sees the restored cache and recovered sessions.
 	if err := srv.Restore(ctx); err != nil {

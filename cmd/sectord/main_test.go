@@ -1,0 +1,83 @@
+// Tests for the sectord command front: flag validation and the
+// signal-context run loop around the internal/daemon server.
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	if err := run(ctx, []string{"-solvers", "greedy,nope"}, &buf); err == nil {
+		t.Error("run accepted an unknown solver in the allowlist")
+	}
+	if err := run(ctx, []string{"-badflag"}, &buf); err == nil {
+		t.Error("run accepted an unknown flag")
+	}
+}
+
+// syncBuffer lets the test poll the daemon's log output while the daemon
+// goroutine is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunServesAndStopsOnSignalContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &buf) }()
+	// Wait for the listen log line to learn the port.
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never logged its address: %q", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+		if i := strings.Index(buf.String(), "http://"); i >= 0 {
+			rest := buf.String()[i+len("http://"):]
+			if j := strings.IndexAny(rest, " \n"); j > 0 {
+				url = "http://" + rest[:j]
+			}
+		}
+	}
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after ctx cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after ctx cancel")
+	}
+}

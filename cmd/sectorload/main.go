@@ -1,0 +1,108 @@
+// Command sectorload drives a sectord or sectorproxy endpoint with a
+// seeded, mixed-tier workload and reports latency percentiles,
+// shed/degraded/error rates, and per-shard cache hit ratios as JSON. With
+// SLO flags set it doubles as a gate: the exit status says whether the
+// fleet met its objectives, the same contract sectorbench -compare
+// provides for benchmark regressions.
+//
+// Typical fleet smoke, two backends behind a proxy:
+//
+//	sectorload -url http://localhost:8378 -mode open -rps 80 -duration 15s \
+//	    -verify http://localhost:8377 -max-p99 2000
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sectorpack/internal/loadgen"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sectorload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out, logw io.Writer) error {
+	fs := flag.NewFlagSet("sectorload", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	url := fs.String("url", "", "endpoint under test (required), e.g. http://localhost:8378")
+	mode := fs.String("mode", "closed", "loop discipline: closed (fixed workers) or open (fixed arrival rate)")
+	workers := fs.Int("workers", 8, "closed-loop concurrency / open-loop in-flight cap")
+	rps := fs.Float64("rps", 0, "open-loop arrival rate (required for -mode open)")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	solvers := fs.String("solvers", "auto", "comma-separated solver names cycled across requests")
+	seed := fs.Int64("seed", 1, "workload seed (pool contents and interleaving)")
+	pool := fs.Int("pool", 32, "distinct request bodies; repeats beyond this exercise the cache")
+	batchEvery := fs.Int("batch-every", 8, "every Nth pool slot is a /solve/batch (0 = none)")
+	batchSize := fs.Int("batch-size", 4, "instances per batch")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	verify := fs.String("verify", "", "direct-backend URL to replay sampled solves against; any answer mismatch fails the run")
+	verifyEvery := fs.Int("verify-every", 8, "verification sampling stride")
+	reportPath := fs.String("report", "", "also write the JSON report to this file")
+	maxP99 := fs.Float64("max-p99", 0, "SLO: fail if OK-request p99 exceeds this (ms, 0 = no gate)")
+	maxErr := fs.Float64("max-error-rate", 0, "SLO: allowed (5xx+transport)/requests; 0 means any non-shed failure fails")
+	maxShed := fs.Float64("max-shed-rate", 0, "SLO: fail if 429 rate exceeds this (0 = no gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	var names []string
+	for _, s := range strings.Split(*solvers, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			names = append(names, s)
+		}
+	}
+	report, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     strings.TrimRight(*url, "/"),
+		Mode:        loadgen.Mode(*mode),
+		Workers:     *workers,
+		RPS:         *rps,
+		Duration:    *duration,
+		Solvers:     names,
+		Seed:        *seed,
+		PoolSize:    *pool,
+		BatchEvery:  *batchEvery,
+		BatchSize:   *batchSize,
+		Timeout:     *timeout,
+		VerifyBase:  strings.TrimRight(*verify, "/"),
+		VerifyEvery: *verifyEvery,
+	})
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if _, err := out.Write(blob); err != nil {
+		return err
+	}
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	violations := report.Check(loadgen.SLO{MaxP99MS: *maxP99, MaxErrRate: *maxErr, MaxShed: *maxShed})
+	if len(violations) > 0 {
+		return fmt.Errorf("SLO violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(logw, "sectorload: %d requests, p99 %.1fms, shed %.2f%%, SLO ok\n",
+		report.Requests, report.LatencyOK.P99MS, report.ShedRate*100)
+	return nil
+}

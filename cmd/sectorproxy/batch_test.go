@@ -1,0 +1,168 @@
+// Batch split differential (ISSUE 9 satellite): a proxied /solve/batch is
+// split across shards by per-item fingerprint, so the suite pins that the
+// re-assembled reply is indistinguishable from one backend solving the
+// whole batch — items in request order, per-item fields (including cache
+// provenance and per-item errors) intact, envelope counts aggregated.
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"sectorpack/internal/gen"
+	"sectorpack/internal/model"
+)
+
+func batchBodyFor(t *testing.T, solver string, instances []*model.Instance) []byte {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{
+		"format_version": 1, "solver": solver, "instances": instances,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func decodeBatch(t *testing.T, raw []byte) (map[string]any, []map[string]any) {
+	t.Helper()
+	env := normalized(t, raw)
+	rawItems, ok := env["items"].([]any)
+	if !ok {
+		t.Fatalf("batch response has no items array:\n%s", raw)
+	}
+	items := make([]map[string]any, len(rawItems))
+	for i, it := range rawItems {
+		m, ok := it.(map[string]any)
+		if !ok {
+			t.Fatalf("item %d is not an object:\n%s", i, raw)
+		}
+		items[i] = m
+	}
+	delete(env, "items")
+	return env, items
+}
+
+// stripItemVariance removes the per-item fields that legitimately differ
+// between a split and a single-backend run: timing always, and cache
+// disposition (the direct backend's LRU history differs from the home
+// shard's).
+func stripItemVariance(items []map[string]any) {
+	for _, it := range items {
+		delete(it, "elapsed_ms")
+		delete(it, "cache")
+	}
+}
+
+func TestFleetBatchSplitPreservesOrder(t *testing.T) {
+	backends, p, proxy := startFleet(t, 3)
+	var instances []*model.Instance
+	for i := 0; i < 8; i++ {
+		in, err := gen.Generate(gen.Config{Family: gen.Uniform, Seed: int64(200 + i), N: 24, M: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, in)
+	}
+	// Duplicates of earlier items: they must come back at THEIR positions,
+	// not their twin's, and they exercise the within-batch cache path.
+	instances = append(instances, instances[0], instances[3])
+	body := batchBodyFor(t, "greedy", instances)
+
+	dStatus, dRaw, _ := post(t, backends[0].url()+"/solve/batch", body)
+	pStatus, pRaw, _ := post(t, proxy.URL+"/solve/batch", body)
+	if dStatus != http.StatusOK || pStatus != http.StatusOK {
+		t.Fatalf("direct status %d, proxied status %d, want 200/200", dStatus, pStatus)
+	}
+	if p.splits.Value() < 2 {
+		t.Errorf("batch_splits = %d; a 10-item batch over 3 shards should have split", p.splits.Value())
+	}
+
+	dEnv, dItems := decodeBatch(t, dRaw)
+	pEnv, pItems := decodeBatch(t, pRaw)
+	for _, env := range []map[string]any{dEnv, pEnv} {
+		delete(env, "elapsed_ms")
+	}
+	if !reflect.DeepEqual(dEnv, pEnv) {
+		t.Errorf("batch envelope differs:\ndirect:  %v\nproxied: %v", dEnv, pEnv)
+	}
+	if len(pItems) != len(instances) {
+		t.Fatalf("proxied batch returned %d items for %d instances", len(pItems), len(instances))
+	}
+	for i, it := range pItems {
+		if idx, _ := it["index"].(float64); int(idx) != i {
+			t.Errorf("item at position %d carries index %v; re-assembly broke request order", i, it["index"])
+		}
+	}
+	stripItemVariance(dItems)
+	stripItemVariance(pItems)
+	for i := range dItems {
+		if !reflect.DeepEqual(dItems[i], pItems[i]) {
+			t.Errorf("item %d differs after split/re-assembly:\ndirect:  %v\nproxied: %v", i, dItems[i], pItems[i])
+		}
+	}
+}
+
+func TestFleetBatchRepeatHitsEveryShardCache(t *testing.T) {
+	_, _, proxy := startFleet(t, 3)
+	var instances []*model.Instance
+	for i := 0; i < 6; i++ {
+		in, err := gen.Generate(gen.Config{Family: gen.Zipf, Seed: int64(300 + i), N: 30, M: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, in)
+	}
+	body := batchBodyFor(t, "greedy", instances)
+	if status, _, _ := post(t, proxy.URL+"/solve/batch", body); status != http.StatusOK {
+		t.Fatalf("warm-up batch: status %d", status)
+	}
+	status, raw, _ := post(t, proxy.URL+"/solve/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("repeat batch: status %d", status)
+	}
+	_, items := decodeBatch(t, raw)
+	for i, it := range items {
+		if got, _ := it["cache"].(string); got != "hit" {
+			t.Errorf("repeat batch item %d cache = %q, want \"hit\" — per-item cache provenance must survive the split", i, got)
+		}
+	}
+}
+
+func TestFleetBatchBadItemKeepsPositionAndError(t *testing.T) {
+	backends, _, proxy := startFleet(t, 3)
+	good, err := gen.Generate(gen.Config{Family: gen.Uniform, Seed: 400, N: 20, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := gen.Generate(gen.Config{Family: gen.Uniform, Seed: 401, N: 20, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Customers[0].Demand = -5 // invalid: fails daemon-side validation
+	instances := []*model.Instance{good, bad, good}
+	body := batchBodyFor(t, "greedy", instances)
+
+	_, dRaw, _ := post(t, backends[0].url()+"/solve/batch", body)
+	pStatus, pRaw, _ := post(t, proxy.URL+"/solve/batch", body)
+	if pStatus != http.StatusOK {
+		t.Fatalf("batch with one bad item: status %d, want 200 with a per-item error", pStatus)
+	}
+	dEnv, dItems := decodeBatch(t, dRaw)
+	pEnv, pItems := decodeBatch(t, pRaw)
+	if dEnv["failed"] != pEnv["failed"] || pEnv["failed"].(float64) != 1 {
+		t.Errorf("failed counts: direct %v, proxied %v, want 1", dEnv["failed"], pEnv["failed"])
+	}
+	if msg, _ := pItems[1]["error"].(string); msg == "" {
+		t.Errorf("bad item lost its error through the split: %v", pItems[1])
+	}
+	stripItemVariance(dItems)
+	stripItemVariance(pItems)
+	for i := range dItems {
+		if !reflect.DeepEqual(dItems[i], pItems[i]) {
+			t.Errorf("item %d differs:\ndirect:  %v\nproxied: %v", i, dItems[i], pItems[i])
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sectorpack/internal/sectorclient"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sectorproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("sectorproxy", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", "localhost:8378", "listen address")
+	backends := fs.String("backends", "", "comma-separated sectord base URLs (required), e.g. http://localhost:8377,http://localhost:8380")
+	vnodes := fs.Int("vnodes", defaultVNodes, "virtual nodes per backend on the hash ring")
+	ejectAfter := fs.Int("eject-after", DefaultEjectAfter, "consecutive transport failures before a backend is ejected")
+	reprobe := fs.Duration("reprobe", DefaultReprobeInterval, "ejected-backend /healthz probe cadence")
+	seed := fs.Int64("seed", 1, "routing-fingerprint seed; must match the backends' -seed for cache-aligned routing")
+	maxTuples := fs.Int64("max-tuples", 200_000, "routing-fingerprint tuple budget; must match the backends' -max-tuples")
+	attemptTimeout := fs.Duration("attempt-timeout", 30*time.Second, "per-attempt timeout on backend requests")
+	maxRetries := fs.Int("max-retries", 2, "transient-status retries per backend before failover (negative = none)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return fmt.Errorf("-backends is required (comma-separated sectord base URLs)")
+	}
+	var urls []string
+	for _, raw := range strings.Split(*backends, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		if !strings.HasPrefix(raw, "http://") && !strings.HasPrefix(raw, "https://") {
+			return fmt.Errorf("backend %q: want an http(s) base URL", raw)
+		}
+		urls = append(urls, raw)
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated sectord base URLs)")
+	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(logw, nil)
+	case "json":
+		handler = slog.NewJSONHandler(logw, nil)
+	default:
+		return fmt.Errorf("invalid -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+	p := NewProxy(ProxyConfig{
+		Backends:        urls,
+		VNodes:          *vnodes,
+		EjectAfter:      *ejectAfter,
+		ReprobeInterval: *reprobe,
+		Seed:            *seed,
+		MaxTuples:       *maxTuples,
+		Client: sectorclient.Options{
+			Timeout:    *attemptTimeout,
+			MaxRetries: *maxRetries,
+		},
+		DrainTimeout: *drain,
+		Logger:       logger,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Info("listening",
+		slog.String("url", "http://"+ln.Addr().String()),
+		slog.Int("backends", len(urls)))
+	err = p.Serve(ctx, ln)
+	if err == nil {
+		logger.Info("shut down cleanly")
+	}
+	return err
+}

@@ -1,0 +1,98 @@
+// Tests for the sectorproxy command front: flag validation and the
+// signal-context run loop around the Proxy.
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},                              // -backends is required
+		{"-backends", "localhost:8377"}, // not a URL
+		{"-backends", " , "},            // empty after splitting
+		{"-backends", "http://x", "-log-format", "yaml"},
+		{"-badflag"},
+	} {
+		if err := run(ctx, args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want a flag error", args)
+		}
+	}
+}
+
+// syncBuffer lets the test poll the proxy's log output while the serve
+// goroutine is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunServesAndStopsOnSignalContext(t *testing.T) {
+	backend := newFleetBackend(t, "s0")
+	ctx, cancel := context.WithCancel(context.Background())
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-backends", backend.url()}, &buf)
+	}()
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy never logged its address: %q", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+		if i := strings.Index(buf.String(), "http://"); i >= 0 {
+			rest := buf.String()[i+len("http://"):]
+			if j := strings.IndexAny(rest, " \n\""); j > 0 {
+				url = "http://" + rest[:j]
+			}
+		}
+	}
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d (a healthy backend is attached)", resp.StatusCode)
+	}
+	resp, err = http.Get(url + "/debug/vars")
+	if err != nil {
+		t.Fatalf("debug/vars: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars status %d", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after ctx cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after ctx cancel")
+	}
+}

@@ -1,0 +1,96 @@
+// The consistent-hash ring. Each backend contributes vnodes points
+// (FNV-1a of "name#i") on a uint64 circle; a key is served by the first
+// point clockwise of its own hash whose backend is currently healthy.
+//
+// Two properties matter for the fleet:
+//
+//   - Stability: a request's shard depends only on the backend set and the
+//     key, so every repeat of a solve (and, because the key is the PR-4
+//     canonical fingerprint, every permuted duplicate of it) lands on the
+//     shard whose LRU already holds the answer.
+//   - Minimal rebalancing: when a backend is ejected its keys slide to the
+//     next healthy point on the circle — roughly 1/N of the keyspace moves,
+//     the rest of the fleet keeps its hot caches. The ring is never
+//     rebuilt; health is a filter at lookup time, so a re-probed backend
+//     gets its exact old arcs back.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringPoint is one virtual node: a position on the circle and the index of
+// the backend that owns it.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// ring is an immutable consistent-hash ring over backend indices.
+type ring struct {
+	points []ringPoint
+	n      int // number of distinct backends
+}
+
+// defaultVNodes balances key spread (stddev of arc share shrinks like
+// 1/sqrt(vnodes)) against lookup cost for the small fleets sectorproxy
+// fronts.
+const defaultVNodes = 64
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// newRing builds the ring for n backends named by names (the point hashes
+// come from the names so the layout survives proxy restarts and is
+// independent of flag order).
+func newRing(names []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(names)*vnodes), n: len(names)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", name, v)), backend: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Colliding points order by backend index so the layout is total.
+		return r.points[a].backend < r.points[b].backend
+	})
+	return r
+}
+
+// pick returns the key's backends in preference order: the owner first,
+// then each distinct backend encountered walking the circle — the failover
+// order. Only backends passing healthy are included; the slice is empty
+// when none do. order's backing array is the caller's scratch (may be nil).
+func (r *ring) pick(key string, healthy func(int) bool, order []int) []int {
+	order = order[:0]
+	if len(r.points) == 0 {
+		return order
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := 0
+	taken := make([]bool, r.n)
+	for i := 0; i < len(r.points) && seen < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.backend] {
+			continue
+		}
+		taken[p.backend] = true
+		seen++
+		if healthy(p.backend) {
+			order = append(order, p.backend)
+		}
+	}
+	return order
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+)
+
+func allHealthy(int) bool { return true }
+
+func TestRingStableAndCoversAllBackends(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r := newRing(names, 0)
+	served := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := r.pick(key, allHealthy, nil)
+		if len(first) != len(names) {
+			t.Fatalf("key %q: %d candidates, want all %d backends in failover order", key, len(first), len(names))
+		}
+		seen := map[int]bool{}
+		for _, b := range first {
+			if seen[b] {
+				t.Fatalf("key %q: backend %d listed twice in failover order", key, b)
+			}
+			seen[b] = true
+		}
+		again := r.pick(key, allHealthy, nil)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("key %q: pick is not deterministic (%v vs %v)", key, first, again)
+			}
+		}
+		served[first[0]]++
+	}
+	for i := range names {
+		if served[i] == 0 {
+			t.Errorf("backend %d owns no keys out of 3000; vnode spread is broken", i)
+		}
+		// With 64 vnodes the expected share is ~1000±; a backend under a
+		// quarter of fair share signals a hashing bug, not bad luck.
+		if served[i] < 250 {
+			t.Errorf("backend %d owns only %d/3000 keys", i, served[i])
+		}
+	}
+}
+
+func TestRingEjectionMovesOnlyVictimsKeys(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := newRing(names, 0)
+	const keys = 2000
+	before := make([]int, keys)
+	for i := 0; i < keys; i++ {
+		before[i] = r.pick(fmt.Sprintf("key-%d", i), allHealthy, nil)[0]
+	}
+	const dead = 2
+	alive := func(b int) bool { return b != dead }
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after := r.pick(fmt.Sprintf("key-%d", i), alive, nil)
+		if before[i] != dead {
+			// Survivors' keys must not move: that is the whole point of
+			// consistent hashing.
+			if after[0] != before[i] {
+				t.Fatalf("key-%d: owner moved %d -> %d though %d never went down", i, before[i], after[0], before[i])
+			}
+			continue
+		}
+		moved++
+		if after[0] == dead {
+			t.Fatalf("key-%d still routed to the ejected backend", i)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("ejected backend owned no keys; the test proved nothing")
+	}
+	// Readmission is a pure filter flip: every key gets its old owner back.
+	for i := 0; i < keys; i++ {
+		if got := r.pick(fmt.Sprintf("key-%d", i), allHealthy, nil)[0]; got != before[i] {
+			t.Fatalf("key-%d: owner %d after readmission, want original %d", i, got, before[i])
+		}
+	}
+}
+
+func TestRingAllDownYieldsEmpty(t *testing.T) {
+	r := newRing([]string{"http://a", "http://b"}, 8)
+	if got := r.pick("k", func(int) bool { return false }, nil); len(got) != 0 {
+		t.Fatalf("all backends down: pick returned %v, want empty", got)
+	}
+}
+
+func TestRingSingleBackendOwnsEverything(t *testing.T) {
+	r := newRing([]string{"http://only"}, 8)
+	for i := 0; i < 100; i++ {
+		got := r.pick(fmt.Sprintf("key-%d", i), allHealthy, nil)
+		if len(got) != 1 || got[0] != 0 {
+			t.Fatalf("key-%d: %v, want [0]", i, got)
+		}
+	}
+}

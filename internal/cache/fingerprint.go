@@ -116,6 +116,21 @@ func (w *hasher) options(opt core.Options) {
 	w.bool(opt.SkipBound)
 }
 
+// RoutingKey returns the canonical fingerprint key of (instance, options,
+// solver) without retaining the coordinate permutations — the form a
+// request router needs. Consistent-hash routing on this key sends every
+// repeat (and every permuted duplicate) of a solve to the same shard, so
+// that shard's LRU stays hot and its singleflight collapses the
+// fleet-wide duplicates; the key is identical to the one the daemon's own
+// cache uses, by construction.
+func RoutingKey(in *model.Instance, opt core.Options, solver string) (string, error) {
+	f, err := NewFingerprint(in, opt, solver)
+	if err != nil {
+		return "", err
+	}
+	return f.Key(), nil
+}
+
 // NewFingerprint canonicalizes and hashes one solve. The instance must be
 // normalized and valid (the callers — daemon, CLI, tests — validate before
 // solving); the error return is reserved for future canonicalization

@@ -239,3 +239,36 @@ func TestFingerprintRemapRoundTrip(t *testing.T) {
 		t.Fatalf("remapped profit %d != original %d", mapped.Profit, sol.Profit)
 	}
 }
+
+// TestRoutingKeyMatchesFingerprint pins the routing contract ISSUE 9's
+// proxy relies on: the exported RoutingKey is exactly the cache key the
+// daemon computes, and permuted duplicates route identically — so the
+// shard a request hashes to is the shard whose LRU holds its answer.
+func TestRoutingKeyMatchesFingerprint(t *testing.T) {
+	in := testInstance(31)
+	opt := core.Options{Seed: 7}
+	key, err := RoutingKey(in, opt, "greedy")
+	if err != nil {
+		t.Fatalf("RoutingKey: %v", err)
+	}
+	if want := fpKey(t, in, opt, "greedy"); key != want {
+		t.Fatalf("RoutingKey %s != Fingerprint.Key %s", key, want)
+	}
+	for trial := int64(0); trial < 5; trial++ {
+		dup := shuffleAntennas(shuffleCustomers(in, trial), trial+50)
+		got, err := RoutingKey(dup, opt, "greedy")
+		if err != nil {
+			t.Fatalf("RoutingKey(shuffled): %v", err)
+		}
+		if got != key {
+			t.Fatalf("permuted duplicate routes elsewhere: %s != %s", got, key)
+		}
+	}
+	other, err := RoutingKey(in, opt, "localsearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == key {
+		t.Fatal("solver name does not move the routing key")
+	}
+}

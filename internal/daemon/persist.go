@@ -28,7 +28,7 @@
 // network error or a restart) is answered from the session's current state
 // instead of being applied twice. Recovery restores the last journaled key,
 // so the retry crossing the crash is safe too.
-package main
+package daemon
 
 import (
 	"context"

@@ -1,0 +1,90 @@
+// Regression tests for the honest Retry-After shed hint (ISSUE 9): the
+// 429 paths on /solve and /solve/batch must derive the hint from current
+// inflight saturation — mean observed solve latency over the slot count —
+// instead of the old hardcoded "1", so sectorclient backoff floors and
+// sectorproxy's retry budget see a value that tracks reality.
+package daemon
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// shedResponse saturates the server's inflight semaphore directly (the
+// tests own the Server value) and returns the 429 response for the path.
+func shedResponse(t *testing.T, s *Server, path string, body []byte) *http.Response {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("%s on a saturated server: status %d, want 429", path, resp.StatusCode)
+	}
+	return resp
+}
+
+func TestRetryAfterDerivedFromSaturation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		path string
+		body func(*testing.T) []byte
+	}{
+		{"solve", "/solve", func(t *testing.T) []byte { return solveBody(t, "greedy", sectorsInstance(), nil) }},
+		{"batch", "/solve/batch", func(t *testing.T) []byte { return batchBody(t, "greedy", []any{sectorsInstance()}, nil) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewServer(Config{MaxInflight: 2})
+			// No latency history yet: the hint falls back to 1s.
+			resp := shedResponse(t, s, tc.path, tc.body(t))
+			if got := resp.Header.Get("Retry-After"); got != "1" {
+				t.Errorf("cold shed Retry-After = %q, want \"1\"", got)
+			}
+			// Mean solve latency 10s over 2 slots: a slot frees in ~5s, and
+			// the hint must say so instead of inviting an immediate retry.
+			s.observeLatency("greedy", 10*time.Second)
+			resp = shedResponse(t, s, tc.path, tc.body(t))
+			if got := resp.Header.Get("Retry-After"); got != "5" {
+				t.Errorf("saturated shed Retry-After = %q, want \"5\" (10s mean / 2 slots)", got)
+			}
+		})
+	}
+}
+
+func TestRetryAfterBoundsAndMean(t *testing.T) {
+	s := NewServer(Config{MaxInflight: 4})
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("no history: hint %d, want 1", got)
+	}
+	// Fast solves: 100ms mean over 4 slots rounds up to the 1s floor.
+	s.observeLatency("greedy", 100*time.Millisecond)
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("fast solves: hint %d, want 1", got)
+	}
+	// The mean spans solvers: (0.1s + 59.9s)/2 = 30s mean, /4 slots = 8s.
+	s.observeLatency("exact", 59900*time.Millisecond)
+	if got := s.retryAfterSeconds(); got != 8 {
+		t.Errorf("mixed solvers: hint %d, want 8", got)
+	}
+	// A pathological mean is clamped so clients are never told to vanish.
+	for i := 0; i < 50; i++ {
+		s.observeLatency("exact", 10*time.Minute)
+	}
+	if got := s.retryAfterSeconds(); got != maxRetryAfterSeconds {
+		t.Errorf("pathological mean: hint %d, want clamp %d", got, maxRetryAfterSeconds)
+	}
+}

@@ -1,9 +1,12 @@
-// Command sectord serves sector-packing solves over HTTP: POST an
-// instance envelope to /solve and get the solution back as JSON. It is the
+// Package daemon is the sectord HTTP solve daemon: POST an instance
+// envelope to /solve and get the solution back as JSON. It is the
 // repository's serving layer — every solver in the core registry is
 // reachable by name, each request runs under a deadline derived from the
 // request context, and load beyond the configured concurrency cap is shed
-// with 429 instead of queued.
+// with 429 instead of queued. cmd/sectord is the thin flag-parsing front;
+// the package is importable so cmd/sectorproxy's fleet differential suite
+// (and any embedder) can boot real in-process backends under the race
+// detector.
 //
 // The pipeline is fail-soft: solver panics are isolated per request (500,
 // daemon stays up), solver output is re-checked by the feasibility gate
@@ -26,7 +29,7 @@
 // around one instance, POST /session/{id}/delta applies a delta and returns
 // the incremental re-solve, DELETE /session/{id} closes it. Sessions are
 // capped, idle-evicted, and strictly cache-isolated — see sessions.go.
-package main
+package daemon
 
 import (
 	"context"
@@ -38,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -104,6 +108,12 @@ type Config struct {
 	// the real filesystem (faultfs.OS). Tests inject fault-scripted
 	// filesystems here.
 	FS faultfs.FS
+	// ShardName, when set, is stamped on every response as the
+	// X-Sectord-Shard header and exported as sectord.shard, so a routing
+	// proxy (cmd/sectorproxy) and the load harness (cmd/sectorload) can
+	// attribute answers and cache hit ratios to the backend that served
+	// them. Empty omits the header.
+	ShardName string
 	// Logger receives one structured record per /solve request (request
 	// ID, solver, duration, outcome, degraded flag) plus panic reports.
 	// Nil discards logs.
@@ -224,8 +234,20 @@ func NewServer(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.handler = s.withRecovery(s.mux)
+	if cfg.ShardName != "" {
+		inner := s.handler
+		s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(shardHeader, cfg.ShardName)
+			inner.ServeHTTP(w, r)
+		})
+	}
 	return s
 }
+
+// shardHeader names the backend that served a response, for proxy and
+// load-harness observability. The daemon sets it when Config.ShardName is
+// set; sectorproxy falls back to the backend's base URL when it is not.
+const shardHeader = "X-Sectord-Shard"
 
 // Handler returns the HTTP handler tree (for httptest and for Serve),
 // wrapped in the panic-recovery middleware.
@@ -425,7 +447,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		fail(http.StatusTooManyRequests, "shed", "server at capacity")
 		return
 	}
@@ -731,7 +753,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		fail(http.StatusTooManyRequests, "shed", "server at capacity")
 		return
 	}
@@ -891,6 +913,64 @@ func (s *Server) batchCacheSummary(items []batchItemResponse) string {
 		counts["hit"], counts["miss"], counts["collapsed"], counts[cacheBypass]+counts[cacheOff])
 }
 
+// --- shed hint ---
+
+// maxRetryAfterSeconds caps the shed hint so one latency spike cannot
+// push clients away for minutes.
+const maxRetryAfterSeconds = 30
+
+// retryAfterSeconds derives an honest Retry-After hint for the 429 shed
+// paths from current saturation. A shed means every inflight slot is
+// busy; one slot frees on average after (mean solve latency / slot
+// count), so that — rounded up to whole seconds and clamped to
+// [1, maxRetryAfterSeconds] — is the earliest a retry has a real chance
+// of being admitted. sectorclient's backoff and sectorproxy's retry
+// budget both treat the value as a floor, so an inflated hint would
+// stall honest clients and a deflated one would have them hammer a
+// saturated daemon. With no latency history yet the hint is 1s.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.meanLatencyMS()
+	if mean <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(mean / float64(cap(s.sem)) / 1000))
+	if secs < 1 {
+		return 1
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// setRetryAfter stamps the shed hint on a 429 response.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+}
+
+// meanLatencyMS is the mean observed solve latency across all solvers,
+// 0 when nothing has been observed yet.
+func (s *Server) meanLatencyMS() float64 {
+	s.latencyMu.Lock()
+	hists := make([]*latencyHist, 0, len(s.latency))
+	for _, h := range s.latency {
+		hists = append(hists, h)
+	}
+	s.latencyMu.Unlock()
+	var count int64
+	var total float64
+	for _, h := range hists {
+		h.mu.Lock()
+		count += h.count
+		total += h.totalMS
+		h.mu.Unlock()
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
 // --- metrics ---
 
 // latencyHist is a power-of-two millisecond histogram implementing
@@ -949,6 +1029,14 @@ func (s *Server) observeLatency(solver string, d time.Duration) {
 	h.observe(d)
 }
 
+// shardVar renders the configured shard name as an expvar string.
+type shardVar string
+
+func (v shardVar) String() string {
+	out, _ := json.Marshal(string(v))
+	return string(out)
+}
+
 // handleVars serves this Server's expvar counters in the standard
 // /debug/vars wire format. The vars are deliberately not published to the
 // global expvar registry — expvar.Publish panics on duplicate names, which
@@ -960,6 +1048,12 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		name string
 		v    expvar.Var
 	}{
+		// Proxy-aware gauges: a router or load harness scraping
+		// /debug/vars can see who this backend is and how close to
+		// shedding it runs without parsing logs.
+		{"sectord.shard", shardVar(s.cfg.ShardName)},
+		{"sectord.inflight", expvar.Func(func() any { return len(s.sem) })},
+		{"sectord.max_inflight", expvar.Func(func() any { return cap(s.sem) })},
 		{"sectord.requests", &s.requests},
 		{"sectord.solved", &s.solved},
 		{"sectord.cancellations", &s.cancellations},

@@ -12,7 +12,7 @@
 // not from content-addressed lookups. Session responses therefore always
 // carry X-Sectord-Cache: off, and nothing on this path reads or populates
 // Server.cache — the cache-isolation regression test pins that.
-package main
+package daemon
 
 import (
 	"context"
@@ -315,7 +315,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		fail(http.StatusTooManyRequests, "server at capacity")
 		return
 	}
@@ -346,6 +346,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.sessions.active() >= s.sessionMax() {
 		s.shed.Add(1)
+		// Unlike the inflight-semaphore sheds (setRetryAfter), a full
+		// session table frees on DELETE or TTL eviction, which solve
+		// latency says nothing about; a fixed short hint is the honest one.
 		w.Header().Set("Retry-After", "1")
 		fail(http.StatusTooManyRequests, fmt.Sprintf("session table full (%d live)", s.sessionMax()))
 		return
@@ -429,7 +432,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		fail(http.StatusTooManyRequests, "server at capacity")
 		return
 	}

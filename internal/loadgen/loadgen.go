@@ -1,0 +1,636 @@
+// Package loadgen drives a sectord or sectorproxy endpoint over the real
+// HTTP path and measures what a client would feel: latency percentiles,
+// shed/degraded/error rates, and per-shard cache behaviour.
+//
+// Two loop disciplines are supported. The closed loop keeps a fixed
+// number of workers each waiting for its response before sending the
+// next request — throughput adapts to the server, so it measures
+// capacity. The open loop fires requests at a fixed arrival rate
+// regardless of completions — latency under it shows queueing the way
+// production traffic would, because real arrivals do not politely wait
+// for the fleet to drain (the coordinated-omission trap closed loops
+// fall into).
+//
+// The workload is a seeded pool of pre-generated instances mixed across
+// internal/gen families and sizes. The pool is deliberately smaller than
+// the request count: repeats are what exercise the solve cache, and with
+// a fingerprint-routing proxy in front they also pin that repeats land
+// on the same shard (visible in the per-shard hit ratios the report
+// breaks out by X-Sectord-Shard).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sectorpack/internal/gen"
+)
+
+// Mode selects the loop discipline.
+type Mode string
+
+const (
+	// Closed keeps Workers in-flight requests: each worker sends, waits,
+	// repeats. Throughput is an output.
+	Closed Mode = "closed"
+	// Open fires requests at RPS regardless of completions. Latency under
+	// saturation is an output.
+	Open Mode = "open"
+)
+
+// TierSpec is one entry of the workload mix: a named gen preset and its
+// relative weight in the pool.
+type TierSpec struct {
+	Name   string
+	Config gen.Config
+	Weight int
+}
+
+// DefaultMix spans the generator families at sizes every registry solver
+// (including exact) answers in milliseconds, so a short SLO run exercises
+// the full solver matrix rather than one hot path.
+func DefaultMix() []TierSpec {
+	return []TierSpec{
+		{Name: "uniform-small", Config: gen.Config{Family: gen.Uniform, N: 60, M: 6}, Weight: 4},
+		{Name: "hotspot-small", Config: gen.Config{Family: gen.Hotspot, N: 80, M: 6}, Weight: 3},
+		{Name: "zipf-medium", Config: gen.Config{Family: gen.Zipf, N: 150, M: 8}, Weight: 2},
+		{Name: "rings-small", Config: gen.Config{Family: gen.Rings, N: 60, M: 6}, Weight: 2},
+		{Name: "adversarial-small", Config: gen.Config{Family: gen.Adversarial, N: 40, M: 4}, Weight: 1},
+	}
+}
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL is the endpoint under test (a sectord or a sectorproxy).
+	BaseURL string
+	// Mode is the loop discipline; empty means Closed.
+	Mode Mode
+	// Workers is the closed-loop concurrency (and the open loop's cap on
+	// simultaneous in-flight requests, so a stalled fleet cannot leak
+	// goroutines without bound). Zero means 8.
+	Workers int
+	// RPS is the open-loop arrival rate. Required for Open.
+	RPS float64
+	// Duration bounds the run. Zero means 10s.
+	Duration time.Duration
+	// Solvers cycles per request; empty means ["auto"].
+	Solvers []string
+	// Seed makes the workload reproducible: pool contents, tier choices,
+	// and request interleaving all derive from it.
+	Seed int64
+	// Mix is the tier mix; empty means DefaultMix.
+	Mix []TierSpec
+	// PoolSize is the number of distinct request bodies; repeats beyond it
+	// re-send earlier bodies and exercise the cache. Zero means 32.
+	PoolSize int
+	// BatchEvery makes every Nth request a /solve/batch of BatchSize
+	// instances drawn from the pool. Zero disables batches.
+	BatchEvery int
+	// BatchSize is the instances per batch. Zero means 4.
+	BatchSize int
+	// Timeout bounds each request. Zero means 30s.
+	Timeout time.Duration
+	// VerifyBase, when set, replays every VerifyEvery-th /solve against
+	// this second endpoint (typically a backend directly, with the proxy
+	// as BaseURL) and counts answer mismatches after timing fields are
+	// stripped — the differential check that routing is semantics-free.
+	VerifyBase string
+	// VerifyEvery is the verification sampling stride. Zero means 8.
+	VerifyEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = Closed
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if len(c.Solvers) == 0 {
+		c.Solvers = []string{"auto"}
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 32
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.VerifyEvery <= 0 {
+		c.VerifyEvery = 8
+	}
+	return c
+}
+
+// request is one pre-built body from the pool.
+type request struct {
+	path string // "/solve" or "/solve/batch"
+	tier string
+	body []byte
+}
+
+// Percentiles summarises a latency distribution in milliseconds.
+type Percentiles struct {
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// ShardStats is the per-shard cache breakdown, attributed by the
+// X-Sectord-Shard response header.
+type ShardStats struct {
+	Requests  int     `json:"requests"`
+	Hits      int     `json:"cache_hits"`
+	Misses    int     `json:"cache_misses"`
+	Collapsed int     `json:"cache_collapsed"`
+	Bypass    int     `json:"cache_bypass"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// VerifyStats reports the sampled proxy-vs-direct differential.
+type VerifyStats struct {
+	Checked    int `json:"checked"`
+	Mismatches int `json:"mismatches"`
+}
+
+// Report is the machine-readable result of a run. The metadata header
+// follows cmd/sectorbench's report so fleet SLO runs archive and diff the
+// same way bench runs do.
+type Report struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	BaseURL    string  `json:"base_url"`
+	Mode       Mode    `json:"mode"`
+	Workers    int     `json:"workers"`
+	TargetRPS  float64 `json:"target_rps,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
+
+	Requests    int     `json:"requests"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Latency     Percentiles
+	LatencyOK   Percentiles `json:"latency_ok"` // 200s only: what a served request cost
+
+	OK        int     `json:"ok"`
+	Degraded  int     `json:"degraded"`
+	Shed      int     `json:"shed"`       // 429s: deliberate, not an error
+	Errors4xx int     `json:"errors_4xx"` // non-shed 4xx
+	Errors5xx int     `json:"errors_5xx"` // the SLO-relevant failures
+	Transport int     `json:"transport"`  // connection-level failures
+	ShedRate  float64 `json:"shed_rate"`
+	ErrorRate float64 `json:"error_rate"` // (5xx + transport) / requests
+
+	Shards map[string]*ShardStats `json:"shards"`
+	Verify *VerifyStats           `json:"verify,omitempty"`
+}
+
+// SLO is the gate applied to a report; zero-valued fields are not
+// enforced. Violations fail the run the way sectorbench -compare fails a
+// regressed benchmark.
+type SLO struct {
+	MaxP99MS   float64 `json:"max_p99_ms,omitempty"`
+	MaxErrRate float64 `json:"max_error_rate,omitempty"`
+	MaxShed    float64 `json:"max_shed_rate,omitempty"`
+}
+
+// Check returns the violated clauses, empty when the report passes. A
+// verification mismatch is always a violation: it means the proxy changed
+// an answer, which no threshold makes acceptable.
+func (r *Report) Check(slo SLO) []string {
+	var bad []string
+	if slo.MaxP99MS > 0 && r.LatencyOK.P99MS > slo.MaxP99MS {
+		bad = append(bad, fmt.Sprintf("p99 %.1fms exceeds SLO %.1fms", r.LatencyOK.P99MS, slo.MaxP99MS))
+	}
+	if slo.MaxErrRate > 0 && r.ErrorRate > slo.MaxErrRate {
+		bad = append(bad, fmt.Sprintf("error rate %.4f exceeds SLO %.4f (%d×5xx, %d transport)", r.ErrorRate, slo.MaxErrRate, r.Errors5xx, r.Transport))
+	}
+	if slo.MaxErrRate == 0 && r.Errors5xx+r.Transport > 0 {
+		bad = append(bad, fmt.Sprintf("%d non-shed 5xx and %d transport failures (no error budget configured)", r.Errors5xx, r.Transport))
+	}
+	if slo.MaxShed > 0 && r.ShedRate > slo.MaxShed {
+		bad = append(bad, fmt.Sprintf("shed rate %.4f exceeds SLO %.4f", r.ShedRate, slo.MaxShed))
+	}
+	if r.Verify != nil && r.Verify.Mismatches > 0 {
+		bad = append(bad, fmt.Sprintf("%d/%d verified answers differ between %s and the direct backend", r.Verify.Mismatches, r.Verify.Checked, r.BaseURL))
+	}
+	return bad
+}
+
+// collector accumulates per-request outcomes under one lock; the request
+// rates here are far below contention territory.
+type collector struct {
+	mu        sync.Mutex
+	latencies []float64 // ms, all requests
+	okLat     []float64 // ms, 200s only
+	ok        int
+	degraded  int
+	shed      int
+	e4xx      int
+	e5xx      int
+	transport int
+	shards    map[string]*ShardStats
+	verified  int
+	mismatch  int
+}
+
+// outcome is one request's observation.
+type outcome struct {
+	latMS     float64
+	status    int // 0 = transport failure
+	degraded  bool
+	shard     string
+	cacheDisp string
+}
+
+func (c *collector) record(o outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latencies = append(c.latencies, o.latMS)
+	switch {
+	case o.status == 0:
+		c.transport++
+	case o.status == http.StatusOK:
+		c.ok++
+		c.okLat = append(c.okLat, o.latMS)
+		if o.degraded {
+			c.degraded++
+		}
+	case o.status == http.StatusTooManyRequests:
+		c.shed++
+	case o.status >= 500:
+		c.e5xx++
+	default:
+		c.e4xx++
+	}
+	if o.status != 0 {
+		shard := o.shard
+		if shard == "" {
+			shard = "unknown"
+		}
+		s := c.shards[shard]
+		if s == nil {
+			s = &ShardStats{}
+			c.shards[shard] = s
+		}
+		s.Requests++
+		switch o.cacheDisp {
+		case "hit":
+			s.Hits++
+		case "miss":
+			s.Misses++
+		case "collapsed":
+			s.Collapsed++
+		case "bypass":
+			s.Bypass++
+		}
+	}
+}
+
+// Run executes the configured load against cfg.BaseURL and returns the
+// report. It honours ctx: cancellation stops the run early and reports
+// what was measured so far.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if cfg.Mode != Closed && cfg.Mode != Open {
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want %q or %q)", cfg.Mode, Closed, Open)
+	}
+	if cfg.Mode == Open && cfg.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: open-loop mode needs RPS > 0")
+	}
+	pool, err := buildPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	col := &collector{shards: map[string]*ShardStats{}}
+	hc := &http.Client{Timeout: cfg.Timeout}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var next int64
+	var mu sync.Mutex
+	take := func() *request {
+		mu.Lock()
+		i := next
+		next++
+		mu.Unlock()
+		return &pool[int(i)%len(pool)]
+	}
+
+	fire := func() {
+		req := take()
+		o := shoot(runCtx, hc, cfg.BaseURL, req)
+		if o.status == 0 && runCtx.Err() != nil {
+			// The run deadline cancelled this request mid-flight. That is
+			// the harness truncating its own measurement window, not the
+			// server failing — recording it would charge every run a few
+			// phantom transport errors.
+			return
+		}
+		col.record(o)
+		if cfg.VerifyBase != "" && req.path == "/solve" && o.status == http.StatusOK {
+			col.mu.Lock()
+			due := col.verified*cfg.VerifyEvery <= col.ok
+			col.mu.Unlock()
+			if due {
+				verifyOne(runCtx, hc, cfg, col, req)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case Closed:
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if runCtx.Err() != nil {
+						return
+					}
+					fire()
+				}
+			}()
+		}
+	case Open:
+		// Arrivals are a fixed-rate clock. The semaphore bounds in-flight
+		// requests; an arrival finding it full means the fleet is further
+		// behind than Workers requests — recorded as a transport-class
+		// failure rather than silently skipped, because dropped load is
+		// exactly what an open-loop test exists to surface.
+		sem := make(chan struct{}, cfg.Workers)
+		interval := time.Duration(float64(time.Second) / cfg.RPS)
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+	arrivals:
+		for {
+			select {
+			case <-runCtx.Done():
+				break arrivals
+			case <-tick.C:
+				select {
+				case sem <- struct{}{}:
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-sem }()
+						if runCtx.Err() != nil {
+							return
+						}
+						fire()
+					}()
+				default:
+					col.record(outcome{latMS: 0, status: 0})
+				}
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return assemble(cfg, col, elapsed), nil
+}
+
+// shoot issues one request and observes the response without retries —
+// the load generator measures raw server behaviour; retry policy belongs
+// to real clients.
+func shoot(ctx context.Context, hc *http.Client, base string, req *request) outcome {
+	start := time.Now()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+req.path, bytes.NewReader(req.body))
+	if err != nil {
+		return outcome{latMS: msSince(start)}
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(httpReq)
+	if err != nil {
+		return outcome{latMS: msSince(start)}
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	o := outcome{
+		latMS:     msSince(start),
+		status:    resp.StatusCode,
+		shard:     resp.Header.Get("X-Sectord-Shard"),
+		cacheDisp: resp.Header.Get("X-Sectord-Cache"),
+	}
+	if resp.StatusCode == http.StatusOK {
+		var probe struct {
+			Degraded bool `json:"degraded"`
+		}
+		if json.Unmarshal(body, &probe) == nil {
+			o.degraded = probe.Degraded
+		}
+	}
+	return o
+}
+
+// verifyOne replays the request against the direct backend and compares
+// the two answers with timing stripped.
+func verifyOne(ctx context.Context, hc *http.Client, cfg Config, col *collector, req *request) {
+	a, aOK := fetchNormalized(ctx, hc, cfg.BaseURL+req.path, req.body)
+	b, bOK := fetchNormalized(ctx, hc, cfg.VerifyBase+req.path, req.body)
+	if !aOK || !bOK {
+		return // a transient failure is not a mismatch
+	}
+	col.mu.Lock()
+	col.verified++
+	if !reflect.DeepEqual(a, b) {
+		col.mismatch++
+	}
+	col.mu.Unlock()
+}
+
+func fetchNormalized(ctx context.Context, hc *http.Client, url string, body []byte) (map[string]any, bool) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(httpReq)
+	if err != nil {
+		return nil, false
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, false
+	}
+	delete(m, "elapsed_ms")
+	return m, true
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// buildPool pre-generates the request bodies so generation cost never
+// pollutes measured latency, and so the same seed replays the same
+// workload byte-for-byte.
+func buildPool(cfg Config) ([]request, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := 0
+	for _, t := range cfg.Mix {
+		if t.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: tier %q has non-positive weight", t.Name)
+		}
+		total += t.Weight
+	}
+	pickTier := func() TierSpec {
+		n := rng.Intn(total)
+		for _, t := range cfg.Mix {
+			if n < t.Weight {
+				return t
+			}
+			n -= t.Weight
+		}
+		return cfg.Mix[len(cfg.Mix)-1]
+	}
+	type solveReq struct {
+		Solver        string `json:"solver,omitempty"`
+		FormatVersion int    `json:"format_version"`
+		Instance      any    `json:"instance"`
+	}
+	var instances []any // raw instances, for batch composition
+	var pool []request
+	for i := 0; i < cfg.PoolSize; i++ {
+		tier := pickTier()
+		gcfg := tier.Config
+		gcfg.Seed = cfg.Seed + int64(i)*7919
+		in, err := gen.Generate(gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: tier %q: %w", tier.Name, err)
+		}
+		solver := cfg.Solvers[i%len(cfg.Solvers)]
+		if solver == "auto" {
+			solver = ""
+		}
+		instances = append(instances, in)
+		if cfg.BatchEvery > 0 && (i+1)%cfg.BatchEvery == 0 {
+			k := cfg.BatchSize
+			if k > len(instances) {
+				k = len(instances)
+			}
+			body, err := json.Marshal(map[string]any{
+				"solver":         solver,
+				"format_version": 1,
+				"instances":      instances[len(instances)-k:],
+			})
+			if err != nil {
+				return nil, err
+			}
+			pool = append(pool, request{path: "/solve/batch", tier: tier.Name, body: body})
+			continue
+		}
+		body, err := json.Marshal(solveReq{Solver: solver, FormatVersion: 1, Instance: in})
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, request{path: "/solve", tier: tier.Name, body: body})
+	}
+	// Shuffle so tiers interleave rather than clump by pool order.
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool, nil
+}
+
+func percentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Percentiles{
+		P50MS:  at(0.50),
+		P90MS:  at(0.90),
+		P99MS:  at(0.99),
+		P999MS: at(0.999),
+		MeanMS: sum / float64(len(sorted)),
+		MaxMS:  sorted[len(sorted)-1],
+	}
+}
+
+func assemble(cfg Config, col *collector, elapsed time.Duration) *Report {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	n := len(col.latencies)
+	r := &Report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		BaseURL:    cfg.BaseURL,
+		Mode:       cfg.Mode,
+		Workers:    cfg.Workers,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Requests:   n,
+		Latency:    percentiles(col.latencies),
+		LatencyOK:  percentiles(col.okLat),
+		OK:         col.ok,
+		Degraded:   col.degraded,
+		Shed:       col.shed,
+		Errors4xx:  col.e4xx,
+		Errors5xx:  col.e5xx,
+		Transport:  col.transport,
+		Shards:     col.shards,
+	}
+	if cfg.Mode == Open {
+		r.TargetRPS = cfg.RPS
+	}
+	if elapsed > 0 {
+		r.AchievedRPS = float64(n) / elapsed.Seconds()
+	}
+	if n > 0 {
+		r.ShedRate = float64(col.shed) / float64(n)
+		r.ErrorRate = float64(col.e5xx+col.transport) / float64(n)
+	}
+	for _, s := range r.Shards {
+		if looked := s.Hits + s.Misses; looked > 0 {
+			s.HitRatio = float64(s.Hits) / float64(looked)
+		}
+	}
+	if cfg.VerifyBase != "" {
+		r.Verify = &VerifyStats{Checked: col.verified, Mismatches: col.mismatch}
+	}
+	return r
+}

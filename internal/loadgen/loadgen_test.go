@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sectorpack/internal/daemon"
+)
+
+func testDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := daemon.NewServer(daemon.Config{Seed: 1, MaxInflight: 16, ShardName: "s0"})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClosedLoopReportShape(t *testing.T) {
+	ts := testDaemon(t)
+	report, err := Run(context.Background(), Config{
+		BaseURL:    ts.URL,
+		Workers:    4,
+		Duration:   400 * time.Millisecond,
+		Seed:       1,
+		PoolSize:   8,
+		BatchEvery: 4,
+		Solvers:    []string{"greedy"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 || report.OK == 0 {
+		t.Fatalf("no traffic measured: %+v", report)
+	}
+	if report.Errors5xx != 0 || report.Transport != 0 || report.Errors4xx != 0 {
+		t.Errorf("healthy daemon produced failures: %+v", report)
+	}
+	s := report.Shards["s0"]
+	if s == nil || s.Requests == 0 {
+		t.Fatalf("per-shard attribution missing: %+v", report.Shards)
+	}
+	// An 8-body pool replayed for 400ms must repeat, so the cache must hit.
+	if s.Hits == 0 {
+		t.Errorf("pool repeats produced no cache hits: %+v", s)
+	}
+	if s.HitRatio <= 0 {
+		t.Errorf("hit ratio %v, want > 0", s.HitRatio)
+	}
+	lat := report.Latency
+	if lat.P50MS > lat.P99MS || lat.P99MS > lat.MaxMS {
+		t.Errorf("percentiles out of order: %+v", lat)
+	}
+	if len(report.Check(SLO{})) != 0 {
+		t.Errorf("healthy run violated the default SLO: %v", report.Check(SLO{}))
+	}
+}
+
+func TestOpenLoopTargetsRate(t *testing.T) {
+	ts := testDaemon(t)
+	report, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Mode:     Open,
+		RPS:      100,
+		Workers:  16,
+		Duration: 400 * time.Millisecond,
+		Seed:     2,
+		PoolSize: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TargetRPS != 100 {
+		t.Errorf("TargetRPS %v not recorded", report.TargetRPS)
+	}
+	// ~40 arrivals in 400ms at 100 rps; allow wide slop for CI jitter but
+	// a closed-loop-sized count would mean the clock is not driving.
+	if report.Requests < 10 {
+		t.Errorf("open loop fired only %d requests at 100 rps over 400ms", report.Requests)
+	}
+}
+
+func TestVerifyAgainstSelfFindsNoMismatch(t *testing.T) {
+	ts := testDaemon(t)
+	report, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Workers:     2,
+		Duration:    300 * time.Millisecond,
+		Seed:        3,
+		PoolSize:    4,
+		VerifyBase:  ts.URL,
+		VerifyEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verify == nil || report.Verify.Checked == 0 {
+		t.Fatalf("verification never ran: %+v", report.Verify)
+	}
+	if report.Verify.Mismatches != 0 {
+		t.Errorf("deterministic daemon disagreed with itself %d times", report.Verify.Mismatches)
+	}
+}
+
+func TestSLOCheckClauses(t *testing.T) {
+	r := &Report{
+		BaseURL:   "http://x",
+		Requests:  100,
+		LatencyOK: Percentiles{P99MS: 500},
+		Errors5xx: 2,
+		ErrorRate: 0.02,
+		Shed:      30,
+		ShedRate:  0.3,
+		Verify:    &VerifyStats{Checked: 10, Mismatches: 1},
+	}
+	bad := r.Check(SLO{MaxP99MS: 100, MaxErrRate: 0.01, MaxShed: 0.1})
+	wantSubstrings := []string{"p99", "error rate", "shed rate", "answers differ"}
+	if len(bad) != len(wantSubstrings) {
+		t.Fatalf("got %d violations %v, want %d", len(bad), bad, len(wantSubstrings))
+	}
+	for i, sub := range wantSubstrings {
+		if !strings.Contains(bad[i], sub) {
+			t.Errorf("violation %d = %q, want it to mention %q", i, bad[i], sub)
+		}
+	}
+	// With no explicit error budget, ANY non-shed failure is a violation.
+	if got := (&Report{Requests: 10, Errors5xx: 1}).Check(SLO{}); len(got) != 1 {
+		t.Errorf("zero-budget 5xx: %v, want exactly one violation", got)
+	}
+	if got := (&Report{Requests: 10, Shed: 3, ShedRate: 0.3}).Check(SLO{}); len(got) != 0 {
+		t.Errorf("shedding alone must not violate an empty SLO: %v", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mode: Open}); err == nil {
+		t.Error("open loop without RPS accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mode: "weird"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

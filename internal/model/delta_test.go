@@ -32,7 +32,7 @@ func deltaBase() *Instance {
 func TestApplyDeltaOrderAndRenumber(t *testing.T) {
 	in := deltaBase()
 	d := Delta{
-		SetDemand:   []DemandChange{{Customer: 1, Demand: 9}},                 // profit defaults to 9
+		SetDemand:   []DemandChange{{Customer: 1, Demand: 9}}, // profit defaults to 9
 		SetCapacity: []CapacityChange{{Antenna: 1, Capacity: 6}},
 		Remove:      []int{0, 2},
 		Add:         []Customer{{Theta: -0.5, R: 1.5, Demand: 4}}, // theta normalized

@@ -228,6 +228,84 @@ func (s *Session) Close(ctx context.Context) error {
 	return err
 }
 
+// RawResponse is the terminal outcome of Do: the daemon's status, headers,
+// and body, plus how many HTTP attempts it took. Unlike the typed methods,
+// non-2xx statuses land here instead of becoming errors.
+type RawResponse struct {
+	Status   int
+	Header   http.Header
+	Body     []byte
+	Attempts int
+}
+
+// Do is the routing hook for proxies: it issues one logical request with
+// the client's retry policy and returns the daemon's response verbatim —
+// including non-2xx statuses — so shed (429), degraded, and error
+// semantics can be passed through unchanged. When retryable, transient
+// statuses (429/502/503/504) are retried with backoff and the Retry-After
+// floor; once the budget is exhausted the LAST such response is returned,
+// not an error, so the caller can forward the daemon's honest Retry-After
+// hint. Only network-level failures (no HTTP response at all) return an
+// error; the caller decides whether to fail over to another backend.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte, retryable bool) (*RawResponse, error) {
+	var lastErr error
+	var last *RawResponse
+	maxAttempts := 1
+	if retryable && c.opt.MaxRetries > 0 {
+		maxAttempts = 1 + c.opt.MaxRetries
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			floor := retryAfter(lastErr)
+			if last != nil {
+				floor = parseRetryAfter(last.Header.Get("Retry-After"))
+			}
+			select {
+			case <-time.After(c.backoff(attempt-1, floor)):
+			case <-ctx.Done():
+				if last != nil {
+					return last, nil
+				}
+				return nil, fmt.Errorf("%w (last attempt: %w)", ctx.Err(), lastErr)
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr, last = err, nil
+			continue
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr, last = rerr, nil
+			continue
+		}
+		out := &RawResponse{Status: resp.StatusCode, Header: resp.Header, Body: raw, Attempts: attempt + 1}
+		if !transientStatus(resp.StatusCode) {
+			return out, nil
+		}
+		last = out
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, fmt.Errorf("sectord: giving up after %d attempts: %w", maxAttempts, lastErr)
+}
+
 // doSolve runs do and decodes the solve-shaped answer.
 func (c *Client) doSolve(ctx context.Context, method, url string, body []byte, retryable bool) (*SolveResult, error) {
 	res, raw, err := c.do(ctx, method, url, body, retryable)
@@ -345,15 +423,25 @@ func unwrapRetryable(err error) error {
 	return err
 }
 
+// parseRetryAfter accepts both RFC 9110 forms of the header: delta-seconds
+// ("3") and an HTTP-date ("Mon, 02 Jan 2006 15:04:05 GMT"), the latter
+// relative to the local clock. Unparseable or past values mean no floor.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func errorMessage(raw []byte) string {
