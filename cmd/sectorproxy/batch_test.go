@@ -152,6 +152,7 @@ func TestFleetBatchBadItemKeepsPositionAndError(t *testing.T) {
 	}
 	dEnv, dItems := decodeBatch(t, dRaw)
 	pEnv, pItems := decodeBatch(t, pRaw)
+	//sectorlint:ignore floateq JSON decodes the failed count as float64; small integer counts are exact
 	if dEnv["failed"] != pEnv["failed"] || pEnv["failed"].(float64) != 1 {
 		t.Errorf("failed counts: direct %v, proxied %v, want 1", dEnv["failed"], pEnv["failed"])
 	}

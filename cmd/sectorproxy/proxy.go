@@ -99,9 +99,9 @@ type backend struct {
 	consecFails atomic.Int32
 	down        atomic.Bool
 
-	requests  expvar.Int // requests routed here (incl. failover arrivals)
-	failures  expvar.Int // transport-level failures observed
-	ejections expvar.Int // times this backend was ejected
+	requests  expvar.Int // monotonic: requests routed here (incl. failover arrivals)
+	failures  expvar.Int // monotonic: transport-level failures observed
+	ejections expvar.Int // monotonic: times this backend was ejected
 }
 
 // Proxy is the routing front. Build with NewProxy, then Start to launch
@@ -120,12 +120,12 @@ type Proxy struct {
 	probeDone chan struct{}
 	probeOnce sync.Once
 
-	requests  expvar.Int // requests received
-	routed    expvar.Int // requests that reached some backend
-	failovers expvar.Int // ring walks past the owner after transport failure
-	noBackend expvar.Int // requests refused because no backend was healthy
-	splits    expvar.Int // batch sub-requests fanned out
-	pinMisses expvar.Int // session requests with no pinned backend
+	requests  expvar.Int // monotonic: requests received
+	routed    expvar.Int // monotonic: requests that reached some backend
+	failovers expvar.Int // monotonic: ring walks past the owner after transport failure
+	noBackend expvar.Int // monotonic: requests refused because no backend was healthy
+	splits    expvar.Int // monotonic: batch sub-requests fanned out
+	pinMisses expvar.Int // monotonic: session requests with no pinned backend
 }
 
 // NewProxy builds the routing front over the backend URLs.

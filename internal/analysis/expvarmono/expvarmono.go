@@ -1,0 +1,213 @@
+// Package expvarmono protects the monotonicity contract of /debug/vars
+// counters.
+//
+// Invariant (DESIGN.md, "Observability"): counters the dashboards derive
+// rates from — requests, solved, journal failures, idempotent replays —
+// only ever move up. The PR-7 retired-stats incident is the motivating
+// bug: a "total sessions" expvar was recomputed as live+retired and
+// briefly went DOWN when a session moved between the two sets, which the
+// rate() over it rendered as a giant negative spike and paged the
+// on-call. The fix was to make retirement fold monotonic counters only;
+// the annotation makes that property checkable.
+//
+// A counter declares the contract with a `// monotonic` comment on its
+// declaration — an expvar.Int struct field or package-level var. The
+// fact crosses packages, so a counter owned by the daemon Server struct
+// is protected in every importer. Violations:
+//
+//   - .Add(c) with a constant negative c — the direct decrement;
+//   - .Set(anything) — Set can rewind the counter, and every legitimate
+//     use in this repository is on gauges, which are simply not
+//     annotated.
+package expvarmono
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"sectorpack/internal/analysis/astx"
+	"sectorpack/internal/analysis/framework"
+)
+
+// Monotonic marks an expvar.Int counter as never-decreasing.
+type Monotonic struct{}
+
+// AFact marks Monotonic as a fact.
+func (*Monotonic) AFact() {}
+
+// Analyzer is the expvarmono checker.
+var Analyzer = &framework.Analyzer{
+	Name: "expvarmono",
+	Doc: "expvar.Int counters annotated `// monotonic` may only receive non-negative " +
+		"Adds and never Set: dashboards rate() over them, and a rewinding counter " +
+		"renders as a negative-rate spike (the PR-7 retired-stats incident)",
+	Run:       run,
+	FactTypes: []framework.Fact{(*Monotonic)(nil)},
+}
+
+func run(pass *framework.Pass) error {
+	exportMonotonic(pass)
+	checkUses(pass)
+	return nil
+}
+
+// isExpvarInt matches expvar.Int (possibly behind a pointer).
+func isExpvarInt(t types.Type) bool {
+	return astx.IsNamed(t, "expvar", "Int")
+}
+
+// hasMonotonicComment reports whether any comment in the groups is exactly
+// the `monotonic` marker (with optional trailing prose).
+func hasMonotonicComment(groups ...*ast.CommentGroup) bool {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+			if text == "monotonic" || strings.HasPrefix(text, "monotonic ") ||
+				strings.HasPrefix(text, "monotonic:") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exportMonotonic publishes Monotonic facts for annotated expvar.Int
+// struct fields and package-level vars.
+func exportMonotonic(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch decl := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := decl.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Defs[decl.Name]
+				if obj == nil {
+					return true
+				}
+				named, _ := obj.Type().(*types.Named)
+				if named == nil {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					if !hasMonotonicComment(f.Comment, f.Doc) {
+						continue
+					}
+					tv, ok := pass.TypesInfo.Types[f.Type]
+					if !ok || !isExpvarInt(tv.Type) {
+						pass.Reportf(f.Pos(), "`// monotonic` annotates a non-expvar.Int field; the contract only applies to counters")
+						continue
+					}
+					for _, name := range f.Names {
+						pass.ExportFieldFact(named, name.Name, &Monotonic{})
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || !hasMonotonicComment(vs.Comment, vs.Doc, decl.Doc) {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil || !isExpvarInt(obj.Type()) {
+							continue
+						}
+						pass.ExportObjectFact(obj, &Monotonic{})
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkUses flags Set and negative-Add calls on monotonic counters.
+func checkUses(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			method := sel.Sel.Name
+			if method != "Add" && method != "Set" {
+				return true
+			}
+			name, ok := monotonicCounter(pass, ast.Unparen(sel.X))
+			if !ok {
+				return true
+			}
+			switch method {
+			case "Set":
+				pass.Reportf(call.Pos(),
+					"Set on monotonic counter %s: Set can rewind it and break every rate() over it; "+
+						"use Add, or drop the `// monotonic` annotation if this is really a gauge", name)
+			case "Add":
+				if len(call.Args) == 1 && isNegativeConst(pass.TypesInfo, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"negative Add on monotonic counter %s: counters only move up "+
+							"(fold removals into a second counter instead)", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// monotonicCounter reports whether expr denotes an annotated counter,
+// returning its display name.
+func monotonicCounter(pass *framework.Pass, expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		selection, ok := pass.TypesInfo.Selections[e]
+		if !ok || selection.Kind() != types.FieldVal {
+			// Qualified package var: pkg.counter.
+			if obj, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+				var m Monotonic
+				if pass.ImportObjectFact(obj, &m) {
+					return obj.Name(), true
+				}
+			}
+			return "", false
+		}
+		var m Monotonic
+		if pass.ImportFieldFact(selection.Recv(), e.Sel.Name, &m) {
+			owner := framework.Named(selection.Recv())
+			if owner != nil {
+				return owner.Obj().Name() + "." + e.Sel.Name, true
+			}
+			return e.Sel.Name, true
+		}
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			var m Monotonic
+			if pass.ImportObjectFact(obj, &m) {
+				return obj.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+func isNegativeConst(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return false
+	}
+	return constant.Sign(v) < 0
+}

@@ -1,0 +1,13 @@
+package expvarmono_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/expvarmono"
+)
+
+func TestExpvarmono(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), expvarmono.Analyzer,
+		"expvar", "counters", "expvarmono")
+}

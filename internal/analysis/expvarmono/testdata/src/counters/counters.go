@@ -1,0 +1,15 @@
+// Package counters declares annotated counters consumed by the expvarmono
+// fixture package, proving the Monotonic facts cross the boundary.
+package counters
+
+import "expvar"
+
+// Server mirrors the daemon's counter block.
+type Server struct {
+	Requests expvar.Int // monotonic
+	Solved   expvar.Int // monotonic
+	Inflight expvar.Int // gauge: goes up and down, not annotated
+}
+
+// TotalRestarts counts process restarts observed by the supervisor file.
+var TotalRestarts expvar.Int // monotonic

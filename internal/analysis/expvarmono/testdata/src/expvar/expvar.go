@@ -1,0 +1,16 @@
+// Package expvar is a minimized stand-in for the standard expvar: the
+// analyzer matches counters by the named type expvar.Int, so the fixtures
+// avoid type-checking net/http (which the real expvar imports).
+package expvar
+
+// Int is a 64-bit integer variable.
+type Int struct{ i int64 }
+
+// Add deltas the variable.
+func (v *Int) Add(delta int64) { v.i += delta }
+
+// Set replaces the value.
+func (v *Int) Set(value int64) { v.i = value }
+
+// Value reads the value.
+func (v *Int) Value() int64 { return v.i }

@@ -1,0 +1,14 @@
+package expvarmono
+
+import "counters"
+
+// goodCounts only ever moves annotated counters up; the in-flight gauge
+// is unannotated, so Set and negative Add are its normal life.
+func goodCounts(s *counters.Server, n int64) {
+	s.Requests.Add(1)
+	s.Solved.Add(n) // dynamic deltas are the caller's contract, not flagged
+	s.Inflight.Add(-1)
+	s.Inflight.Set(0)
+	counters.TotalRestarts.Add(1)
+	_ = s.Requests.Value()
+}

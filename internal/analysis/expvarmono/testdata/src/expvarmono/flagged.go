@@ -1,0 +1,18 @@
+package expvarmono
+
+import "counters"
+
+// badFold decrements a monotonic counter while rebalancing.
+func badFold(s *counters.Server) {
+	s.Requests.Add(-1) // want `negative Add on monotonic counter Server.Requests`
+}
+
+// badRewind resets a monotonic counter wholesale.
+func badRewind(s *counters.Server) {
+	s.Solved.Set(0) // want `Set on monotonic counter Server.Solved`
+}
+
+// badPkgVar rewinds the package-level counter of an imported package.
+func badPkgVar() {
+	counters.TotalRestarts.Set(0) // want `Set on monotonic counter TotalRestarts`
+}

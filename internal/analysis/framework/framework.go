@@ -6,11 +6,17 @@
 // deliberately close to the upstream API so the analyzers would port to a
 // real multichecker by changing imports.
 //
-// Two run modes exist. A per-package analyzer implements Run and sees one
-// type-checked package at a time. A module analyzer implements RunModule
-// and sees every package of the module in one pass — that is what lets
-// optcover cross-check core.Options against the cache fingerprint, a
-// property no single package exhibits on its own.
+// Three capabilities beyond single-package AST passes exist:
+//
+//   - Module passes: an analyzer implementing RunModule sees every package
+//     of the module at once — what lets optcover cross-check core.Options
+//     against the cache fingerprint, a property no single package exhibits.
+//   - Facts: per-package analyzers run in dependency order; a pass may
+//     export facts about its package's objects (serialized through gob, see
+//     facts.go) which passes over dependent packages import back.
+//   - Call graph: analyzers setting NeedsCallGraph receive a module-wide
+//     may-call graph (callgraph.go) on their Pass, for invariants like
+//     "every caller of this helper holds the lock".
 package framework
 
 import (
@@ -19,6 +25,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
 )
 
 // Analyzer is one named invariant checker. Exactly one of Run and
@@ -30,10 +37,17 @@ type Analyzer struct {
 	// Doc is the one-paragraph description printed by `sectorlint -list`,
 	// stating the invariant and the historical bug class it encodes.
 	Doc string
-	// Run analyzes a single package.
+	// Run analyzes a single package. Packages are visited in dependency
+	// order (imports before importers), so facts exported by a dependency
+	// are importable here.
 	Run func(*Pass) error
 	// RunModule analyzes every package of the module together.
 	RunModule func(*ModulePass) error
+	// FactTypes lists the concrete fact types this analyzer exports, for
+	// gob registration. Required when the analyzer uses Export*Fact.
+	FactTypes []Fact
+	// NeedsCallGraph requests the module call graph on the pass.
+	NeedsCallGraph bool
 }
 
 // Pass carries one type-checked package into an analyzer, mirroring
@@ -44,14 +58,22 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Graph is the module call graph; non-nil iff the analyzer set
+	// NeedsCallGraph.
+	Graph *CallGraph
 
-	diags *[]Diagnostic
+	diags    *[]Diagnostic
+	facts    *factDB
+	exported *[]wireFact
 }
 
 // ModulePass carries the whole module into a module-scope analyzer.
 type ModulePass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
+	// Graph is the module call graph; non-nil iff the analyzer set
+	// NeedsCallGraph.
+	Graph *CallGraph
 	// Packages holds one Pass per module package, in deterministic
 	// (import-path-sorted) order. Their Analyzer fields alias the module
 	// analyzer so Reportf attributes diagnostics correctly.
@@ -83,44 +105,80 @@ type Package struct {
 	TypesInfo  *types.Info
 }
 
-// Run executes the analyzers over the packages and returns the surviving
-// diagnostics: suppressions (//sectorlint:ignore comments) are applied,
-// malformed suppressions are themselves reported, and the result is
-// sorted by position. An analyzer error aborts the run.
+// Options tunes a Run.
+type Options struct {
+	// StaleIgnores additionally reports every well-formed
+	// //sectorlint:ignore comment that suppressed nothing (for analyzers
+	// that actually ran), so suppressions cannot outlive their bugs.
+	StaleIgnores bool
+}
+
+// Run executes the analyzers over the packages with default options.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunOpts(fset, pkgs, analyzers, Options{})
+}
+
+// RunOpts executes the analyzers over the packages and returns the
+// surviving diagnostics: suppressions (//sectorlint:ignore comments) are
+// applied, malformed (and, with opts.StaleIgnores, stale) suppressions are
+// themselves reported, and the result is sorted by position. An analyzer
+// error aborts the run.
+func RunOpts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	passes := make([]*Pass, 0, len(pkgs))
-	for _, pkg := range pkgs {
-		passes = append(passes, &Pass{
+	ordered := topoOrder(pkgs)
+
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.NeedsCallGraph {
+			graph = BuildCallGraph(pkgs)
+			break
+		}
+	}
+
+	facts := newFactDB()
+	newPass := func(a *Analyzer, pkg *Package) *Pass {
+		p := &Pass{
+			Analyzer:  a,
 			Fset:      fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.TypesInfo,
 			diags:     &diags,
-		})
+			facts:     facts,
+		}
+		if a.NeedsCallGraph {
+			p.Graph = graph
+		}
+		return p
 	}
+
 	for _, a := range analyzers {
 		if (a.Run == nil) == (a.RunModule == nil) {
 			return nil, fmt.Errorf("analyzer %s: exactly one of Run and RunModule must be set", a.Name)
 		}
+		registerFactTypes(a)
 		if a.RunModule != nil {
 			mp := &ModulePass{Analyzer: a, Fset: fset}
-			for _, p := range passes {
-				mp.Packages = append(mp.Packages, &Pass{
-					Analyzer: a, Fset: p.Fset, Files: p.Files,
-					Pkg: p.Pkg, TypesInfo: p.TypesInfo, diags: &diags,
-				})
+			if a.NeedsCallGraph {
+				mp.Graph = graph
+			}
+			for _, pkg := range pkgs {
+				mp.Packages = append(mp.Packages, newPass(a, pkg))
 			}
 			if err := a.RunModule(mp); err != nil {
 				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 			}
 			continue
 		}
-		for _, p := range passes {
-			sub := *p
-			sub.Analyzer = a
-			if err := a.Run(&sub); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, sub.Pkg.Path(), err)
+		for _, pkg := range ordered {
+			p := newPass(a, pkg)
+			var exported []wireFact
+			p.exported = &exported
+			if err := a.Run(p); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, p.Pkg.Path(), err)
+			}
+			if err := facts.seal(a.Name, pkg.ImportPath, exported); err != nil {
+				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 			}
 		}
 	}
@@ -129,7 +187,11 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 	for _, pkg := range pkgs {
 		files = append(files, pkg.Files...)
 	}
-	diags = ApplySuppressions(fset, files, diags)
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	diags = applySuppressions(fset, files, diags, ran, opts.StaleIgnores)
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -141,4 +203,69 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
+}
+
+// topoOrder sorts the packages dependencies-first: a package appears after
+// every loaded package it imports. The import relation is read from the
+// files' import specs (matched against loaded import paths), so it works
+// on real module loads and fixture packages alike. Ties and independent
+// packages keep import-path order, making the result deterministic.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+
+	deps := map[string][]string{}
+	for _, path := range paths {
+		p := byPath[path]
+		seen := map[string]bool{}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || seen[ip] {
+					continue
+				}
+				seen[ip] = true
+				if _, ok := byPath[ip]; ok && ip != path {
+					deps[path] = append(deps[path], ip)
+				}
+			}
+		}
+		sort.Strings(deps[path])
+	}
+
+	out := make([]*Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		switch state[path] {
+		case 1, 2:
+			return // cycle (impossible in valid Go) or already emitted
+		}
+		state[path] = 1
+		for _, d := range deps[path] {
+			visit(d)
+		}
+		state[path] = 2
+		out = append(out, byPath[path])
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
+}
+
+// Named returns the *types.Named behind t, unwrapping one pointer.
+func Named(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
 }

@@ -55,12 +55,25 @@ func parseSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
 	return out
 }
 
-// ApplySuppressions filters diags through the files' ignore comments and
+// ApplySuppressions filters diags through the files' ignore comments with
+// no staleness audit; every analyzer named in a suppression is assumed to
+// have run.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	return applySuppressions(fset, files, diags, nil, false)
+}
+
+// applySuppressions filters diags through the files' ignore comments and
 // appends a "sectorlint" diagnostic for every malformed suppression (one
 // naming no analyzer, or one without a reason). Well-formed suppressions
 // match diagnostics whose analyzer is listed and whose line equals the
 // comment's line or the line after it (the standalone-comment case).
-func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+//
+// With staleCheck set, a well-formed suppression entry that suppressed
+// nothing is itself reported — but only for analyzer names present in ran
+// (nil means "all ran"): a run restricted with -only must not flag
+// suppressions for the analyzers it skipped, whose findings it simply
+// cannot see this run.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[string]bool, staleCheck bool) []Diagnostic {
 	sups := parseSuppressions(fset, files)
 	if len(sups) == 0 {
 		return diags
@@ -70,7 +83,11 @@ func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnosti
 		line int
 		name string
 	}
-	covered := map[key]bool{}
+	type cover struct {
+		pos  token.Pos
+		hits int
+	}
+	covered := map[key]*cover{}
 	var out []Diagnostic
 	for _, s := range sups {
 		pos := fset.Position(s.pos)
@@ -91,16 +108,59 @@ func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnosti
 			continue
 		}
 		for _, name := range s.analyzers {
-			covered[key{pos.Filename, pos.Line, name}] = true
-			covered[key{pos.Filename, pos.Line + 1, name}] = true
+			c := &cover{pos: s.pos}
+			// The same (file, line, analyzer) may be covered twice (a
+			// standalone comment above a line that also has a trailing one);
+			// both share hit accounting through the first registered cover.
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				k := key{pos.Filename, line, name}
+				if covered[k] == nil {
+					covered[k] = c
+				}
+			}
 		}
 	}
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		if covered[key{pos.Filename, pos.Line, d.Analyzer}] {
+		if c := covered[key{pos.Filename, pos.Line, d.Analyzer}]; c != nil {
+			c.hits++
 			continue
 		}
 		out = append(out, d)
+	}
+	if staleCheck {
+		// Re-walk the well-formed suppressions in source order; each
+		// analyzer entry that ran but matched nothing is stale. A
+		// suppression fully shadowed by an earlier one on the same lines
+		// owns no cover at all and is stale by the same standard.
+		for _, s := range sups {
+			if len(s.analyzers) == 0 || s.reason == "" {
+				continue
+			}
+			pos := fset.Position(s.pos)
+			for _, name := range s.analyzers {
+				if ran != nil && !ran[name] {
+					continue
+				}
+				hits := 0
+				var owned *cover
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					c := covered[key{pos.Filename, line, name}]
+					if c != nil && c.pos == s.pos && c != owned {
+						owned = c
+						hits += c.hits
+					}
+				}
+				if hits == 0 {
+					out = append(out, Diagnostic{
+						Pos:      s.pos,
+						Analyzer: "sectorlint",
+						Message: "stale suppression: //sectorlint:ignore " + name +
+							" no longer suppresses anything here; delete it so the next real finding is not silenced",
+					})
+				}
+			}
+		}
 	}
 	return out
 }

@@ -1,0 +1,284 @@
+// Package fsyncorder checks the durability discipline around faultfs: a
+// write path either goes through a proven fsync+rename sink or carries its
+// own Sync, and errors from journal/file mutations are never discarded.
+//
+// Invariant (DESIGN.md, "Durable sectord"): crash safety rests on exactly
+// two mechanics — atomic replace (write temp, fsync file, rename, fsync
+// dir: faultfs.WriteFileAtomic) and group-committed journal appends whose
+// errors poison the session. PR 8's fault-injection harness exists
+// because both were once violated: a snapshot written without the
+// file-level fsync survived the process but not the power cut (torn
+// write), and a journal append error that was dropped left the in-memory
+// session ahead of its durable log, so recovery silently lost deltas.
+//
+// Two rules:
+//
+//   - Reach-sync (durable packages: cache, session, model): a function
+//     that opens a writable faultfs file (Create / CreateTemp / OpenFile)
+//     must reach a Sync before the handle escapes — its own body calls
+//     .Sync(), it calls a function proven fsync-safe, or some function
+//     reachable in the call graph syncs. "Fsync-safe" is a fact derived
+//     bottom-up: a function whose body both Syncs and Renames (the atomic
+//     replace shape, anchored at faultfs.WriteFileAtomic) or that calls
+//     an fsync-safe function. The fact crosses packages, so cache and
+//     session inherit the proof from faultfs.
+//   - No discarded errors (every package except faultfs itself): a
+//     statement-position call to an error-returning method of
+//     session.Journal or of the faultfs File/FS seams throws the error
+//     away. Journal errors must poison; file errors must propagate.
+//     `defer f.Close()` on read paths is idiomatic and exempt — the rule
+//     binds plain statements only.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sectorpack/internal/analysis/astx"
+	"sectorpack/internal/analysis/framework"
+)
+
+// FsyncSafe marks a function whose every write path ends in fsync(+rename):
+// calling it satisfies the reach-sync rule.
+type FsyncSafe struct{}
+
+// AFact marks FsyncSafe as a fact.
+func (*FsyncSafe) AFact() {}
+
+// durablePackages are the package names whose writes must be crash-safe.
+var durablePackages = map[string]bool{"cache": true, "session": true, "model": true}
+
+// writableOpens are the FS methods that hand back a writable File.
+var writableOpens = map[string]bool{"Create": true, "CreateTemp": true, "OpenFile": true}
+
+// Analyzer is the fsyncorder checker.
+var Analyzer = &framework.Analyzer{
+	Name: "fsyncorder",
+	Doc: "durable write paths must reach fsync: a faultfs writable open in cache/session/model " +
+		"must lead to .Sync() or an fsync-safe callee (faultfs.WriteFileAtomic), and " +
+		"error-returning Journal/File/FS mutations must not be statement-discarded " +
+		"(the PR-8 torn-write and lost-delta classes)",
+	Run:            run,
+	FactTypes:      []framework.Fact{(*FsyncSafe)(nil)},
+	NeedsCallGraph: true,
+}
+
+func run(pass *framework.Pass) error {
+	nodes := pass.Graph.NodesOf(pass.Pkg.Path())
+	exportFsyncSafe(pass, nodes)
+	if durablePackages[pass.Pkg.Name()] {
+		checkReachSync(pass, nodes)
+	}
+	if pass.Pkg.Name() != "faultfs" {
+		checkDiscardedErrors(pass)
+	}
+	return nil
+}
+
+// exportFsyncSafe derives FsyncSafe facts to a fixpoint: the base case is
+// the atomic-replace shape (body Syncs and Renames); the inductive case is
+// calling an already-safe function. Same-package helpers may be declared in
+// any order, hence the loop.
+func exportFsyncSafe(pass *framework.Pass, nodes []*framework.CallNode) {
+	safe := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			if node.Fn == nil || safe[node.Key] {
+				continue
+			}
+			if (callsMethodNamed(node.Body, "Sync") && callsMethodNamed(node.Body, "Rename")) ||
+				callsFsyncSafe(pass, node) {
+				safe[node.Key] = true
+				pass.ExportObjectFact(node.Fn, &FsyncSafe{})
+				changed = true
+			}
+		}
+	}
+}
+
+// callsFsyncSafe reports whether node's body calls a function already
+// proven fsync-safe (in this package's pending exports or an imported
+// package's sealed facts).
+func callsFsyncSafe(pass *framework.Pass, node *framework.CallNode) bool {
+	found := false
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+			var fact FsyncSafe
+			if pass.ImportObjectFact(fn, &fact) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkReachSync flags writable faultfs opens in functions from which no
+// Sync is reachable.
+func checkReachSync(pass *framework.Pass, nodes []*framework.CallNode) {
+	for _, node := range nodes {
+		openPos := writableOpenPos(pass.TypesInfo, node.Body)
+		if openPos == nil {
+			continue
+		}
+		if reachesSync(pass, node) {
+			continue
+		}
+		pass.Reportf(*openPos,
+			"writable faultfs open with no reachable Sync: route the write through "+
+				"faultfs.WriteFileAtomic or fsync the handle before rename/close, "+
+				"or a crash here tears the durable state")
+	}
+}
+
+// writableOpenPos returns the position of the first Create/CreateTemp/
+// OpenFile call on a faultfs.FS value in body, or nil.
+func writableOpenPos(info *types.Info, body *ast.BlockStmt) *token.Pos {
+	var pos *token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !writableOpens[sel.Sel.Name] {
+			return true
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || !astx.IsNamed(tv.Type, "faultfs", "FS") {
+			return true
+		}
+		p := call.Pos()
+		pos = &p
+		return false
+	})
+	return pos
+}
+
+// reachesSync reports whether node itself syncs, calls an fsync-safe
+// function, or can reach (via the call graph) a module function that
+// syncs.
+func reachesSync(pass *framework.Pass, node *framework.CallNode) bool {
+	if callsMethodNamed(node.Body, "Sync") || callsFsyncSafe(pass, node) {
+		return true
+	}
+	for key := range pass.Graph.ReachableFrom(node.Key) {
+		if n := pass.Graph.Node(key); n != nil && n.Body != nil && callsMethodNamed(n.Body, "Sync") {
+			return true
+		}
+	}
+	return false
+}
+
+// callsMethodNamed reports whether body contains a call x.<name>(...).
+func callsMethodNamed(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkDiscardedErrors flags statement-position calls that drop the error
+// of a Journal or faultfs File/FS method.
+func checkDiscardedErrors(pass *framework.Pass) {
+	deferred := map[*ast.CallExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				deferred[d.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || deferred[call] {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if !durableSeamType(selection.Recv()) {
+				return true
+			}
+			sig, ok := selection.Obj().Type().(*types.Signature)
+			if !ok || !lastResultIsError(sig) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s error discarded: journal and file mutations must poison or propagate "+
+					"(a dropped append/remove error desyncs memory from the durable log)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// durableSeamType reports whether t is session.Journal, faultfs.File, or
+// faultfs.FS (possibly behind a pointer), matching by package name so the
+// minimized fixtures exercise the same code path.
+func durableSeamType(t types.Type) bool {
+	return astx.IsNamed(t, "session", "Journal") ||
+		astx.IsNamed(t, "faultfs", "File") ||
+		astx.IsNamed(t, "faultfs", "FS")
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/fsyncorder"
+)
+
+func TestFsyncorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), fsyncorder.Analyzer,
+		"faultfs", "session", "cache")
+}

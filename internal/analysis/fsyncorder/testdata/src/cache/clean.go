@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"io"
+
+	"faultfs"
+	"session"
+)
+
+// goodAtomic routes the write through the cross-package fsync-safe sink;
+// the FsyncSafe fact on faultfs.WriteFileAtomic crossed the boundary.
+func goodAtomic(fsys faultfs.FS, data []byte) error {
+	return faultfs.WriteFileAtomic(fsys, "snapshot.bin", func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// goodExplicit opens and syncs in the same body.
+func goodExplicit(fsys faultfs.FS, data []byte) error {
+	f, err := fsys.Create("snapshot.bin")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// goodViaHelper opens here but reaches the sync through a callee found by
+// the call graph.
+func goodViaHelper(fsys faultfs.FS, data []byte) error {
+	f, err := fsys.Create("snapshot.bin")
+	if err != nil {
+		return err
+	}
+	return finish(f, data)
+}
+
+func finish(f faultfs.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // explicit discard is a decision, not an accident
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// goodJournal propagates every journal error.
+func goodJournal(j *session.Journal) error {
+	if err := j.AppendDelta("d1"); err != nil {
+		return err
+	}
+	_ = j.Path()
+	return j.Sync()
+}

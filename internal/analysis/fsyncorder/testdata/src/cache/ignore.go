@@ -1,0 +1,10 @@
+package cache
+
+import "session"
+
+// suppressedRemove documents why the dropped error is tolerable here:
+// best-effort cleanup of an already-retired journal.
+func suppressedRemove(j *session.Journal) {
+	//sectorlint:ignore fsyncorder best-effort cleanup; the journal is already retired from the index
+	j.Remove()
+}

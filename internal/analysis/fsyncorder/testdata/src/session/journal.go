@@ -1,0 +1,18 @@
+// Package session carries the minimized Journal for the error-discard
+// rule fixtures.
+package session
+
+// Journal is the append-only delta log seam.
+type Journal struct{ path string }
+
+// AppendDelta appends one delta record.
+func (j *Journal) AppendDelta(payload string) error { return nil }
+
+// Sync group-commits buffered appends.
+func (j *Journal) Sync() error { return nil }
+
+// Remove deletes the journal file.
+func (j *Journal) Remove() error { return nil }
+
+// Path returns the journal path (no error: never flagged).
+func (j *Journal) Path() string { return j.path }

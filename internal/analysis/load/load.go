@@ -9,11 +9,15 @@
 // re-checking and no network. On a warm build cache the whole repository
 // loads in well under a second.
 //
-// Only non-test GoFiles are analyzed: the solver invariants sectorlint
-// encodes (cancellation, seam normalization, epsilon discipline) are
-// production-code contracts, and tests legitimately violate several of
-// them on purpose (bit-identity assertions compare floats with ==, fault
-// harnesses build degraded solutions by hand).
+// By default only non-test GoFiles are analyzed: the solver invariants
+// sectorlint encodes (cancellation, seam normalization, epsilon
+// discipline) are production-code contracts, and tests legitimately
+// violate several of them on purpose (bit-identity assertions compare
+// floats with ==, fault harnesses build degraded solutions by hand). The
+// Config.IncludeTests mode folds in-package _test.go files into their
+// package and loads external _test packages as their own units — used in
+// CI for the analyzers whose invariants DO bind test helpers (ctxloop,
+// floateq), where a broken helper silently weakens every test using it.
 package load
 
 import (
@@ -31,19 +35,33 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"sectorpack/internal/analysis/framework"
 )
 
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Export     string
-	Module     *struct{ Path string }
-	Error      *struct{ Err string }
-	DepsErrors []struct{ Err string }
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+	DepsErrors   []struct{ Err string }
+}
+
+// Config tunes a load.
+type Config struct {
+	// IncludeTests folds each package's in-package _test.go files into its
+	// file set and additionally loads external test packages
+	// (package foo_test) as their own framework.Package with import path
+	// "<pkg>_test". External test packages import the package under test
+	// from its export data — compiled without test files, exactly the view
+	// a real external test compilation gets.
+	IncludeTests bool
 }
 
 // Packages loads and type-checks the module packages matched by the
@@ -51,12 +69,17 @@ type listedPackage struct {
 // dependencies, the standard library — are imported from export data and
 // never analyzed.
 func Packages(dir string, patterns ...string) (*token.FileSet, []*framework.Package, error) {
+	return PackagesCfg(dir, Config{}, patterns...)
+}
+
+// PackagesCfg is Packages with explicit configuration.
+func PackagesCfg(dir string, cfg Config, patterns ...string) (*token.FileSet, []*framework.Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,Module,Error,DepsErrors",
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Export,Module,Error,DepsErrors",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -101,6 +124,17 @@ func Packages(dir string, patterns ...string) (*token.FileSet, []*framework.Pack
 	// regardless of go tool internals.
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
+	if cfg.IncludeTests {
+		// Test files may import packages no production file needs (httptest
+		// and friends), which the base listing did not compile. A second
+		// -test listing harvests export data for those; test-variant
+		// pseudo-packages ("foo [foo.test]") never shadow real ones because
+		// only missing keys are merged.
+		if err := mergeTestExports(dir, patterns, exports); err != nil {
+			return nil, nil, err
+		}
+	}
+
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
@@ -112,10 +146,10 @@ func Packages(dir string, patterns ...string) (*token.FileSet, []*framework.Pack
 
 	var pkgs []*framework.Package
 	var errs []error
-	for _, p := range targets {
-		files := make([]*ast.File, 0, len(p.GoFiles))
-		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+	check := func(importPath, dir string, names []string) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 			if err != nil {
 				errs = append(errs, err)
 				continue
@@ -124,18 +158,31 @@ func Packages(dir string, patterns ...string) (*token.FileSet, []*framework.Pack
 		}
 		info := NewInfo()
 		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		tpkg, err := conf.Check(importPath, fset, files, info)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("type-checking %s: %w", p.ImportPath, err))
-			continue
+			errs = append(errs, fmt.Errorf("type-checking %s: %w", importPath, err))
+			return
 		}
 		pkgs = append(pkgs, &framework.Package{
-			ImportPath: p.ImportPath,
+			ImportPath: importPath,
 			Fset:       fset,
 			Files:      files,
 			Pkg:        tpkg,
 			TypesInfo:  info,
 		})
+	}
+	for _, p := range targets {
+		names := p.GoFiles
+		if cfg.IncludeTests && len(p.TestGoFiles) > 0 {
+			names = append(append([]string{}, p.GoFiles...), p.TestGoFiles...)
+		}
+		check(p.ImportPath, p.Dir, names)
+		if cfg.IncludeTests && len(p.XTestGoFiles) > 0 {
+			// The external test package imports the package under test
+			// through its export data, which the -export -deps listing
+			// already produced.
+			check(p.ImportPath+"_test", p.Dir, p.XTestGoFiles)
+		}
 	}
 	if len(errs) > 0 {
 		return nil, nil, errors.Join(errs...)
@@ -152,6 +199,41 @@ func NewInfo() *types.Info {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Implicits:  map[ast.Node]types.Object{},
 	}
+}
+
+// mergeTestExports runs a second `go list -test` pass and folds export data
+// for test-only dependencies into exports. Keys already present win: the
+// plain listing's export of a package reflects its production compilation,
+// which is the view external test packages must import.
+func mergeTestExports(dir string, patterns []string, exports map[string]string) error {
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Export",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -test %v: %w\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("go list -test: decoding output: %w", err)
+		}
+		if p.Export == "" || strings.Contains(p.ImportPath, " ") {
+			continue // test-variant pseudo-packages never shadow real ones
+		}
+		if _, ok := exports[p.ImportPath]; !ok {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
 }
 
 // modulePath reads the module path governing dir.

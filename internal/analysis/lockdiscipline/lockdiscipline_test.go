@@ -1,0 +1,13 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/lockdiscipline"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockdiscipline.Analyzer,
+		"lockstate", "lockdiscipline")
+}

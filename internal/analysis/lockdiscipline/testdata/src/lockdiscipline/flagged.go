@@ -1,0 +1,46 @@
+package lockdiscipline
+
+import (
+	"sync"
+
+	"lockstate"
+)
+
+type store struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+	retired int            // guarded by mu
+	bad     int            // guarded by gone // want `guard comment names "gone"`
+}
+
+// badCount reads a guarded field with no lock anywhere in sight.
+func (s *store) badCount() int {
+	return len(s.entries) // want `entries is guarded by "mu"`
+}
+
+// badCross accesses an imported package's guarded field: the GuardedBy
+// fact crossed the package boundary.
+func badCross(e *lockstate.Entry) string {
+	return e.Name // want `Name is guarded by "Mu"`
+}
+
+// badCallLocked calls a //sectorlint:locked helper without the lock.
+func badCallLocked(e *lockstate.Entry) string {
+	return e.NameLocked() // want `calls it without holding Entry.Mu`
+}
+
+// badHelper is reached from one locking caller and one non-locking
+// caller, so "all callers hold" fails.
+func (s *store) badHelper() int {
+	return s.retired // want `retired is guarded by "mu"`
+}
+
+func (s *store) lockingCaller() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.badHelper()
+}
+
+func (s *store) forgetfulCaller() int {
+	return s.badHelper()
+}

@@ -1,0 +1,24 @@
+// Package lockstate is the cross-package half of the lockdiscipline
+// fixtures: a store type whose guarded fields are accessed from the
+// lockdiscipline fixture package, proving the GuardedBy facts survive the
+// package boundary.
+package lockstate
+
+import "sync"
+
+// Entry mirrors the daemon's sessionEntry shape.
+type Entry struct {
+	Mu   sync.Mutex
+	Name string // guarded by Mu
+	Hits int    // guarded by Mu
+}
+
+// Touch is a correctly locking accessor.
+func (e *Entry) Touch() {
+	e.Mu.Lock()
+	defer e.Mu.Unlock()
+	e.Hits++
+}
+
+//sectorlint:locked Entry.Mu
+func (e *Entry) NameLocked() string { return e.Name }

@@ -1,0 +1,371 @@
+// Package retryidem checks that HTTP retry loops only re-send idempotent
+// routes.
+//
+// Invariant (DESIGN.md, "Fleet mode"): sectorclient's transport retries a
+// request when its `retryable` guard is true, and the proxy's forward()
+// inherits the same contract. Re-sending is only sound when a duplicate
+// arrival is harmless. The repository's route table:
+//
+//	GET/HEAD anything          safe (pure reads)
+//	DELETE /session/<id>       safe (delete is naturally idempotent)
+//	POST /solve                safe (pure compute, response cached by key)
+//	POST /session/<id>/delta   safe only under an idempotency key, which
+//	                           the daemon's replay table enforces
+//	POST /session              NOT safe: each arrival creates a session,
+//	                           so a retried create leaks a duplicate with
+//	                           its own journal (the PR-8/9 duplicate-
+//	                           session class)
+//
+// Mechanically: a function containing a retry loop (a for loop that
+// builds and sends an http.Request) with identifiable method / URL /
+// guard parameters gets a Retrier fact recording those parameter
+// positions. Wrappers that thread their own parameters into a Retrier
+// callee become Retriers themselves (fixpoint in-package, facts
+// across packages — how cmd/sectorproxy's forward inherits the contract
+// from sectorclient.Do). At every call site of a Retrier the analyzer
+// evaluates what it can statically: a constant-false guard means "never
+// retried" and is always fine; with a retriable guard and a constant
+// method+URL, the route table decides. Non-constant routes are not
+// flagged — the analyzer under-approximates rather than spray findings
+// on every dynamic path.
+package retryidem
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"sectorpack/internal/analysis/framework"
+)
+
+// Retrier marks a function that may re-send an HTTP request, recording
+// which parameters carry the method, the URL, and the retry guard.
+type Retrier struct {
+	MethodParam int
+	URLParam    int
+	GuardParam  int
+}
+
+// AFact marks Retrier as a fact.
+func (*Retrier) AFact() {}
+
+// Analyzer is the retryidem checker.
+var Analyzer = &framework.Analyzer{
+	Name: "retryidem",
+	Doc: "retry loops may only re-send idempotent routes: a call into sectorclient's " +
+		"retrying transport (or any wrapper of it) with a retriable guard and a " +
+		"constant POST /session route duplicates sessions on retry " +
+		"(the PR-8/9 duplicate-session class); POST is retried only for /solve " +
+		"and idempotency-keyed /delta routes",
+	Run:       run,
+	FactTypes: []framework.Fact{(*Retrier)(nil)},
+}
+
+func run(pass *framework.Pass) error {
+	fns := declaredFuncs(pass)
+	exportRetriers(pass, fns)
+	checkCallSites(pass, fns)
+	return nil
+}
+
+// declared is one function declaration with its object.
+type declared struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+func declaredFuncs(pass *framework.Pass) []declared {
+	var out []declared
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			out = append(out, declared{decl: fd, obj: obj})
+		}
+	}
+	return out
+}
+
+// exportRetriers derives Retrier facts: base case, a for loop that builds
+// an http.Request from the function's own parameters; inductive case, a
+// wrapper threading its parameters into a known Retrier. Fixpoint handles
+// declaration order within the package.
+func exportRetriers(pass *framework.Pass, fns []declared) {
+	done := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if done[f.obj] {
+				continue
+			}
+			var r *Retrier
+			if r = retryLoopShape(pass, f); r == nil {
+				r = wrapperShape(pass, f)
+			}
+			if r != nil {
+				done[f.obj] = true
+				pass.ExportObjectFact(f.obj, r)
+				changed = true
+			}
+		}
+	}
+}
+
+// paramIndex returns the index of obj among fn's parameters, or -1.
+// Indices are signature positions (receivers excluded).
+func paramIndex(sig *types.Signature, obj types.Object) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// soleParamMention returns the single parameter of sig that expr mentions,
+// or nil if it mentions zero or several.
+func soleParamMention(pass *framework.Pass, sig *types.Signature, expr ast.Expr) types.Object {
+	var found types.Object
+	multiple := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || paramIndex(sig, obj) < 0 {
+			return true
+		}
+		if found != nil && found != obj {
+			multiple = true
+		}
+		found = obj
+		return true
+	})
+	if multiple {
+		return nil
+	}
+	return found
+}
+
+// retryLoopShape recognizes the transport shape: a for/range loop whose
+// body calls http.NewRequest/NewRequestWithContext with the function's own
+// method and URL parameters, in a function with exactly one bool
+// parameter (the retry guard).
+func retryLoopShape(pass *framework.Pass, f declared) *Retrier {
+	sig := f.obj.Type().(*types.Signature)
+	guard := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if basic, ok := sig.Params().At(i).Type().Underlying().(*types.Basic); ok && basic.Kind() == types.Bool {
+			if guard >= 0 {
+				return nil // ambiguous: two bool params
+			}
+			guard = i
+		}
+	}
+	if guard < 0 {
+		return nil
+	}
+	var out *Retrier
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(c ast.Node) bool {
+			if out != nil {
+				return false
+			}
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			methodArg, urlArg, ok := newRequestArgs(pass, call)
+			if !ok {
+				return true
+			}
+			m := soleParamMention(pass, sig, methodArg)
+			u := soleParamMention(pass, sig, urlArg)
+			if m == nil || u == nil {
+				return true
+			}
+			out = &Retrier{
+				MethodParam: paramIndex(sig, m),
+				URLParam:    paramIndex(sig, u),
+				GuardParam:  guard,
+			}
+			return false
+		})
+		return true
+	})
+	return out
+}
+
+// newRequestArgs extracts the (method, url) arguments if call is
+// http.NewRequest or http.NewRequestWithContext.
+func newRequestArgs(pass *framework.Pass, call *ast.CallExpr) (method, url ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "http" {
+		return nil, nil, false
+	}
+	switch fn.Name() {
+	case "NewRequest":
+		if len(call.Args) >= 2 {
+			return call.Args[0], call.Args[1], true
+		}
+	case "NewRequestWithContext":
+		if len(call.Args) >= 3 {
+			return call.Args[1], call.Args[2], true
+		}
+	}
+	return nil, nil, false
+}
+
+// wrapperShape recognizes a function that forwards its own method/URL/guard
+// parameters into an already-known Retrier.
+func wrapperShape(pass *framework.Pass, f declared) *Retrier {
+	sig := f.obj.Type().(*types.Signature)
+	var out *Retrier
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee == f.obj {
+			return true
+		}
+		var r Retrier
+		if !pass.ImportObjectFact(callee, &r) {
+			return true
+		}
+		if len(call.Args) <= r.MethodParam || len(call.Args) <= r.URLParam || len(call.Args) <= r.GuardParam {
+			return true
+		}
+		m := soleParamMention(pass, sig, call.Args[r.MethodParam])
+		u := soleParamMention(pass, sig, call.Args[r.URLParam])
+		g := soleParamMention(pass, sig, call.Args[r.GuardParam])
+		if m == nil || u == nil || g == nil {
+			return true
+		}
+		out = &Retrier{
+			MethodParam: paramIndex(sig, m),
+			URLParam:    paramIndex(sig, u),
+			GuardParam:  paramIndex(sig, g),
+		}
+		return false
+	})
+	return out
+}
+
+// checkCallSites evaluates every Retrier invocation with whatever is
+// statically known.
+func checkCallSites(pass *framework.Pass, fns []declared) {
+	for _, f := range fns {
+		ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			var r Retrier
+			if !pass.ImportObjectFact(callee, &r) {
+				return true
+			}
+			if len(call.Args) <= r.MethodParam || len(call.Args) <= r.URLParam || len(call.Args) <= r.GuardParam {
+				return true
+			}
+			guardArg := call.Args[r.GuardParam]
+			if isConstFalse(pass.TypesInfo, guardArg) {
+				return true // never retried: any route is fine
+			}
+			method, okM := constString(pass.TypesInfo, call.Args[r.MethodParam])
+			url, okU := constString(pass.TypesInfo, call.Args[r.URLParam])
+			if !okM || !okU {
+				return true // dynamic route: under-approximate
+			}
+			if safe, why := routeSafe(method, url); !safe {
+				pass.Reportf(call.Pos(),
+					"retriable %s %s is not idempotent: %s; pass retryable=false or route it "+
+						"through the idempotency key", method, url, why)
+			}
+			return true
+		})
+	}
+}
+
+// routeSafe consults the repository's idempotency table.
+func routeSafe(method, url string) (bool, string) {
+	switch method {
+	case "GET", "HEAD", "DELETE", "OPTIONS":
+		return true, ""
+	case "POST":
+		if strings.HasSuffix(url, "/solve") {
+			return true, "" // pure compute, cached by content key
+		}
+		if strings.HasSuffix(url, "/delta") && strings.Contains(url, "/session/") {
+			return true, "" // daemon replay table dedups by idempotency key
+		}
+		if strings.HasSuffix(url, "/session") {
+			return false, "each POST /session creates a fresh session, so a retry duplicates it"
+		}
+		return false, "POST routes are only retried for /solve and idempotency-keyed /delta"
+	default:
+		return false, "method " + method + " is not in the idempotent-route table"
+	}
+}
+
+func isConstFalse(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}
+
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

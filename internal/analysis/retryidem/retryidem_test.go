@@ -1,0 +1,13 @@
+package retryidem_test
+
+import (
+	"testing"
+
+	"sectorpack/internal/analysis/analysistest"
+	"sectorpack/internal/analysis/retryidem"
+)
+
+func TestRetryidem(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), retryidem.Analyzer,
+		"http", "sectorclient", "retryidem")
+}

@@ -1,0 +1,35 @@
+// Package http is a minimized stand-in for net/http: the analyzer matches
+// the transport shape by package name ("http") and function names, so the
+// fixtures stay hermetic instead of type-checking the real net/http tree.
+package http
+
+import "context"
+
+// Request is a built request.
+type Request struct {
+	Method string
+	URL    string
+}
+
+// Response is a received response.
+type Response struct {
+	StatusCode int
+}
+
+// Client sends requests.
+type Client struct{}
+
+// Do sends one request.
+func (c *Client) Do(req *Request) (*Response, error) {
+	return &Response{StatusCode: 200}, nil
+}
+
+// NewRequest builds a request.
+func NewRequest(method, url string, body any) (*Request, error) {
+	return &Request{Method: method, URL: url}, nil
+}
+
+// NewRequestWithContext builds a request bound to ctx.
+func NewRequestWithContext(ctx context.Context, method, url string, body any) (*Request, error) {
+	return &Request{Method: method, URL: url}, nil
+}

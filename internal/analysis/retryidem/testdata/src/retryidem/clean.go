@@ -1,0 +1,23 @@
+package retryidem
+
+import (
+	"context"
+
+	"sectorclient"
+)
+
+// goodRoutes exercises every row of the idempotency table that permits a
+// retry, plus the constant-false guard that makes any route safe.
+func goodRoutes(ctx context.Context, c *sectorclient.Client) {
+	c.Do(ctx, "POST", "/solve", nil, true)             // pure compute
+	c.Do(ctx, "POST", "/session/abc/delta", nil, true) // idempotency-keyed
+	c.Do(ctx, "DELETE", "/session/abc", nil, true)     // naturally idempotent
+	c.Do(ctx, "GET", "/healthz", nil, true)            // pure read
+	c.Do(ctx, "POST", "/session", nil, false)          // never retried
+}
+
+// goodDynamic passes a computed route: the analyzer stays silent rather
+// than guessing.
+func goodDynamic(ctx context.Context, c *sectorclient.Client, path string) {
+	c.Do(ctx, "POST", path, nil, true)
+}

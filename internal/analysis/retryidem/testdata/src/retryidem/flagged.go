@@ -1,0 +1,17 @@
+package retryidem
+
+import (
+	"context"
+
+	"sectorclient"
+)
+
+// badCreate retries a session create: every retry mints a duplicate.
+func badCreate(ctx context.Context, c *sectorclient.Client) {
+	c.Do(ctx, "POST", "/session", nil, true) // want `retriable POST /session is not idempotent`
+}
+
+// badUnknownPost retries a POST route the idempotency table does not bless.
+func badUnknownPost(ctx context.Context, c *sectorclient.Client) {
+	c.Do(ctx, "POST", "/admin/flush", nil, true) // want `only retried for /solve`
+}

@@ -1,0 +1,13 @@
+package retryidem
+
+import (
+	"context"
+
+	"sectorclient"
+)
+
+// suppressedCreate documents why this one retried create is tolerable.
+func suppressedCreate(ctx context.Context, c *sectorclient.Client) {
+	//sectorlint:ignore retryidem test-only harness client; duplicate sessions are reaped by the sweeper
+	c.Do(ctx, "POST", "/session", nil, true)
+}

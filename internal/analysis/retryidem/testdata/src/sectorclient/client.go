@@ -1,0 +1,41 @@
+// Package sectorclient is the minimized retrying transport: do carries the
+// retry loop (the Retrier base case), Do is the wrapper that threads its
+// parameters through (the inductive case).
+package sectorclient
+
+import (
+	"context"
+
+	"http"
+)
+
+// Client is the minimized fleet client.
+type Client struct {
+	base string
+	hc   http.Client
+}
+
+// do is the retry loop: attempts re-send the same request while retryable.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, retryable bool) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, body)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// Do resolves the path against the client base and delegates to do.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte, retryable bool) (*http.Response, error) {
+	return c.do(ctx, method, c.base+path, body, retryable)
+}

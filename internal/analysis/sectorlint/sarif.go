@@ -1,0 +1,186 @@
+// Machine-readable renderers: -json for scripts, -sarif for code-scanning
+// upload. The SARIF form is the minimal valid subset of SARIF 2.1.0 —
+// tool.driver with one reportingDescriptor per analyzer, one result per
+// diagnostic with a physicalLocation — which is everything GitHub code
+// scanning and the schema validator require.
+package sectorlint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sectorpack/internal/analysis/framework"
+)
+
+// jsonFinding is one -json output record.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// renderJSON writes the findings as a JSON array.
+func renderJSON(w io.Writer, fset *token.FileSet, diags []framework.Diagnostic, root string) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonFinding{
+			File:     relPath(root, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 structures (subset).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifSchemaURI is the canonical 2.1.0 schema location; CI validates the
+// emitted log against it.
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// renderSARIF writes the findings as one SARIF 2.1.0 run. Rules cover the
+// full suite (not just the analyzers that fired) so suppressible findings
+// keep stable ruleIndexes across runs; the synthetic "sectorlint" rule
+// carries the malformed/stale-suppression findings the driver itself
+// reports.
+func renderSARIF(w io.Writer, fset *token.FileSet, diags []framework.Diagnostic,
+	analyzers []*framework.Analyzer, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		short := doc
+		if i := strings.IndexByte(doc, ':'); i > 0 {
+			short = doc[:i]
+		}
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: short},
+			FullDescription:  sarifMessage{Text: doc},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("sectorlint", "suppression hygiene: malformed or stale //sectorlint:ignore comments")
+	// A diagnostic from an analyzer outside the suite (future-proofing)
+	// still needs a rule to point at.
+	for _, d := range diags {
+		addRule(d.Analyzer, d.Analyzer)
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(root, pos.Filename)},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].RuleID < results[j].RuleID })
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "sectorlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relPath renders filename relative to root with forward slashes (SARIF
+// URIs), falling back to the absolute path outside root.
+func relPath(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !isDotDot(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+func isDotDot(rel string) bool {
+	return rel == ".." || (len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator))
+}

@@ -1,0 +1,119 @@
+package sectorlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"sectorpack/internal/analysis/framework"
+)
+
+// fakeDiags builds a FileSet with one file and diagnostics at known lines.
+func fakeDiags(t *testing.T) (*token.FileSet, []framework.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f := fset.AddFile("/repo/internal/x/x.go", -1, 1000)
+	f.SetLines([]int{0, 100, 200, 300})
+	return fset, []framework.Diagnostic{
+		{Pos: f.LineStart(2), Analyzer: "ctxloop", Message: "loop ignores ctx"},
+		{Pos: f.LineStart(3), Analyzer: "lockdiscipline", Message: "unlocked access"},
+	}
+}
+
+func TestRenderSARIFStructure(t *testing.T) {
+	fset, diags := fakeDiags(t)
+	var buf bytes.Buffer
+	if err := renderSARIF(&buf, fset, diags, Analyzers(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log must be valid JSON with the 2.1.0 envelope.
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", log["version"])
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %v, want the 2.1.0 schema URI", log["$schema"])
+	}
+
+	runs, _ := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "sectorlint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	// Every suite analyzer plus the synthetic suppression-hygiene rule.
+	if len(rules) != len(Analyzers())+1 {
+		t.Errorf("rules = %d, want %d", len(rules), len(Analyzers())+1)
+	}
+	ruleIDs := map[string]int{}
+	for i, r := range rules {
+		ruleIDs[r.(map[string]any)["id"].(string)] = i
+	}
+
+	results := run["results"].([]any)
+	if len(results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(results), len(diags))
+	}
+	for _, raw := range results {
+		res := raw.(map[string]any)
+		id := res["ruleId"].(string)
+		wantIdx, ok := ruleIDs[id]
+		if !ok {
+			t.Errorf("result ruleId %q has no matching rule", id)
+			continue
+		}
+		if int(res["ruleIndex"].(float64)) != wantIdx {
+			t.Errorf("result %q ruleIndex = %v, want %d", id, res["ruleIndex"], wantIdx)
+		}
+		locs := res["locations"].([]any)
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		uri := phys["artifactLocation"].(map[string]any)["uri"].(string)
+		if uri != "internal/x/x.go" {
+			t.Errorf("artifact uri = %q, want repo-relative internal/x/x.go", uri)
+		}
+		if line := phys["region"].(map[string]any)["startLine"].(float64); line < 1 {
+			t.Errorf("startLine = %v, want >= 1", line)
+		}
+	}
+}
+
+func TestRenderSARIFEmptyRun(t *testing.T) {
+	fset := token.NewFileSet()
+	var buf bytes.Buffer
+	if err := renderSARIF(&buf, fset, nil, Analyzers(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	// SARIF requires results to be present (possibly empty), not null.
+	if !bytes.Contains(buf.Bytes(), []byte(`"results": [`)) {
+		t.Error("empty run must still carry a results array")
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	fset, diags := fakeDiags(t)
+	var buf bytes.Buffer
+	if err := renderJSON(&buf, fset, diags, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Analyzer != "ctxloop" || out[0].File != "internal/x/x.go" || out[0].Line != 2 {
+		t.Errorf("json findings = %+v", out)
+	}
+}

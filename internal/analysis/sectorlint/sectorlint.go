@@ -1,7 +1,9 @@
 // Package sectorlint is the driver for the repository's invariant
 // checkers: it loads type-checked packages, runs every registered
-// analyzer, applies //sectorlint:ignore suppressions, and renders the
-// surviving diagnostics. cmd/sectorlint is a thin main around Main.
+// analyzer (sharing one facts store and one module call graph), applies
+// //sectorlint:ignore suppressions, and renders the surviving diagnostics
+// as text, JSON, or SARIF 2.1.0. cmd/sectorlint is a thin main around
+// Main.
 package sectorlint
 
 import (
@@ -12,11 +14,15 @@ import (
 
 	"sectorpack/internal/analysis/anglenorm"
 	"sectorpack/internal/analysis/ctxloop"
+	"sectorpack/internal/analysis/expvarmono"
 	"sectorpack/internal/analysis/floateq"
 	"sectorpack/internal/analysis/framework"
+	"sectorpack/internal/analysis/fsyncorder"
 	"sectorpack/internal/analysis/load"
+	"sectorpack/internal/analysis/lockdiscipline"
 	"sectorpack/internal/analysis/optcover"
 	"sectorpack/internal/analysis/provenance"
+	"sectorpack/internal/analysis/retryidem"
 )
 
 // Analyzers returns the full sectorlint suite in deterministic order.
@@ -24,9 +30,13 @@ func Analyzers() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		anglenorm.Analyzer,
 		ctxloop.Analyzer,
+		expvarmono.Analyzer,
 		floateq.Analyzer,
+		fsyncorder.Analyzer,
+		lockdiscipline.Analyzer,
 		optcover.Analyzer,
 		provenance.Analyzer,
+		retryidem.Analyzer,
 	}
 }
 
@@ -37,14 +47,24 @@ func Main(stdout, stderr io.Writer, args []string) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and their invariants, then exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+	staleIgnores := fs.Bool("stale-ignores", false,
+		"report //sectorlint:ignore comments that no longer suppress anything")
+	includeTests := fs.Bool("include-tests", false,
+		"also analyze _test.go files (in-package tests join their package; external test packages load as <pkg>_test)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: sectorlint [-list] [-only a,b] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: sectorlint [-list] [-only a,b] [-json|-sarif] [-stale-ignores] [-include-tests] [packages]\n\n"+
 			"Runs the repository's solver-invariant analyzers over the given\n"+
 			"package patterns (default ./...). Suppress a finding with\n"+
 			"//sectorlint:ignore <analyzer> <reason> on or above its line.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "sectorlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -76,18 +96,32 @@ func Main(stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintf(stderr, "sectorlint: %v\n", err)
 		return 2
 	}
-	fset, pkgs, err := load.Packages(dir, fs.Args()...)
+	fset, pkgs, err := load.PackagesCfg(dir, load.Config{IncludeTests: *includeTests}, fs.Args()...)
 	if err != nil {
 		fmt.Fprintf(stderr, "sectorlint: %v\n", err)
 		return 2
 	}
-	diags, err := framework.Run(fset, pkgs, analyzers)
+	diags, err := framework.RunOpts(fset, pkgs, analyzers, framework.Options{StaleIgnores: *staleIgnores})
 	if err != nil {
 		fmt.Fprintf(stderr, "sectorlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+
+	switch {
+	case *sarifOut:
+		if err := renderSARIF(stdout, fset, diags, Analyzers(), dir); err != nil {
+			fmt.Fprintf(stderr, "sectorlint: rendering SARIF: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
+		if err := renderJSON(stdout, fset, diags, dir); err != nil {
+			fmt.Fprintf(stderr, "sectorlint: rendering JSON: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "sectorlint: %d finding(s)\n", len(diags))

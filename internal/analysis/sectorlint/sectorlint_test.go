@@ -21,7 +21,10 @@ func TestAnalyzersWellFormed(t *testing.T) {
 			t.Errorf("analyzer %s: exactly one of Run and RunModule must be set", a.Name)
 		}
 	}
-	for _, want := range []string{"anglenorm", "ctxloop", "floateq", "optcover", "provenance"} {
+	for _, want := range []string{
+		"anglenorm", "ctxloop", "expvarmono", "floateq", "fsyncorder",
+		"lockdiscipline", "optcover", "provenance", "retryidem",
+	} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

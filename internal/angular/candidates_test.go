@@ -28,6 +28,7 @@ func TestCandidatesFilterAndDedup(t *testing.T) {
 	if len(c) != 2 {
 		t.Fatalf("candidates = %v, want [1.0 3.0] (dedup + range filter)", c)
 	}
+	//sectorlint:ignore floateq candidate angles are customer thetas copied verbatim; the inputs are these exact literals
 	if c[0] != 1.0 || c[1] != 3.0 {
 		t.Errorf("candidates = %v", c)
 	}

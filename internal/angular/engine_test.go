@@ -2,6 +2,7 @@ package angular
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -49,7 +50,9 @@ func unprunedBestWindow(in *model.Instance, antenna int, active []bool, opt knap
 }
 
 func windowsEqual(a, b Window) bool {
-	if a.Alpha != b.Alpha || a.Profit != b.Profit || a.Exact != b.Exact || len(a.Customers) != len(b.Customers) {
+	// The determinism contract is bit identity, so Alpha compares by bits.
+	if math.Float64bits(a.Alpha) != math.Float64bits(b.Alpha) ||
+		a.Profit != b.Profit || a.Exact != b.Exact || len(a.Customers) != len(b.Customers) {
 		return false
 	}
 	for k := range a.Customers {

@@ -2,6 +2,7 @@ package angular
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"sectorpack/internal/gen"
@@ -47,7 +48,7 @@ func TestCandidatesAllScalarVsParallel(t *testing.T) {
 				t.Fatalf("antenna %d %s path: %d candidates, reference has %d", j, path, len(got), len(ref))
 			}
 			for k := range ref {
-				if got[k] != ref[k] {
+				if math.Float64bits(got[k]) != math.Float64bits(ref[k]) {
 					t.Fatalf("antenna %d %s path candidate %d: got %v, reference %v", j, path, k, got[k], ref[k])
 				}
 			}
@@ -81,7 +82,7 @@ func TestPrewarmScalarVsParallel(t *testing.T) {
 			t.Fatalf("antenna %d: sweep lengths differ: %d vs %d", j, s.Len(), p.Len())
 		}
 		for k := 0; k < s.Len(); k++ {
-			if s.ids[k] != p.ids[k] || s.thetas[k] != p.thetas[k] ||
+			if s.ids[k] != p.ids[k] || math.Float64bits(s.thetas[k]) != math.Float64bits(p.thetas[k]) ||
 				s.weights[k] != p.weights[k] || s.profits[k] != p.profits[k] ||
 				s.density[k] != p.density[k] {
 				t.Fatalf("antenna %d: sweeps diverge at position %d", j, k)
@@ -92,7 +93,7 @@ func TestPrewarmScalarVsParallel(t *testing.T) {
 			t.Fatalf("antenna %d: candidate counts differ: %d vs %d", j, len(sc), len(pc))
 		}
 		for k := range sc {
-			if sc[k] != pc[k] {
+			if math.Float64bits(sc[k]) != math.Float64bits(pc[k]) {
 				t.Fatalf("antenna %d: candidates diverge at %d: %v vs %v", j, k, sc[k], pc[k])
 			}
 		}

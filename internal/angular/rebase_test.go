@@ -53,11 +53,13 @@ func bandCustomer(in *model.Instance, b int, skip map[int]bool) int {
 
 func sweepsEqual(t *testing.T, tag string, got, want *Sweep) {
 	t.Helper()
-	if got.rho != want.rho || len(got.ids) != len(want.ids) {
+	// Rebase promises bit identity with a fresh build, so floats compare
+	// by bits.
+	if math.Float64bits(got.rho) != math.Float64bits(want.rho) || len(got.ids) != len(want.ids) {
 		t.Fatalf("%s: shape mismatch: rho %v/%v len %d/%d", tag, got.rho, want.rho, len(got.ids), len(want.ids))
 	}
 	for k := range want.ids {
-		if got.ids[k] != want.ids[k] || got.thetas[k] != want.thetas[k] ||
+		if got.ids[k] != want.ids[k] || math.Float64bits(got.thetas[k]) != math.Float64bits(want.thetas[k]) ||
 			got.weights[k] != want.weights[k] || got.profits[k] != want.profits[k] ||
 			got.density[k] != want.density[k] {
 			t.Fatalf("%s: position %d differs: got (id %d θ %v w %d p %d d %d) want (id %d θ %v w %d p %d d %d)",
@@ -122,7 +124,7 @@ func TestRebaseBitIdentical(t *testing.T) {
 			t.Fatalf("antenna %d: candidate count %d != %d", j, len(gc), len(fc))
 		}
 		for k := range fc {
-			if gc[k] != fc[k] {
+			if math.Float64bits(gc[k]) != math.Float64bits(fc[k]) {
 				t.Fatalf("antenna %d: candidate %d: %v != %v", j, k, gc[k], fc[k])
 			}
 		}
@@ -144,7 +146,8 @@ func TestRebaseBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Alpha != want.Alpha || got.Profit != want.Profit || len(got.Customers) != len(want.Customers) {
+		if math.Float64bits(got.Alpha) != math.Float64bits(want.Alpha) ||
+			got.Profit != want.Profit || len(got.Customers) != len(want.Customers) {
 			t.Fatalf("antenna %d: window %+v != fresh %+v", j, got, want)
 		}
 		for k := range want.Customers {

@@ -71,21 +71,21 @@ func entrySize(key string, sol model.Solution) int64 {
 // with singleflight collapse of concurrent identical solves. All methods
 // are safe for concurrent use.
 type Cache struct {
-	// mu guards everything below. Solves themselves run outside the lock;
-	// only map/list bookkeeping happens under it.
+	// mu guards the map/list bookkeeping. Solves themselves run outside
+	// the lock.
 	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	ll       *list.List // front = most recently used
-	entries  map[string]*list.Element
-	flights  map[string]*flight
+	maxBytes int64                    // immutable after New
+	bytes    int64                    // guarded by mu
+	ll       *list.List               // guarded by mu (front = most recently used)
+	entries  map[string]*list.Element // guarded by mu
+	flights  map[string]*flight       // guarded by mu
 
-	hits      expvar.Int
-	misses    expvar.Int
-	evictions expvar.Int
-	collapsed expvar.Int
-	stores    expvar.Int
-	restored  expvar.Int // entries warm-loaded from a snapshot (snapshot.go)
+	hits      expvar.Int // monotonic: lookups answered from the map
+	misses    expvar.Int // monotonic: lookups that fell through to a solve
+	evictions expvar.Int // monotonic: entries dropped under byte pressure
+	collapsed expvar.Int // monotonic: callers that joined an in-flight solve
+	stores    expvar.Int // monotonic: live entries inserted
+	restored  expvar.Int // monotonic: entries warm-loaded from a snapshot (snapshot.go)
 }
 
 // New returns a cache bounded to maxBytes of stored solutions; zero means
@@ -102,9 +102,6 @@ func New(maxBytes int64) *Cache {
 	}
 }
 
-func (c *Cache) lock()   { c.mu.Lock() }
-func (c *Cache) unlock() { c.mu.Unlock() }
-
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
 	Hits      int64 `json:"hits"`
@@ -119,8 +116,8 @@ type Stats struct {
 
 // Stats returns the current counters.
 func (c *Cache) Stats() Stats {
-	c.lock()
-	defer c.unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Stats{
 		Hits:      c.hits.Value(),
 		Misses:    c.misses.Value(),
@@ -151,8 +148,8 @@ func (c *Cache) Vars() []NamedVar {
 		{"collapsed", &c.collapsed},
 		{"stores", &c.stores},
 		{"restored", &c.restored},
-		{"bytes", expvar.Func(func() any { c.lock(); defer c.unlock(); return c.bytes })},
-		{"entries", expvar.Func(func() any { c.lock(); defer c.unlock(); return c.ll.Len() })},
+		{"bytes", expvar.Func(func() any { c.mu.Lock(); defer c.mu.Unlock(); return c.bytes })},
+		{"entries", expvar.Func(func() any { c.mu.Lock(); defer c.mu.Unlock(); return c.ll.Len() })},
 	}
 }
 
@@ -160,17 +157,17 @@ func (c *Cache) Vars() []NamedVar {
 // coordinates, without solving. The returned assignment is freshly
 // allocated — callers may mutate it freely.
 func (c *Cache) Get(fp *Fingerprint) (model.Solution, bool) {
-	c.lock()
+	c.mu.Lock()
 	e, ok := c.entries[fp.key]
 	if !ok {
 		c.misses.Add(1)
-		c.unlock()
+		c.mu.Unlock()
 		return model.Solution{}, false
 	}
 	c.ll.MoveToFront(e)
 	sol := e.Value.(*entry).sol
 	c.hits.Add(1)
-	c.unlock()
+	c.mu.Unlock()
 	return fp.fromCanonical(sol), true
 }
 
@@ -182,29 +179,32 @@ func (c *Cache) Put(fp *Fingerprint, sol model.Solution) {
 		return
 	}
 	canon := fp.toCanonical(sol)
-	c.lock()
+	c.mu.Lock()
 	c.putLocked(fp.key, canon)
-	c.unlock()
+	c.mu.Unlock()
 }
 
 // Delete removes the entry for key, if present. The serving layer uses it
 // to drop an entry that failed the re-verification gate.
 func (c *Cache) Delete(key string) {
-	c.lock()
+	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.removeLocked(e)
 	}
-	c.unlock()
+	c.mu.Unlock()
 }
 
 // putLocked inserts or refreshes an entry and evicts from the LRU tail
 // until the byte budget holds. An entry larger than the whole budget is
 // not stored at all. counter distinguishes live stores from snapshot
 // restores in the metrics.
+//
+//sectorlint:locked Cache.mu
 func (c *Cache) putLocked(key string, canon model.Solution) {
 	c.putCountedLocked(key, canon, &c.stores)
 }
 
+//sectorlint:locked Cache.mu
 func (c *Cache) putCountedLocked(key string, canon model.Solution, counter *expvar.Int) {
 	size := entrySize(key, canon)
 	if size > c.maxBytes {
@@ -227,6 +227,7 @@ func (c *Cache) putCountedLocked(key string, canon model.Solution, counter *expv
 	}
 }
 
+//sectorlint:locked Cache.mu
 func (c *Cache) removeLocked(e *list.Element) {
 	ent := e.Value.(*entry)
 	c.ll.Remove(e)
@@ -246,17 +247,17 @@ func (c *Cache) removeLocked(e *list.Element) {
 // A follower whose ctx expires before the leader finishes returns its own
 // ctx error without waiting further.
 func (c *Cache) GetOrSolve(ctx context.Context, fp *Fingerprint, solve func(ctx context.Context) (model.Solution, error)) (model.Solution, Outcome, error) {
-	c.lock()
+	c.mu.Lock()
 	if e, ok := c.entries[fp.key]; ok {
 		c.ll.MoveToFront(e)
 		sol := e.Value.(*entry).sol
 		c.hits.Add(1)
-		c.unlock()
+		c.mu.Unlock()
 		return fp.fromCanonical(sol), Hit, nil
 	}
 	if fl, ok := c.flights[fp.key]; ok {
 		c.collapsed.Add(1)
-		c.unlock()
+		c.mu.Unlock()
 		select {
 		case <-fl.done:
 			if !fl.ok {
@@ -270,7 +271,7 @@ func (c *Cache) GetOrSolve(ctx context.Context, fp *Fingerprint, solve func(ctx 
 	c.misses.Add(1)
 	fl := &flight{done: make(chan struct{})}
 	c.flights[fp.key] = fl
-	c.unlock()
+	c.mu.Unlock()
 
 	sol, err := solve(ctx)
 	store := err == nil && !sol.Degraded && sol.Assignment != nil
@@ -278,12 +279,12 @@ func (c *Cache) GetOrSolve(ctx context.Context, fp *Fingerprint, solve func(ctx 
 	if store {
 		canon = fp.toCanonical(sol)
 	}
-	c.lock()
+	c.mu.Lock()
 	delete(c.flights, fp.key)
 	if store {
 		c.putLocked(fp.key, canon)
 	}
-	c.unlock()
+	c.mu.Unlock()
 	if store {
 		fl.sol, fl.ok = canon, true
 	} else {

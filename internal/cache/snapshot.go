@@ -61,8 +61,8 @@ type entrySnap struct {
 // them in file order with putLocked (which pushes to the front) rebuilds
 // the same recency order.
 func (c *Cache) snapshotEntries() []entrySnap {
-	c.lock()
-	defer c.unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]entrySnap, 0, c.ll.Len())
 	for e := c.ll.Back(); e != nil; e = e.Prev() {
 		ent := e.Value.(*entry)
@@ -357,8 +357,8 @@ func (c *Cache) LoadSnapshot(fsys faultfs.FS, path string) (SnapshotReport, erro
 // stores and never overwrite an entry a request already populated (the live
 // entry is at least as fresh).
 func (c *Cache) restore(key string, sol model.Solution) {
-	c.lock()
-	defer c.unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.entries[key]; ok {
 		return
 	}

@@ -82,12 +82,12 @@ func TestSnapshotPreservesLRUOrder(t *testing.T) {
 	if _, err := fresh.LoadSnapshot(faultfs.OS, path); err != nil {
 		t.Fatal(err)
 	}
-	fresh.lock()
+	fresh.mu.Lock()
 	var order []string
 	for e := fresh.ll.Back(); e != nil; e = e.Prev() {
 		order = append(order, e.Value.(*entry).key)
 	}
-	fresh.unlock()
+	fresh.mu.Unlock()
 	want := []string{fps[1].Key(), fps[2].Key(), fps[0].Key()}
 	for k := range want {
 		if order[k] != want[k] {

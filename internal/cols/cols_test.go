@@ -198,7 +198,10 @@ func TestViewLayoutDeterministic(t *testing.T) {
 			t.Fatalf("position %d: ID %d, want %d", p, v.ID[p], want)
 		}
 		c := in.Customers[want]
-		if v.Theta[p] != c.Theta || v.R[p] != c.R || v.Demand[p] != c.Demand || v.Profit[p] != c.Profit {
+		// Columns must copy the customer values verbatim: compare by bits.
+		if math.Float64bits(v.Theta[p]) != math.Float64bits(c.Theta) ||
+			math.Float64bits(v.R[p]) != math.Float64bits(c.R) ||
+			v.Demand[p] != c.Demand || v.Profit[p] != c.Profit {
 			t.Fatalf("position %d: columns diverge from customer %d", p, want)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -89,7 +90,7 @@ func TestUncancelledBackgroundUnchanged(t *testing.T) {
 		t.Fatalf("profit differs under live context: %d vs %d", a.Profit, b.Profit)
 	}
 	for j := range a.Assignment.Orientation {
-		if a.Assignment.Orientation[j] != b.Assignment.Orientation[j] {
+		if math.Float64bits(a.Assignment.Orientation[j]) != math.Float64bits(b.Assignment.Orientation[j]) {
 			t.Fatalf("orientation %d differs under live context", j)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -132,7 +133,8 @@ func TestBestWindowConstrainedMatchesBruteForce(t *testing.T) {
 			want.Customers = nil
 		}
 
-		if got.Alpha != want.Alpha || got.Profit != want.Profit || got.Exact != want.Exact ||
+		if math.Float64bits(got.Alpha) != math.Float64bits(want.Alpha) ||
+			got.Profit != want.Profit || got.Exact != want.Exact ||
 			len(got.Customers) != len(want.Customers) {
 			t.Fatalf("trial %d: constrained %+v != brute force %+v", trial, got, want)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -179,7 +180,7 @@ func assertSameSolution(t *testing.T, want, got model.Solution) {
 		t.Fatalf("solution differs: profit %d/%d algorithm %q/%q", want.Profit, got.Profit, want.Algorithm, got.Algorithm)
 	}
 	for j, o := range want.Assignment.Orientation {
-		if got.Assignment.Orientation[j] != o {
+		if math.Float64bits(got.Assignment.Orientation[j]) != math.Float64bits(o) {
 			t.Fatalf("orientation[%d] = %v, want %v", j, got.Assignment.Orientation[j], o)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -286,7 +287,7 @@ func TestDegradedModeBitIdenticalWhenHealthy(t *testing.T) {
 		t.Errorf("profit/algorithm drifted: %d/%s vs %d/%s", plain.Profit, plain.Algorithm, hedged.Profit, hedged.Algorithm)
 	}
 	for i := range plain.Orientation {
-		if plain.Orientation[i] != hedged.Orientation[i] {
+		if math.Float64bits(plain.Orientation[i]) != math.Float64bits(hedged.Orientation[i]) {
 			t.Fatalf("orientation[%d] drifted: %v vs %v", i, plain.Orientation[i], hedged.Orientation[i])
 		}
 	}

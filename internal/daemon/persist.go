@@ -144,12 +144,15 @@ func (s *Server) recoverSession(ctx context.Context, id string) error {
 	}
 	e := &sessionEntry{sess: sess, solver: rec.Solver, journal: j, lastIdemKey: rec.LastIdemKey(), lastOK: true}
 	e.touch()
+	// Publish the replayed stats before the entry becomes visible, so the
+	// store-wide sums see the recovered session immediately.
+	st := sess.Stats()
+	e.statsSnap.Store(&st)
 	if !s.sessions.put(id, e, s.sessionMax()) {
 		// Over the live-session cap. The journal stays on disk: a later
 		// restart with free capacity can still recover it, and the client's
 		// next delta gets a clean 404 rather than a corrupt session.
-		j.Close()
-		return errors.New("session table full")
+		return errors.Join(errors.New("session table full"), j.Close())
 	}
 	return nil
 }

@@ -150,34 +150,35 @@ type Server struct {
 	sessions *sessionStore // live delta-solve sessions (sessions.go)
 	sessSeq  atomic.Uint64 // session-ID sequence
 
-	sessCreated expvar.Int // sessions opened via POST /session
-	sessClosed  expvar.Int // sessions closed via DELETE
-	sessEvicted expvar.Int // sessions reaped by the idle sweep
-	sessDeltas  expvar.Int // deltas applied across all sessions
+	sessCreated expvar.Int // monotonic: sessions opened via POST /session
+	sessClosed  expvar.Int // monotonic: sessions closed via DELETE
+	sessEvicted expvar.Int // monotonic: sessions reaped by the idle sweep
+	sessDeltas  expvar.Int // monotonic: deltas applied across all sessions
 
-	snapSaves         expvar.Int // cache snapshots written (periodic + drain)
-	snapSaveFailures  expvar.Int // snapshot writes that failed
-	snapLoadSkipped   expvar.Int // snapshot entries rejected at warm-load
-	snapLoadFailures  expvar.Int // whole-snapshot loads rejected (bad header/version)
-	sessRecovered     expvar.Int // sessions rebuilt from journals at Restore
-	sessRecoverFailed expvar.Int // journals that could not be recovered
-	journalFailures   expvar.Int // journal create/append failures (session dropped)
-	idemReplays       expvar.Int // deltas answered from the idempotency check
+	snapSaves         expvar.Int // monotonic: cache snapshots written (periodic + drain)
+	snapSaveFailures  expvar.Int // monotonic: snapshot writes that failed
+	snapLoadSkipped   expvar.Int // monotonic: snapshot entries rejected at warm-load
+	snapLoadFailures  expvar.Int // monotonic: whole-snapshot loads rejected (bad header/version)
+	sessRecovered     expvar.Int // monotonic: sessions rebuilt from journals at Restore
+	sessRecoverFailed expvar.Int // monotonic: journals that could not be recovered
+	journalFailures   expvar.Int // monotonic: journal create/append failures (session dropped)
+	journalOrphans    expvar.Int // monotonic: journal removals that failed (file left on disk)
+	idemReplays       expvar.Int // monotonic: deltas answered from the idempotency check
 
-	requests      expvar.Int // total /solve requests
-	solved        expvar.Int // completed successfully (incl. degraded)
-	cancellations expvar.Int // ended by deadline or client disconnect
-	shed          expvar.Int // rejected with 429
-	failures      expvar.Int // bad requests and solver errors
-	panics        expvar.Int // recovered solver/handler panics
-	fallbacks     expvar.Int // degraded responses served by the safety net
-	hedgeWins     expvar.Int // fallback already done when the primary failed
-	invalid       expvar.Int // solver outputs rejected by the post-solve gate
-	batches       expvar.Int // /solve/batch requests
-	batchItems    expvar.Int // instances received across all batches
+	requests      expvar.Int // monotonic: total /solve requests
+	solved        expvar.Int // monotonic: completed successfully (incl. degraded)
+	cancellations expvar.Int // monotonic: ended by deadline or client disconnect
+	shed          expvar.Int // monotonic: rejected with 429
+	failures      expvar.Int // monotonic: bad requests and solver errors
+	panics        expvar.Int // monotonic: recovered solver/handler panics
+	fallbacks     expvar.Int // monotonic: degraded responses served by the safety net
+	hedgeWins     expvar.Int // monotonic: fallback already done when the primary failed
+	invalid       expvar.Int // monotonic: solver outputs rejected by the post-solve gate
+	batches       expvar.Int // monotonic: /solve/batch requests
+	batchItems    expvar.Int // monotonic: instances received across all batches
 
 	latencyMu sync.Mutex
-	latency   map[string]*latencyHist // per-solver
+	latency   map[string]*latencyHist // guarded by latencyMu (per-solver)
 }
 
 // NewServer builds a Server from the config.
@@ -977,11 +978,11 @@ func (s *Server) meanLatencyMS() float64 {
 // expvar.Var.
 type latencyHist struct {
 	mu      sync.Mutex
-	count   int64
-	totalMS float64
+	count   int64   // guarded by mu
+	totalMS float64 // guarded by mu
 	// buckets[i] counts solves with latency < 2^i ms; the last bucket is
 	// the overflow.
-	buckets [12]int64
+	buckets [12]int64 // guarded by mu
 }
 
 func (h *latencyHist) observe(d time.Duration) {
@@ -1072,6 +1073,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		{"sectord.sessions.recovered", &s.sessRecovered},
 		{"sectord.sessions.recover_failed", &s.sessRecoverFailed},
 		{"sectord.sessions.journal_failures", &s.journalFailures},
+		{"sectord.sessions.journal_orphans", &s.journalOrphans},
 		{"sectord.sessions.idem_replays", &s.idemReplays},
 	}
 	vars = append(vars, s.sessionVars()...)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -107,7 +108,7 @@ func TestSessionLifecycleDifferential(t *testing.T) {
 			t.Errorf("step %d: profit %d, want %d", step, sr.Profit, want.Profit)
 		}
 		for j, a := range sr.Orientation {
-			if a != want.Assignment.Orientation[j] {
+			if math.Float64bits(a) != math.Float64bits(want.Assignment.Orientation[j]) {
 				t.Errorf("step %d: orientation[%d] = %v, want %v (bit-identity)", step, j, a, want.Assignment.Orientation[j])
 			}
 		}

@@ -50,29 +50,56 @@ const DefaultSessionTTL = 15 * time.Minute
 // solve failed", which a retry must re-solve).
 type sessionEntry struct {
 	mu          sync.Mutex
-	sess        *session.Session
-	solver      string
-	journal     *session.Journal
-	lastIdemKey string
-	lastOK      bool
+	sess        *session.Session // guarded by mu
+	solver      string           // immutable after creation
+	journal     *session.Journal // guarded by mu
+	lastIdemKey string           // guarded by mu
+	lastOK      bool             // guarded by mu
 	lastNanos   atomic.Int64
+
+	// statsSnap is the Stats reading published by the most recent
+	// snapshotStats call. It lets the store-wide sums (remove, totals) read
+	// a session's counters without taking mu — an in-flight Apply can hold
+	// mu for a whole solve, and /debug/vars must not block behind it.
+	statsSnap atomic.Pointer[session.Stats]
 }
 
 func (e *sessionEntry) touch() { e.lastNanos.Store(time.Now().UnixNano()) }
+
+// snapshotStats reads the session's current stats and publishes them as
+// the entry's lock-free snapshot.
+//
+//sectorlint:locked sessionEntry.mu
+func (e *sessionEntry) snapshotStats() session.Stats {
+	st := e.sess.Stats()
+	e.statsSnap.Store(&st)
+	return st
+}
+
+// stats returns the last published snapshot without taking mu. It can lag
+// the live session by at most the delta currently being applied.
+func (e *sessionEntry) stats() session.Stats {
+	if p := e.statsSnap.Load(); p != nil {
+		return *p
+	}
+	return session.Stats{}
+}
 
 // sessionStore owns the id → session map. retired accumulates the Stats of
 // closed and evicted sessions so the store-wide sums in /debug/vars never
 // go backwards when a session dies.
 type sessionStore struct {
 	mu      sync.Mutex
-	m       map[string]*sessionEntry
-	retired session.Stats
+	m       map[string]*sessionEntry // guarded by mu
+	retired session.Stats            // guarded by mu
 }
 
 // evictIdle removes every session idle longer than ttl. A session whose
 // lock is held is mid-request and is skipped — it will be swept once idle
-// again. Returns the number evicted.
-func (st *sessionStore) evictIdle(ttl time.Duration) int {
+// again. A journal that cannot be removed is reported through onJournalErr
+// (never nil'd away silently: the file would resurrect the session at the
+// next restart). Returns the number evicted.
+func (st *sessionStore) evictIdle(ttl time.Duration, onJournalErr func(id string, err error)) int {
 	now := time.Now()
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -88,7 +115,9 @@ func (st *sessionStore) evictIdle(ttl time.Duration) int {
 		if e.journal != nil {
 			// An evicted session is gone for good; its journal must not
 			// resurrect it at the next restart.
-			e.journal.Remove()
+			if err := e.journal.Remove(); err != nil && onJournalErr != nil {
+				onJournalErr(id, err)
+			}
 		}
 		e.mu.Unlock()
 		delete(st.m, id)
@@ -97,7 +126,10 @@ func (st *sessionStore) evictIdle(ttl time.Duration) int {
 	return evicted
 }
 
-// remove deletes id, folding its stats into the retired accumulator.
+// remove deletes id, folding its last published stats snapshot into the
+// retired accumulator. It reads the snapshot, not the live session — sess
+// is guarded by e.mu, which remove does not (and must not) take: an
+// in-flight Apply can hold it for a whole solve.
 func (st *sessionStore) remove(id string) (*sessionEntry, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -105,7 +137,7 @@ func (st *sessionStore) remove(id string) (*sessionEntry, bool) {
 	if !ok {
 		return nil, false
 	}
-	st.retired = addStats(st.retired, e.sess.Stats())
+	st.retired = addStats(st.retired, e.stats())
 	delete(st.m, id)
 	return e, true
 }
@@ -128,14 +160,17 @@ func (st *sessionStore) put(id string, e *sessionEntry, max int) bool {
 	return true
 }
 
-// totals returns the store-wide Stats sums: retired sessions plus a
-// snapshot of every live one.
+// totals returns the store-wide Stats sums: retired sessions plus the
+// published snapshot of every live one. Reading snapshots instead of the
+// live sessions keeps totals lock-free per entry (an in-flight Apply would
+// otherwise block the /debug/vars render) and race-free — sess is guarded
+// by each entry's mu.
 func (st *sessionStore) totals() session.Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	t := st.retired
 	for _, e := range st.m {
-		t = addStats(t, e.sess.Stats())
+		t = addStats(t, e.stats())
 	}
 	return t
 }
@@ -243,10 +278,20 @@ func (s *Server) sessionTTL() time.Duration {
 // it on entry, so an abandoned session outlives its TTL only until the next
 // session request of any kind.
 func (s *Server) sweepSessions() {
-	if n := s.sessions.evictIdle(s.sessionTTL()); n > 0 {
+	if n := s.sessions.evictIdle(s.sessionTTL(), s.journalRemoveFailed); n > 0 {
 		s.sessEvicted.Add(int64(n))
 		s.logger.Info("sessions evicted", slog.Int("count", n))
 	}
+}
+
+// journalRemoveFailed records a journal deletion that failed: the file is
+// now an orphan that the next restart's recovery pass may replay into a
+// session the client believes is gone. Counted and logged so operators can
+// clean the journal directory.
+func (s *Server) journalRemoveFailed(id string, err error) {
+	s.journalOrphans.Add(1)
+	s.logger.Warn("session journal remove failed; orphan journal left on disk",
+		slog.String("session_id", id), slog.String("error", err.Error()))
 }
 
 func (s *Server) nextSessionID() string {
@@ -394,9 +439,18 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		e.journal = j
 	}
 	e.touch()
+	// Capture the response payload and publish the first stats snapshot
+	// before the entry becomes visible: session IDs are predictable, so the
+	// moment put succeeds a concurrent delta can lock the entry and advance
+	// sess mid-read.
+	stats := sess.Stats()
+	sol := sess.Solution()
+	e.statsSnap.Store(&stats)
 	if !s.sessions.put(id, e, s.sessionMax()) {
 		if e.journal != nil {
-			e.journal.Remove()
+			if rerr := e.journal.Remove(); rerr != nil {
+				s.journalRemoveFailed(id, rerr)
+			}
 		}
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -410,8 +464,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.logSession("create", id, start, http.StatusOK, "solver="+name)
 	writeJSON(w, http.StatusOK, sessionResponse{
 		SessionID:     id,
-		Stats:         newSessionStats(sess.Stats()),
-		solveResponse: *newSolveResponse(name, sess.Solution(), elapsed),
+		Stats:         newSessionStats(stats),
+		solveResponse: *newSolveResponse(name, sol, elapsed),
 	})
 }
 
@@ -490,7 +544,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 			}
 			e.lastOK = err == nil
 		}
-		stats := e.sess.Stats()
+		stats := e.snapshotStats()
 		e.touch()
 		e.mu.Unlock()
 		if err != nil {
@@ -531,7 +585,9 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 			// for the client beats silently serving state that a restart
 			// would roll back.
 			s.journalFailures.Add(1)
-			e.journal.Remove()
+			if rerr := e.journal.Remove(); rerr != nil {
+				s.journalRemoveFailed(id, rerr)
+			}
 			e.mu.Unlock()
 			s.sessions.remove(id)
 			s.logger.Warn("session dropped: journal append failed",
@@ -544,7 +600,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		e.lastIdemKey = req.IdempotencyKey
 		e.lastOK = err == nil && verr == nil
 	}
-	stats := e.sess.Stats()
+	stats := e.snapshotStats()
 	e.touch()
 	e.mu.Unlock()
 	if err != nil {
@@ -582,13 +638,17 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sessClosed.Add(1)
-	// Synchronize with an in-flight delta so its stats snapshot is final.
+	// Synchronize with an in-flight delta so the stats in the reply are
+	// final (remove already folded the last published snapshot into the
+	// store-wide accumulator).
 	e.mu.Lock()
 	stats := e.sess.Stats()
 	if e.journal != nil {
 		// A deliberately closed session must not be resurrected by the next
 		// restart's recovery pass.
-		e.journal.Remove()
+		if rerr := e.journal.Remove(); rerr != nil {
+			s.journalRemoveFailed(id, rerr)
+		}
 	}
 	e.mu.Unlock()
 	s.logSession("delete", id, start, http.StatusOK, "")

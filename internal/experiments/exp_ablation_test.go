@@ -7,9 +7,11 @@ func TestE11CandidatesAlwaysExact(t *testing.T) {
 	if err != nil {
 		t.Fatalf("E11: %v", err)
 	}
+	//sectorlint:ignore floateq ratioOf rounds Eps-close ratios to exactly 1.0 by contract
 	if rep.Findings["cand_min_ratio"] != 1.0 {
 		t.Errorf("candidate method must be exact, min ratio %v", rep.Findings["cand_min_ratio"])
 	}
+	//sectorlint:ignore floateq both findings are integer counts stored in the float64 findings map
 	if rep.Findings["cand_matches"] != rep.Findings["trials"] {
 		t.Errorf("candidate method matched %v/%v", rep.Findings["cand_matches"], rep.Findings["trials"])
 	}

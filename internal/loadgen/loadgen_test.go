@@ -72,6 +72,7 @@ func TestOpenLoopTargetsRate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//sectorlint:ignore floateq config round-trip: the report must echo the exact literal 100
 	if report.TargetRPS != 100 {
 		t.Errorf("TargetRPS %v not recorded", report.TargetRPS)
 	}

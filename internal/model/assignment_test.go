@@ -147,6 +147,7 @@ func TestAssignmentClone(t *testing.T) {
 
 func TestSolutionRatioAndString(t *testing.T) {
 	s := Solution{Profit: 50, UpperBound: 100, Algorithm: "greedy"}
+	//sectorlint:ignore floateq 50/100 divides to exactly 0.5; Ratio must not perturb it
 	if s.Ratio() != 0.5 {
 		t.Errorf("Ratio = %v", s.Ratio())
 	}
@@ -170,6 +171,7 @@ func TestSectorsView(t *testing.T) {
 	if len(secs) != in.M() {
 		t.Fatalf("Sectors length = %d", len(secs))
 	}
+	//sectorlint:ignore floateq sector fields are copied verbatim from the exact input literals
 	if secs[1].Alpha != 2.5 || secs[1].Rho != in.Antennas[1].Rho {
 		t.Errorf("sector 1 = %v", secs[1])
 	}

@@ -183,6 +183,7 @@ func TestVariantString(t *testing.T) {
 func TestCustomerPos(t *testing.T) {
 	c := Customer{Theta: 1.25, R: 4}
 	p := c.Pos()
+	//sectorlint:ignore floateq Pos copies the exact literals the customer was built with
 	if p.Theta != 1.25 || p.R != 4 {
 		t.Errorf("Pos = %v", p)
 	}

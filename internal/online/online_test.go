@@ -2,6 +2,7 @@ package online
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -146,7 +147,7 @@ func TestOrientFromSample(t *testing.T) {
 		t.Fatalf("OrientFromSample: %v", err)
 	}
 	for j := range or {
-		if or[j] != or2[j] {
+		if math.Float64bits(or[j]) != math.Float64bits(or2[j]) {
 			t.Fatal("sampling must be deterministic in the seed")
 		}
 	}
@@ -231,7 +232,7 @@ func TestSampleSizeRounding(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := range a {
-		if a[j] != b[j] {
+		if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
 			t.Fatalf("0.29 and 0.3 fractions of n=10 must pick the same 3-customer sample: %v vs %v", a, b)
 		}
 	}

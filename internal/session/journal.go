@@ -114,8 +114,11 @@ func CreateJournal(fsys faultfs.FS, path string, opt Options, in *model.Instance
 		return nil, fmt.Errorf("journal: create %s: %w", path, err)
 	}
 	fail := func(err error) (*Journal, error) {
-		f.Close()
-		fsys.Remove(path)
+		// Best-effort cleanup of the half-written file: err already tells
+		// the caller the journal was never created, and a leftover file is
+		// harmless — recovery rejects it as torn.
+		_ = f.Close()
+		_ = fsys.Remove(path)
 		return nil, err
 	}
 	var header []byte
@@ -142,6 +145,9 @@ func OpenAppend(fsys faultfs.FS, path string, syncEvery int) (*Journal, error) {
 	if syncEvery < 1 {
 		syncEvery = 1
 	}
+	// The reopened handle writes nothing here; each later AppendDelta syncs
+	// on the group-commit cadence, and Sync/Close flush the window.
+	//sectorlint:ignore fsyncorder append handle reopened after recovery; group commit fsyncs in AppendDelta/Sync
 	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: reopen %s: %w", path, err)
@@ -205,9 +211,10 @@ func (j *Journal) Close() error {
 }
 
 // Remove closes the journal (without flushing — the session is being
-// discarded) and deletes the file.
+// discarded) and deletes the file. The removal error is the one that
+// matters: a close failure on a file about to be unlinked is moot.
 func (j *Journal) Remove() error {
-	j.f.Close()
+	_ = j.f.Close()
 	return j.fsys.Remove(j.path)
 }
 

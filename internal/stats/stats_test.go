@@ -8,12 +8,14 @@ import (
 
 func TestSummarizeBasics(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4, 5})
+	//sectorlint:ignore floateq small-integer samples summarize to exact small integers
 	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
 		t.Fatalf("Summary = %+v", s)
 	}
 	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
 		t.Errorf("Std = %v", s.Std)
 	}
+	//sectorlint:ignore floateq small-integer samples summarize to exact small integers
 	if s.P25 != 2 || s.P75 != 4 {
 		t.Errorf("quartiles = %v, %v", s.P25, s.P75)
 	}
@@ -24,6 +26,7 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 		t.Error("empty sample should give zero summary")
 	}
 	s := Summarize([]float64{7})
+	//sectorlint:ignore floateq a single-sample summary reproduces the sample exactly
 	if s.Mean != 7 || s.Std != 0 || s.Median != 7 {
 		t.Errorf("single-sample summary = %+v", s)
 	}
@@ -31,12 +34,14 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 
 func TestQuantileInterpolation(t *testing.T) {
 	sorted := []float64{0, 10}
+	//sectorlint:ignore floateq the midpoint of {0, 10} interpolates to exactly 5
 	if q := Quantile(sorted, 0.5); q != 5 {
 		t.Errorf("median = %v, want 5", q)
 	}
 	if q := Quantile(sorted, 0); q != 0 {
 		t.Errorf("q0 = %v", q)
 	}
+	//sectorlint:ignore floateq q=1 selects the exact max sample
 	if q := Quantile(sorted, 1); q != 10 {
 		t.Errorf("q1 = %v", q)
 	}
